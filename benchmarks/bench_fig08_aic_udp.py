@@ -1,0 +1,52 @@
+"""Fig. 8 — adaptive interrupt coalescing reduces CPU for UDP_STREAM.
+
+Paper: throughput holds 957 Mbps at 20 kHz, 2 kHz and AIC; CPU falls
+~40% from 20 kHz to 2 kHz and further under AIC.
+"""
+
+import pytest
+
+from benchmarks.figutils import print_table, run_once
+from repro import ExperimentRunner
+from repro.drivers import AdaptiveCoalescing, FixedItr
+
+POLICIES = [("20kHz", lambda: FixedItr(20000)),
+            ("2kHz", lambda: FixedItr(2000)),
+            ("AIC", lambda: AdaptiveCoalescing()),
+            ("1kHz", lambda: FixedItr(1000))]
+
+
+def generate():
+    runner = ExperimentRunner(warmup=2.2, duration=0.5)
+    rows = {}
+    for label, factory in POLICIES:
+        result = runner.run_sriov(1, ports=1, policy_factory=factory)
+        rows[label] = result
+    return rows
+
+
+def test_fig08_aic_udp(benchmark):
+    results = run_once(benchmark, generate)
+    print_table(
+        "Fig. 8: UDP_STREAM vs interrupt-coalescing policy",
+        ["policy", "Mbps", "CPU%", "loss%", "intr Hz", "lat us"],
+        [(label, r.throughput_bps / 1e6, r.total_cpu_percent,
+          r.loss_rate * 100, r.interrupt_hz, r.latency_mean * 1e6)
+         for label, r in results.items()],
+    )
+    # The latency side of the tradeoff (§5.3 discusses it; the figure
+    # does not plot it): lower frequency -> higher delivery latency.
+    assert (results["20kHz"].latency_mean < results["2kHz"].latency_mean
+            < results["1kHz"].latency_mean)
+    # Throughput at line goodput for 20 kHz, 2 kHz and AIC (paper: 957).
+    for label in ["20kHz", "2kHz", "AIC"]:
+        assert results[label].throughput_bps == pytest.approx(957.1e6,
+                                                              rel=0.02)
+    # CPU ordering: 20 kHz > 2 kHz >= AIC (paper: ~40% saving, then more).
+    cpu_20k = results["20kHz"].total_cpu_percent
+    cpu_2k = results["2kHz"].total_cpu_percent
+    cpu_aic = results["AIC"].total_cpu_percent
+    saving = 1 - cpu_2k / cpu_20k
+    print(f"\n20kHz -> 2kHz CPU saving: {saving * 100:.0f}% (paper: ~40%)")
+    assert 0.2 < saving < 0.6
+    assert cpu_aic <= cpu_2k * 1.02

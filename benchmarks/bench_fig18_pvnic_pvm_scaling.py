@@ -1,0 +1,38 @@
+"""Fig. 18 — PV NIC scalability in PVM, 10 to 60 VMs.
+
+Paper: dom0 costs less than the HVM case (324% vs 431% — no interrupt
+conversion layer), the guests cost slightly more (the x86-64 PV syscall
+page-table switch), and throughput still decays with VM count.
+"""
+
+import pytest
+
+from benchmarks.figutils import print_table, run_once
+from repro import DomainKind, ExperimentRunner
+
+VM_COUNTS = [10, 20, 40, 60]
+
+
+def generate():
+    runner = ExperimentRunner(warmup=0.6, duration=0.4)
+    pvm = {n: runner.run_pv(n, kind=DomainKind.PVM) for n in VM_COUNTS}
+    hvm_10 = runner.run_pv(10, kind=DomainKind.HVM)
+    return pvm, hvm_10
+
+
+def test_fig18_pvnic_pvm_scaling(benchmark):
+    pvm, hvm_10 = run_once(benchmark, generate)
+    print_table(
+        "Fig. 18: PV NIC scalability, PVM guests",
+        ["VMs", "Gbps", "dom0%", "guest%", "loss%"],
+        [(n, r.throughput_gbps, r.cpu["dom0"], r.cpu["guest"],
+          r.loss_rate * 100) for n, r in pvm.items()],
+    )
+    # dom0 at 10 VMs near the paper's 324%, and below the HVM case's.
+    assert pvm[10].cpu["dom0"] == pytest.approx(324, rel=0.15)
+    assert pvm[10].cpu["dom0"] < hvm_10.cpu["dom0"]
+    # PVM guests cost slightly more than HVM guests (§6.5's last point).
+    assert pvm[10].cpu["guest"] > hvm_10.cpu["guest"]
+    # Throughput holds at 10 VMs and decays by 60 (milder than HVM).
+    assert pvm[10].throughput_gbps == pytest.approx(9.57, rel=0.03)
+    assert pvm[60].throughput_gbps <= pvm[10].throughput_gbps

@@ -1,0 +1,40 @@
+"""Fig. 19 — VMDq scalability in PVM.
+
+Paper (Intel 82598, 8 queue pairs): performance peaks at 10 VMs and
+"drops progressively as the VM# increases ... the NIC has only 8 queue
+pairs, and only 7 guests can get VMDq support.  Once the VM# exceeds 7,
+the rest of the VMs share the network with domain 0, as the
+conventional PV NIC driver does."
+
+(The paper also saw throughput *rise* again from 40 to 60 VMs and
+attributed it to "a program defect in the tree"; we do not reproduce
+the defect.)
+"""
+
+import pytest
+
+from benchmarks.figutils import assert_decreasing, print_table, run_once
+from repro import ExperimentRunner
+
+VM_COUNTS = [10, 20, 40, 60]
+
+
+def generate():
+    runner = ExperimentRunner(warmup=0.6, duration=0.4)
+    return {n: runner.run_vmdq(n) for n in VM_COUNTS}
+
+
+def test_fig19_vmdq_scaling(benchmark):
+    results = run_once(benchmark, generate)
+    print_table(
+        "Fig. 19: VMDq scalability (82598, 8 queue pairs)",
+        ["VMs", "Gbps", "dom0%", "loss%"],
+        [(n, r.throughput_gbps, r.cpu["dom0"], r.loss_rate * 100)
+         for n, r in results.items()],
+    )
+    throughputs = [results[n].throughput_gbps for n in VM_COUNTS]
+    # Peak at 10 VMs (7 dedicated queues cover most guests)...
+    assert throughputs[0] > 8.5
+    # ...then progressive decay as more guests share the default queue.
+    assert_decreasing(throughputs)
+    assert throughputs[-1] < throughputs[0] * 0.6

@@ -1,0 +1,55 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark follows the same pattern: generate the figure's series
+once (under pytest-benchmark's timer), print the same rows the paper
+plots, and assert the paper's qualitative shape — who wins, by roughly
+what factor, where the crossovers fall.  Absolute numbers are recorded
+in EXPERIMENTS.md against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run the figure generator exactly once under the benchmark timer.
+
+    These are simulation sweeps, not microbenchmarks: one round is the
+    honest measurement (and keeps the suite's wall-clock sane).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print one figure's data the way the paper's plot reads."""
+    print(f"\n=== {title} ===")
+    widths = [max(10, len(h) + 2) for h in header]
+    print("".join(f"{h:>{w}}" for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.2f}")
+            else:
+                cells.append(f"{str(value):>{width}}")
+        print("".join(cells))
+
+
+def assert_flat(values: Sequence[float], tolerance: float = 0.05) -> None:
+    """All values within ``tolerance`` of each other (relative)."""
+    assert min(values) > 0
+    spread = max(values) / min(values) - 1
+    assert spread <= tolerance, f"series not flat: spread {spread:.3f}"
+
+
+def assert_decreasing(values: Sequence[float], slack: float = 0.02) -> None:
+    """Each value at most ``slack`` above its predecessor."""
+    for a, b in zip(values, values[1:]):
+        assert b <= a * (1 + slack), f"series not decreasing: {a} -> {b}"
+
+
+def assert_increasing(values: Sequence[float], slack: float = 0.02) -> None:
+    for a, b in zip(values, values[1:]):
+        assert b >= a * (1 - slack), f"series not increasing: {a} -> {b}"

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Interrupt coalescing: the §5.3 policy sweep (Figs. 8-10).
+
+Sweeps the VF driver's interrupt-throttle policy over the paper's four
+configurations — 20 kHz (low-latency), 2 kHz (driver default), AIC
+(the paper's adaptive scheme), 1 kHz — for UDP and TCP streams, then
+shows the inter-VM case where AIC's adaptivity avoids the packet loss
+fixed policies suffer.
+
+Run:  python examples/adaptive_coalescing.py
+"""
+
+from repro import ExperimentRunner
+from repro.drivers import AdaptiveCoalescing, FixedItr
+from repro.net.packet import Protocol
+
+POLICIES = [
+    ("20 kHz", lambda: FixedItr(20000)),
+    ("2 kHz", lambda: FixedItr(2000)),
+    ("AIC", lambda: AdaptiveCoalescing()),
+    ("1 kHz", lambda: FixedItr(1000)),
+]
+
+
+def main() -> None:
+    runner = ExperimentRunner(warmup=2.2, duration=0.5)
+
+    for protocol, label in [(Protocol.UDP, "UDP_STREAM (cf. Fig. 8)"),
+                            (Protocol.TCP, "TCP_STREAM (cf. Fig. 9)")]:
+        print(f"\n--- {label} ---")
+        print(f"{'policy':>8} {'Mbps':>8} {'CPU%':>7} {'loss%':>7} "
+              f"{'intr Hz':>9} {'lat us':>8}")
+        for name, factory in POLICIES:
+            result = runner.run_sriov(1, ports=1, protocol=protocol,
+                                      policy_factory=factory)
+            print(f"{name:>8} {result.throughput_bps / 1e6:>8.1f} "
+                  f"{result.total_cpu_percent:>7.2f} "
+                  f"{result.loss_rate * 100:>7.2f} "
+                  f"{result.interrupt_hz:>9.0f} "
+                  f"{result.latency_mean * 1e6:>8.0f}")
+
+    print("\nThe Fig. 9 effect: TCP at 1 kHz loses ~10% throughput — the "
+          "delayed ACKs\ninflate the RTT past the point where the 64 KiB "
+          "window can fill the line.\nUDP does not care; it just burns "
+          "less CPU at lower interrupt rates.")
+
+    print("\n--- Inter-VM (dom0 -> guest via the NIC switch, "
+          "cf. Fig. 10) ---")
+    print(f"{'policy':>8} {'RX Gbps':>9} {'loss%':>7} {'intr Hz':>9}")
+    for name, factory in POLICIES:
+        result = runner.run_intervm_sriov(policy_factory=factory)
+        print(f"{name:>8} {result.throughput_gbps:>9.2f} "
+              f"{result.loss_rate * 100:>7.2f} "
+              f"{result.interrupt_hz:>9.0f}")
+
+    print("\nInter-VM traffic runs above the physical line rate (it never "
+          "touches the\nwire), so fixed 2 kHz and 1 kHz overflow the "
+          "receive buffers and drop packets;\nAIC raises its frequency "
+          "with the measured packet rate and keeps RX = TX.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: SR-IOV network virtualization in five minutes.
+
+Builds the paper's testbed (Xen on a 16-thread Xeon 5500, Intel 82576
+SR-IOV NICs), boots two HVM guests each with a dedicated Virtual
+Function, blasts netperf UDP at them from a simulated client, and prints
+what the paper's Fig. 6 would show: line-rate throughput with domain 0
+off the data path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DomainKind, ExperimentRunner, OptimizationConfig
+
+
+def main() -> None:
+    runner = ExperimentRunner(warmup=0.5, duration=0.5)
+
+    print("=== SR-IOV receive path: 2 HVM guests, one 1 GbE port ===\n")
+    result = runner.run_sriov(vm_count=2, ports=1, kind=DomainKind.HVM,
+                              opts=OptimizationConfig.all())
+
+    print(f"Aggregate throughput : {result.throughput_gbps * 1000:7.1f} Mbps "
+          f"(line-rate UDP goodput is 957.1)")
+    for index, bps in enumerate(result.per_vm_throughput_bps):
+        print(f"  guest vm{index}          : {bps / 1e6:7.1f} Mbps")
+    print(f"Packet loss          : {result.loss_rate * 100:7.2f} %")
+    print(f"Interrupt rate/guest : {result.interrupt_hz:7.0f} Hz "
+          "(adaptive coalescing)")
+    print("\nCPU utilization (xentop convention, 100% = one thread):")
+    for account, percent in sorted(result.cpu.items()):
+        print(f"  {account:6s}: {percent:6.2f} %")
+    print(f"  total : {result.total_cpu_percent:6.2f} %")
+
+    print("\nThe SR-IOV story in one number: dom0 sits at its ~2.8% "
+          "device-model floor\nbecause packets DMA straight into the "
+          "guests — no hypervisor copy, no dom0\nintervention (paper "
+          "§4.1, Fig. 6).")
+
+    print("\n=== The same workload through the Xen PV split driver ===\n")
+    pv = runner.run_pv(vm_count=2, ports=1, kind=DomainKind.HVM)
+    print(f"Aggregate throughput : {pv.throughput_gbps * 1000:7.1f} Mbps")
+    print(f"dom0 CPU             : {pv.cpu.get('dom0', 0):7.2f} % "
+          "(every packet is copied by netback)")
+    ratio = pv.cpu.get("dom0", 0) / max(result.cpu.get("dom0", 1e-9), 1e-9)
+    print(f"\ndom0 cost ratio PV : SR-IOV = {ratio:.0f} : 1")
+
+
+if __name__ == "__main__":
+    main()

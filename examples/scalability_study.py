@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scalability study: SR-IOV vs the PV split driver, 4 to 24 VMs.
+
+A reduced-scale version of the paper's Figs. 15-18 sweep (the full
+10-60 VM sweep lives in benchmarks/).  Shows the two headline effects:
+
+* SR-IOV holds aggregate line rate with a small, near-linear CPU cost
+  per added VM — and PVM guests cost less per VM than HVM (event
+  channels beat virtual LAPIC emulation, §6.4);
+* the PV split driver's dom0 copy threads saturate, so its throughput
+  decays as VMs are added (§6.5).
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro import DomainKind, ExperimentRunner
+
+
+def sweep(runner, label, run):
+    print(f"\n--- {label} ---")
+    print(f"{'VMs':>4} {'Gbps':>7} {'guest%':>8} {'xen%':>7} "
+          f"{'dom0%':>7} {'total%':>8}")
+    previous_total = None
+    for vm_count in [4, 8, 16, 24]:
+        result = run(vm_count)
+        marginal = ""
+        if previous_total is not None:
+            delta = (result.total_cpu_percent - previous_total) / 8
+            marginal = f"  (+{delta:.2f}%/VM)"
+        previous_total = result.total_cpu_percent
+        print(f"{vm_count:>4} {result.throughput_gbps:>7.2f} "
+              f"{result.cpu.get('guest', 0):>8.1f} "
+              f"{result.cpu.get('xen', 0):>7.1f} "
+              f"{result.cpu.get('dom0', 0):>7.1f} "
+              f"{result.total_cpu_percent:>8.1f}{marginal}")
+
+
+def main() -> None:
+    runner = ExperimentRunner(warmup=0.5, duration=0.4)
+    ports = 4  # 4 GbE aggregate for example-sized runs
+
+    sweep(runner, "SR-IOV, HVM guests (cf. Fig. 15)",
+          lambda n: runner.run_sriov(n, kind=DomainKind.HVM, ports=ports))
+    sweep(runner, "SR-IOV, PVM guests (cf. Fig. 16)",
+          lambda n: runner.run_sriov(n, kind=DomainKind.PVM, ports=ports))
+    sweep(runner, "PV split driver, HVM guests (cf. Fig. 17)",
+          lambda n: runner.run_pv(n, kind=DomainKind.HVM, ports=ports))
+    sweep(runner, "PV split driver, PVM guests (cf. Fig. 18)",
+          lambda n: runner.run_pv(n, kind=DomainKind.PVM, ports=ports))
+
+    print("\nReading the table: SR-IOV throughput is flat at the line "
+          "rate; the PV driver's\ndecays once netback's copy threads "
+          "saturate. The per-VM CPU increment is\nsmaller for PVM than "
+          "HVM — the event-channel vs virtual-LAPIC gap the paper\n"
+          "quantifies as 1.76% vs 2.8% per VM.")
+
+
+if __name__ == "__main__":
+    main()

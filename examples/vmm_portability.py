@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""VMM portability: the same drivers on Xen, KVM, and bare metal.
+
+Paper §4: "the architecture is independent of underlying VMM, allowing
+Virtual Function (VF) and Physical Function (PF) drivers to be reused
+across different VMM, such as Xen and KVM.  The VF can even run in a
+native environment with a PF driver, within the same OS ... the
+implementation is ported from Xen to KVM, without code modification to
+the PF and VF drivers."
+
+This script assembles the *identical* driver stack — the same classes,
+the same bring-up sequence — against three platforms and runs the same
+workload on each.  The only thing that changes is the platform object.
+
+Run:  python examples/vmm_portability.py
+"""
+
+from repro.devices import Igb82576Port
+from repro.drivers import FixedItr, NetserverApp, PfDriver, VfDriver
+from repro.net import NetperfStream, udp_goodput_bps
+from repro.net.mac import MacAddress
+from repro.sim import Simulator
+from repro.vmm import DomainKind, Iovm, Kvm, NativeHost, Xen
+
+CLIENT = MacAddress.parse("02:00:00:00:99:99")
+
+
+def bring_up_and_run(platform, label):
+    """The §4.1 bring-up — identical code for every platform."""
+    service = getattr(platform, "dom0", None) or platform.create_guest("host")
+    port = Igb82576Port(platform.sim, iommu=platform.iommu)
+    platform.root_complex.attach(port.pf.pci, bus=1, device=0)
+    port.interrupt_sink = platform.deliver_msi
+
+    pf_driver = PfDriver(platform, service, port)
+    pf_driver.start()
+    pf_driver.enable_sriov(2)
+    iovm = Iovm(platform)
+    iovm.surface_vfs(port)
+
+    guest = platform.create_guest("guest0", DomainKind.HVM)
+    if platform.is_native:
+        platform.iommu.attach(port.vf(0).pci.rid, guest.io_page_table)
+    else:
+        iovm.assign(port.vf(0), guest)
+
+    app = NetserverApp(platform.costs)
+    vf_driver = VfDriver(platform, guest, port.vf(0), FixedItr(2000), app)
+    vf_driver.start()
+    # Exercise the §4.2 mailbox too — a hardware channel, so it cannot
+    # depend on the VMM either.
+    vf_driver.request_vlan(100)
+
+    NetperfStream(platform.sim, port.wire_receive, CLIENT, port.vf(0).mac,
+                  udp_goodput_bps(1e9), name="client").start()
+    platform.start_measurement()
+    platform.sim.run(until=platform.sim.now + 0.3)
+    platform.end_measurement()
+
+    throughput = app.throughput_bps(0.3) / 1e6
+    cpu = platform.utilization_breakdown()
+    cpu_text = ", ".join(f"{k}={v:.1f}%" for k, v in sorted(cpu.items()))
+    print(f"{label:<12} {throughput:7.1f} Mbps   "
+          f"{vf_driver.interrupts_handled:5d} interrupts   {cpu_text}")
+    assert pf_driver.vf_requests[0] == ["set_vlan"], "mailbox must work"
+
+
+def main() -> None:
+    print("Same PfDriver + VfDriver classes, three platforms:\n")
+    bring_up_and_run(Xen(Simulator()), "Xen")
+    bring_up_and_run(Kvm(Simulator()), "KVM")
+    bring_up_and_run(NativeHost(Simulator()), "bare metal")
+    print("\nNo driver code branches on the platform: the §4 architecture "
+          "isolates all\nVMM specifics behind the platform interface, and "
+          "PF<->VF control flows over\nthe device's own mailbox (§4.2) "
+          "rather than any hypervisor channel.")
+
+
+if __name__ == "__main__":
+    main()

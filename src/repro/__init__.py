@@ -1,0 +1,46 @@
+"""repro: a register-level reproduction of "High Performance Network
+Virtualization with SR-IOV" (Dong et al., HPCA 2010 / JPDC 2012).
+
+The paper's artifact is a set of kernel drivers and Xen changes measured
+on real 82576 silicon; this library rebuilds the entire stack as a
+deterministic discrete-event simulation — PCIe + SR-IOV hardware models,
+a Xen-style hypervisor with calibrated VM-exit costs, the VF/PF/PV/VMDq
+drivers, the three §5 optimizations, and DNIS live migration — and
+regenerates every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentRunner, OptimizationConfig
+
+    runner = ExperimentRunner()
+    result = runner.run_sriov(vm_count=10, opts=OptimizationConfig.all())
+    print(f"{result.throughput_gbps:.2f} Gbps at "
+          f"{result.total_cpu_percent:.0f}% CPU")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results per figure.
+"""
+
+from repro.core import (
+    CostModel,
+    ExperimentRunner,
+    OptimizationConfig,
+    RunResult,
+    Testbed,
+    TestbedConfig,
+)
+from repro.vmm import DomainKind, GuestKernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DomainKind",
+    "ExperimentRunner",
+    "GuestKernel",
+    "OptimizationConfig",
+    "RunResult",
+    "Testbed",
+    "TestbedConfig",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro sriov --vms 10 --kind hvm
+    python -m repro sriov --vms 7 --ports 1 --kernel 2.6.18 --no-opts
+    python -m repro pv --vms 20 --single-thread
+    python -m repro vmdq --vms 40
+    python -m repro intervm --mode sriov --message-bytes 4000
+    python -m repro migrate --mode dnis
+
+Each subcommand builds the §6.1 testbed, runs the measurement loop, and
+prints the same quantities the paper plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.experiment import ExperimentRunner, RunResult
+from repro.core.optimizations import OptimizationConfig
+from repro.drivers.coalescing import (
+    AdaptiveCoalescing,
+    CoalescingPolicy,
+    DynamicItr,
+    FixedItr,
+)
+from repro.net.packet import Protocol
+from repro.vmm.domain import DomainKind, GuestKernel
+
+KIND_CHOICES = {"hvm": DomainKind.HVM, "pvm": DomainKind.PVM}
+KERNEL_CHOICES = {"2.6.18": GuestKernel.LINUX_2_6_18,
+                  "2.6.28": GuestKernel.LINUX_2_6_28}
+PROTOCOL_CHOICES = {"udp": Protocol.UDP, "tcp": Protocol.TCP}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'High Performance Network "
+                    "Virtualization with SR-IOV' (HPCA 2010 / JPDC 2012)",
+    )
+    parser.add_argument("--warmup", type=float, default=1.2,
+                        help="simulated warmup seconds before measuring")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="simulated measurement window seconds")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sriov = commands.add_parser("sriov", help="SR-IOV receive experiment")
+    _add_guest_args(sriov)
+    sriov.add_argument("--native", action="store_true",
+                       help="run the drivers on bare metal (Fig. 12's "
+                            "native baseline)")
+
+    pv = commands.add_parser("pv", help="PV split-driver experiment")
+    pv.add_argument("--vms", type=int, default=10)
+    pv.add_argument("--ports", type=int, default=10)
+    pv.add_argument("--kind", choices=KIND_CHOICES, default="hvm")
+    pv.add_argument("--single-thread", action="store_true",
+                    help="use the stock single-threaded netback")
+
+    vmdq = commands.add_parser("vmdq", help="VMDq experiment (Fig. 19)")
+    vmdq.add_argument("--vms", type=int, default=10)
+
+    intervm = commands.add_parser("intervm",
+                                  help="inter-VM experiment (Figs. 13-14)")
+    intervm.add_argument("--mode", choices=["sriov", "pv"], default="sriov")
+    intervm.add_argument("--message-bytes", type=int, default=1500)
+
+    migrate = commands.add_parser("migrate",
+                                  help="live migration (Figs. 20-21)")
+    migrate.add_argument("--mode", choices=["pv", "dnis"], default="dnis")
+    migrate.add_argument("--start-at", type=float, default=4.5)
+    return parser
+
+
+def _add_guest_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--vms", type=int, default=10,
+                     help="number of guests")
+    sub.add_argument("--ports", type=int, default=10,
+                     help="1 GbE ports in the testbed")
+    sub.add_argument("--kind", choices=KIND_CHOICES, default="hvm")
+    sub.add_argument("--kernel", choices=KERNEL_CHOICES, default="2.6.28")
+    sub.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="udp")
+    sub.add_argument("--no-opts", action="store_true",
+                     help="disable all §5 optimizations")
+    sub.add_argument("--itr", default="aic",
+                     help="coalescing policy: 'aic', 'dynamic', or a "
+                          "fixed frequency in Hz (e.g. 2000)")
+
+
+def parse_policy(spec: str) -> CoalescingPolicy:
+    if spec == "aic":
+        return AdaptiveCoalescing()
+    if spec == "dynamic":
+        return DynamicItr()
+    try:
+        return FixedItr(float(spec))
+    except ValueError:
+        raise SystemExit(f"unknown ITR policy {spec!r}: use 'aic', "
+                         "'dynamic', or a frequency in Hz")
+
+
+def print_result(result: RunResult) -> None:
+    from repro.core.report import format_run_result
+    print(format_run_result(result))
+
+
+def run_cli(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = ExperimentRunner(warmup=args.warmup, duration=args.duration)
+    if args.command == "sriov":
+        opts = (OptimizationConfig.none() if args.no_opts
+                else OptimizationConfig.all())
+        result = runner.run_sriov(
+            args.vms, kind=KIND_CHOICES[args.kind],
+            kernel=KERNEL_CHOICES[args.kernel], opts=opts,
+            policy_factory=lambda: parse_policy(args.itr),
+            protocol=PROTOCOL_CHOICES[args.protocol],
+            ports=args.ports, native=args.native)
+    elif args.command == "pv":
+        result = runner.run_pv(args.vms, kind=KIND_CHOICES[args.kind],
+                               single_thread_backend=args.single_thread,
+                               ports=args.ports)
+    elif args.command == "vmdq":
+        result = runner.run_vmdq(args.vms)
+    elif args.command == "intervm":
+        if args.mode == "sriov":
+            result = runner.run_intervm_sriov(args.message_bytes)
+        else:
+            result = runner.run_intervm_pv(args.message_bytes)
+    elif args.command == "migrate":
+        return _run_migration(args)
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    print_result(result)
+    return 0
+
+
+def _run_migration(args) -> int:
+    from repro.core.testbed import Testbed, TestbedConfig
+    from repro.drivers.netfront import Netfront
+    from repro.migration import DnisGuest, MigrationManager, PrecopyConfig
+    from repro.net.mac import MacAddress
+    from repro.net.netperf import NetperfStream
+    from repro.net.packet import udp_goodput_bps
+
+    bed = Testbed(TestbedConfig(ports=1))
+    manager_config = PrecopyConfig()
+    line = udp_goodput_bps(1e9)
+    if args.mode == "pv":
+        guest = bed.add_pv_guest(DomainKind.HVM)
+        bed.attach_client_to_pv(guest, line).start()
+        manager = MigrationManager(bed.platform, bed.hotplug, manager_config)
+        _, report = manager.migrate_pv(guest.netfront, args.start_at)
+    else:
+        sriov = bed.add_sriov_guest(DomainKind.HVM)
+        netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+        bed.netback.connect(netfront)
+        dnis = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
+                         bed.hotplug)
+        NetperfStream(bed.sim, dnis.wire_sink,
+                      MacAddress.parse("02:00:00:00:99:99"), sriov.vf.mac,
+                      line, name="client").start()
+        manager = MigrationManager(bed.platform, bed.hotplug,
+                                   PrecopyConfig(dirty_ratio=0.15))
+        _, report = manager.migrate_dnis(dnis, args.start_at)
+    bed.sim.run(until=args.start_at + manager.model.total_time + 3.0)
+    print(f"migration events ({args.mode}):")
+    for time, name in report.events:
+        print(f"  {time:7.2f}s  {name}")
+    print(f"downtime: {report.downtime:.2f}s "
+          f"(blackout {report.blackout_start:.2f}s -> "
+          f"{report.blackout_end:.2f}s)")
+    return 0
+
+
+def main() -> None:  # pragma: no cover - thin entry point
+    sys.exit(run_cli())

@@ -1,0 +1,36 @@
+"""The paper's contribution as a public API.
+
+* :mod:`repro.core.costs` — the calibrated :class:`CostModel` (every
+  cycle count in one place, paper-cited or fitted-and-documented).
+* :mod:`repro.core.optimizations` — the §5 optimization switches.
+* :mod:`repro.core.testbed` — the §6.1 testbed builder: Xen (or bare
+  metal), ten SR-IOV ports, IOVM, PF drivers; add SR-IOV / PV / VMDq
+  guests and netperf clients.
+* :mod:`repro.core.experiment` — measurement loops returning the
+  quantities the paper plots.
+"""
+
+from repro.core.costs import CostModel
+from repro.core.experiment import ExperimentRunner, RunResult, steady_tcp_rate
+from repro.core.optimizations import OptimizationConfig
+from repro.core.report import XentopReport, format_run_result
+from repro.core.testbed import (
+    PvGuest,
+    SriovGuest,
+    Testbed,
+    TestbedConfig,
+)
+
+__all__ = [
+    "CostModel",
+    "ExperimentRunner",
+    "OptimizationConfig",
+    "PvGuest",
+    "RunResult",
+    "SriovGuest",
+    "Testbed",
+    "TestbedConfig",
+    "XentopReport",
+    "format_run_result",
+    "steady_tcp_rate",
+]

@@ -1,0 +1,403 @@
+"""Experiment runners: the measurement loops behind every figure.
+
+Each ``run_*`` method assembles a :class:`~repro.core.testbed.Testbed`,
+attaches netperf clients, lets the system warm up, measures a window,
+and returns a :class:`RunResult` carrying exactly the quantities the
+paper plots: delivered throughput, xentop-style CPU breakdown, loss,
+interrupt rates, and (for Fig. 7) the VM-exit cycle breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.costs import CostModel
+from repro.core.optimizations import OptimizationConfig
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.drivers.coalescing import AdaptiveCoalescing, CoalescingPolicy, FixedItr
+from repro.net.mac import MacAddress
+from repro.net.netperf import NetperfStream
+from repro.net.packet import (
+    DEFAULT_MTU,
+    Protocol,
+    packets_per_second,
+    tcp_goodput_bps,
+    udp_goodput_bps,
+)
+from repro.net.tcp import TcpThroughputModel
+from repro.vmm.domain import DomainKind, GuestKernel
+from repro.vmm.hypervisor import Xen
+
+#: Default measurement schedule: enough warmup for throttles and AIC
+#: sampling to settle, then a steady-state window.
+DEFAULT_WARMUP = 1.2
+DEFAULT_DURATION = 0.5
+
+
+@dataclass
+class RunResult:
+    """What one experiment run reports."""
+
+    vm_count: int
+    duration: float
+    #: Aggregate application goodput across all guests (bps).
+    throughput_bps: float
+    per_vm_throughput_bps: List[float]
+    #: xentop-style utilization: {"guest": ..., "xen": ..., "dom0": ...}
+    #: (or {"native": ...}), in percent-of-one-thread units.
+    cpu: Dict[str, float]
+    #: Packet loss across all guests (fraction of offered).
+    loss_rate: float
+    #: Mean per-guest interrupt rate over the window (Hz).
+    interrupt_hz: float
+    #: Fig. 7's instrument: VM-exit cycles/second by exit kind.
+    exit_cycles_per_second: Dict[str, float] = field(default_factory=dict)
+    exit_counts: Dict[str, int] = field(default_factory=dict)
+    #: End-to-end packet latency in seconds (mean over all packets,
+    #: worst p99 across guests) — the §5.3 coalescing tradeoff's other
+    #: axis.
+    latency_mean: float = 0.0
+    latency_p99: float = 0.0
+
+    @property
+    def total_cpu_percent(self) -> float:
+        return sum(self.cpu.values())
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.throughput_bps / 1e9
+
+
+def steady_tcp_rate(policy: CoalescingPolicy, line_share_bps: float,
+                    line_rate_bps: float = 1e9,
+                    mtu: int = DEFAULT_MTU,
+                    tcp_model: Optional[TcpThroughputModel] = None) -> float:
+    """Fixed point of the TCP <-> coalescing feedback loop.
+
+    The sender's achievable rate depends on the RX interrupt interval
+    (ACK delay); adaptive policies pick the interval from the achieved
+    packet rate.  A few iterations converge for every policy the paper
+    sweeps.
+    """
+    model = tcp_model or TcpThroughputModel()
+    rate = min(line_share_bps, tcp_goodput_bps(line_rate_bps, mtu))
+    for _ in range(8):
+        pps = packets_per_second(rate, mtu, Protocol.TCP)
+        interval = policy.on_sample(pps)
+        if interval is None:
+            interval = policy.initial_interval()
+        rate = min(line_share_bps, model.throughput_bps(line_rate_bps, interval, mtu))
+    return rate
+
+
+class ExperimentRunner:
+    """Builds testbeds and runs the paper's measurement loops."""
+
+    def __init__(self, costs: Optional[CostModel] = None,
+                 warmup: float = DEFAULT_WARMUP,
+                 duration: float = DEFAULT_DURATION):
+        self.costs = (costs or CostModel()).validate()
+        self.warmup = warmup
+        self.duration = duration
+
+    # ------------------------------------------------------------------
+    # SR-IOV receive-side runs (Figs. 6, 8, 9, 12, 15, 16 and native)
+    # ------------------------------------------------------------------
+    def run_sriov(
+        self,
+        vm_count: int,
+        kind: DomainKind = DomainKind.HVM,
+        kernel: GuestKernel = GuestKernel.LINUX_2_6_28,
+        opts: Optional[OptimizationConfig] = None,
+        policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
+        protocol: Protocol = Protocol.UDP,
+        ports: int = 10,
+        vfs_per_port: int = 7,
+        native: bool = False,
+        offered_bps_per_vm: Optional[float] = None,
+        nic: str = "82576",
+    ) -> RunResult:
+        """netperf RX into ``vm_count`` SR-IOV guests (§6.1's setup)."""
+        config = TestbedConfig(
+            ports=ports, vfs_per_port=vfs_per_port, costs=self.costs,
+            opts=opts if opts is not None else OptimizationConfig.all(),
+            native=native, nic=nic,
+        )
+        bed = Testbed(config)
+        if policy_factory is None:
+            # The §5.3 optimization switch selects the driver's policy:
+            # AIC when on, the VF driver's 2 kHz default otherwise.
+            if config.opts.adaptive_coalescing:
+                policy_factory = lambda: AdaptiveCoalescing(self.costs)
+            else:
+                policy_factory = lambda: FixedItr(2000)
+        guests = [bed.add_sriov_guest(kind, kernel, policy_factory())
+                  for _ in range(vm_count)]
+        line_share = bed.per_vm_line_share_bps(vm_count, protocol)
+        for guest in guests:
+            offered = offered_bps_per_vm
+            if offered is None:
+                if protocol is Protocol.TCP:
+                    offered = steady_tcp_rate(guest.driver.policy, line_share)
+                else:
+                    offered = line_share
+            bed.attach_client_to_sriov(guest, offered, protocol).start()
+        return self._measure(bed, [g.app for g in guests],
+                             [g.driver for g in guests])
+
+    def run_sriov_tx(
+        self,
+        vm_count: int,
+        kind: DomainKind = DomainKind.HVM,
+        policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
+        ports: int = 10,
+    ) -> RunResult:
+        """Transmit-side experiment (an extension beyond the paper's
+        receive-side evaluation): each guest blasts UDP at a remote
+        client through its VF and the physical line.
+
+        Delivered throughput is what survives the uplinks' line-rate
+        serialization; the guests pay TX cycles but take no receive
+        interrupts.
+        """
+        from repro.net.link import Link
+        config = TestbedConfig(ports=ports, costs=self.costs,
+                               opts=OptimizationConfig.all())
+        bed = Testbed(config)
+        policy_factory = policy_factory or (lambda: FixedItr(2000))
+        delivered = {"packets": 0, "payload_bytes": 0}
+
+        def client_sink(packet):
+            delivered["packets"] += 1
+            delivered["payload_bytes"] += packet.payload_bytes
+
+        for port in bed.ports:
+            wire = Link(bed.sim, rate_bps=port.LINE_RATE_BPS,
+                        name=f"{port.name}.uplink")
+            wire.connect(client_sink)
+            port.attach_uplink(wire)
+        guests = [bed.add_sriov_guest(kind, policy=policy_factory())
+                  for _ in range(vm_count)]
+        share = bed.per_vm_line_share_bps(vm_count)
+        client_mac = MacAddress(0x02_0000_00C000)
+        for guest in guests:
+            NetperfStream(
+                bed.sim, guest.driver.transmit, guest.vf.mac, client_mac,
+                share, Protocol.UDP,
+                burst_interval=bed._burst_interval_for(share),
+                name=f"{guest.domain.name}.tx",
+            ).start()
+        sim = bed.sim
+        sim.run(until=sim.now + self.warmup)
+        bed.platform.start_measurement()
+        delivered["packets"] = 0
+        delivered["payload_bytes"] = 0
+        sim.run(until=sim.now + self.duration)
+        elapsed = bed.platform.end_measurement()
+        throughput = (delivered["payload_bytes"] * 8 / elapsed
+                      if elapsed > 0 else 0.0)
+        offered = sum(g.vf.tx_packets + g.vf.tx_backlog_drops
+                      for g in guests)
+        drops = sum(g.vf.tx_backlog_drops for g in guests)
+        return RunResult(
+            vm_count=vm_count, duration=elapsed,
+            throughput_bps=throughput,
+            per_vm_throughput_bps=[throughput / vm_count] * vm_count,
+            cpu=bed.platform.utilization_breakdown(),
+            loss_rate=drops / offered if offered else 0.0,
+            interrupt_hz=0.0,
+        )
+
+    def run_native(self, vm_count: int = 10,
+                   policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
+                   **kwargs) -> RunResult:
+        """The bare-metal baseline: VF drivers on the host OS (§6.2)."""
+        return self.run_sriov(vm_count, native=True,
+                              policy_factory=policy_factory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # PV NIC runs (Figs. 17, 18)
+    # ------------------------------------------------------------------
+    def run_pv(
+        self,
+        vm_count: int,
+        kind: DomainKind = DomainKind.HVM,
+        single_thread_backend: bool = False,
+        protocol: Protocol = Protocol.UDP,
+        ports: int = 10,
+    ) -> RunResult:
+        config = TestbedConfig(ports=ports, costs=self.costs,
+                               opts=OptimizationConfig.all())
+        bed = Testbed(config)
+        if single_thread_backend:
+            bed.use_single_thread_netback()
+        guests = [bed.add_pv_guest(kind) for _ in range(vm_count)]
+        line_share = bed.per_vm_line_share_bps(vm_count, protocol)
+        for guest in guests:
+            bed.attach_client_to_pv(guest, line_share, protocol).start()
+        return self._measure(bed, [g.app for g in guests], [])
+
+    # ------------------------------------------------------------------
+    # VMDq runs (Fig. 19)
+    # ------------------------------------------------------------------
+    def run_vmdq(self, vm_count: int,
+                 kind: DomainKind = DomainKind.PVM) -> RunResult:
+        config = TestbedConfig(ports=1, costs=self.costs,
+                               opts=OptimizationConfig.all())
+        bed = Testbed(config)
+        guests = [bed.add_vmdq_guest(kind) for _ in range(vm_count)]
+        # One 10 GbE port shared by everyone.
+        share = udp_goodput_bps(10e9) / vm_count
+        for guest in guests:
+            bed.attach_client_to_vmdq(guest, share).start()
+        return self._measure(bed, [g.app for g in guests], [])
+
+    # ------------------------------------------------------------------
+    # inter-VM runs (Figs. 10, 13, 14)
+    # ------------------------------------------------------------------
+    def run_intervm_sriov(self, message_bytes: int = 1500,
+                          offered_bps: float = 5e9,
+                          policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
+                          kind: DomainKind = DomainKind.HVM,
+                          sender: str = "guest") -> RunResult:
+        """Inter-VM traffic through the NIC's internal switch, capped by
+        the double DMA crossing (§6.3).
+
+        ``sender`` selects the transmitting side: ``"guest"`` (two VFs,
+        the Fig. 13 setup) or ``"dom0"`` (the PF's own queues into a
+        guest's VF — "domain 0 sends packets to the guest", Fig. 10).
+        """
+        if sender not in ("guest", "dom0"):
+            raise ValueError(f"sender must be 'guest' or 'dom0', not {sender!r}")
+        config = TestbedConfig(ports=1, costs=self.costs,
+                               opts=OptimizationConfig.all())
+        bed = Testbed(config)
+        # Inter-VM rates exceed the line rate, so the driver must scale
+        # its interrupt frequency with them — AIC by default (§5.3's
+        # Fig. 10 is exactly this scenario).
+        policy_factory = policy_factory or (lambda: AdaptiveCoalescing(self.costs))
+        if sender == "guest":
+            tx_guest = bed.add_sriov_guest(kind, policy=policy_factory())
+            transmit = tx_guest.driver.transmit
+            src_mac = tx_guest.vf.mac
+        else:
+            pf_driver = bed.pf_drivers[0]
+            transmit = pf_driver.transmit
+            src_mac = bed.ports[0].pf.mac
+        receiver = bed.add_sriov_guest(kind, policy=policy_factory())
+        mtu = min(message_bytes, DEFAULT_MTU)
+        stream = NetperfStream(
+            bed.sim, transmit, src_mac, receiver.vf.mac,
+            offered_bps, Protocol.UDP, mtu=mtu,
+            burst_interval=100e-6, name="intervm",
+        )
+        stream.start()
+        receiver.stream = stream
+        return self._measure(bed, [receiver.app], [receiver.driver])
+
+    def run_intervm_pv(self, message_bytes: int = 1500,
+                       offered_bps: float = 8e9,
+                       kind: DomainKind = DomainKind.PVM) -> RunResult:
+        """dom0 CPU-copies packets between two PV guests (§6.3)."""
+        config = TestbedConfig(ports=1, costs=self.costs,
+                               opts=OptimizationConfig.all())
+        bed = Testbed(config)
+        receiver = bed.add_pv_guest(kind)
+        # Inter-VM PV traffic is a single flow: it rides one backend
+        # thread, with per-message cost amortizing over frames.  The
+        # message size maps to whole MTU frames (1500 -> 1, 4000 -> 3).
+        udp_payload = DEFAULT_MTU - 28
+        frames = max(1, round(message_bytes / udp_payload))
+        netback = bed.netback
+        base = self.costs.netback_cycles_per_packet_pvm
+        if kind is DomainKind.HVM:
+            base += self.costs.netback_hvm_extra_cycles
+        # Split the calibrated per-packet cost evenly into per-message
+        # fixed overhead (syscall, ring, event) and per-frame copy work:
+        # larger messages amortize the fixed half, which is the paper's
+        # explanation for PV inter-VM bandwidth rising with message size
+        # (§6.3: "each system call consumes more data, spending less
+        # overhead in the network stack").
+        fixed, per_frame = 0.5 * base, 0.5 * base
+        per_message_cycles = fixed + per_frame * frames
+
+        executor = netback.executors[0]
+
+        def intervm_sink(burst):
+            # Group the burst into messages of `frames` frames each.
+            messages = max(1, len(burst) // frames)
+            cycles = per_message_cycles * messages
+
+            def complete(burst=burst):
+                receiver.netfront.receive_burst(burst)
+
+            if not executor.submit(cycles, complete):
+                netback.dropped_packets += len(burst)
+
+        mtu = min(message_bytes, DEFAULT_MTU)
+        stream = NetperfStream(
+            bed.sim, intervm_sink,
+            MacAddress(0x02_0000_00D000), MacAddress(0x02_0000_00D001),
+            offered_bps, Protocol.UDP, mtu=mtu, burst_interval=100e-6,
+            name="intervm-pv",
+        )
+        stream.start()
+        return self._measure(bed, [receiver.app], [])
+
+    # ------------------------------------------------------------------
+    # the measurement loop
+    # ------------------------------------------------------------------
+    def _measure(self, bed: Testbed, apps, drivers) -> RunResult:
+        sim = bed.sim
+        sim.run(until=sim.now + self.warmup)
+        bed.platform.start_measurement()
+        for app in apps:
+            app.reset()
+        interrupts_before = [d.interrupts_handled for d in drivers]
+        sim.run(until=sim.now + self.duration)
+        elapsed = bed.platform.end_measurement()
+        per_vm = [app.throughput_bps(elapsed) for app in apps]
+        offered = sum(app.rx_packets + app.dropped_packets for app in apps)
+        dropped = sum(app.dropped_packets for app in apps)
+        # dom0-side drops (saturated copy threads) also count against
+        # offered traffic.
+        if bed._netback is not None:
+            dropped += bed._netback.dropped_packets
+            offered += bed._netback.dropped_packets
+        if bed._vmdq_service is not None:
+            dropped += bed._vmdq_service.dropped_packets
+            offered += bed._vmdq_service.dropped_packets
+        cpu = bed.platform.utilization_breakdown()
+        interrupt_hz = 0.0
+        if drivers and elapsed > 0:
+            deltas = [d.interrupts_handled - before
+                      for d, before in zip(drivers, interrupts_before)]
+            interrupt_hz = sum(deltas) / len(deltas) / elapsed
+        exit_rates: Dict[str, float] = {}
+        exit_counts: Dict[str, int] = {}
+        if isinstance(bed.platform, Xen):
+            rates = bed.platform.tracer.cycles_per_second(elapsed)
+            exit_rates = {kind.value: rate for kind, rate in rates.items()
+                          if rate > 0}
+            exit_counts = {kind.value: bed.platform.tracer.count(kind)
+                           for kind in rates if bed.platform.tracer.count(kind)}
+        total_latency_samples = sum(app.latency.count for app in apps)
+        latency_mean = (sum(app.latency.mean * app.latency.count
+                            for app in apps) / total_latency_samples
+                        if total_latency_samples else 0.0)
+        latency_p99 = max((app.latency.percentile(99) for app in apps
+                           if app.latency.count), default=0.0)
+        return RunResult(
+            vm_count=len(apps),
+            duration=elapsed,
+            throughput_bps=sum(per_vm),
+            per_vm_throughput_bps=per_vm,
+            cpu=cpu,
+            loss_rate=dropped / offered if offered else 0.0,
+            interrupt_hz=interrupt_hz,
+            exit_cycles_per_second=exit_rates,
+            exit_counts=exit_counts,
+            latency_mean=latency_mean,
+            latency_p99=latency_p99,
+        )

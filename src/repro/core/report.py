@@ -1,0 +1,85 @@
+"""xentop-style reporting.
+
+The paper's CPU numbers read like xentop output: per-domain utilization
+in percent-of-one-thread units, split into guest/Xen/dom0 buckets.
+:class:`XentopReport` renders a testbed's accounting the same way, and
+:func:`format_run_result` renders an :class:`~repro.core.experiment.RunResult`
+as the compact block the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.experiment import RunResult
+from repro.hw.cpu import Machine
+
+
+@dataclass
+class DomainRow:
+    """One domain's line in the report."""
+
+    name: str
+    kind: str
+    cpu_percent: float
+    home_cores: List[int]
+
+
+class XentopReport:
+    """Snapshot of a platform's per-domain CPU accounting."""
+
+    def __init__(self, platform, elapsed: Optional[float] = None):
+        self.platform = platform
+        self.elapsed = (elapsed if elapsed is not None
+                        else platform.measurement_elapsed)
+        self.rows = self._collect()
+
+    def _collect(self) -> List[DomainRow]:
+        machine: Machine = self.platform.machine
+        rows: List[DomainRow] = []
+        domains = getattr(self.platform, "domains", {})
+        for domain in domains.values():
+            cores = [v.core_index for v in domain.vcpus]
+            percent = (100.0 * domain.cycles_consumed
+                       / (self.elapsed * machine.clock_hz)
+                       if self.elapsed > 0 else 0.0)
+            rows.append(DomainRow(domain.name, domain.kind.value, percent,
+                                  cores))
+        # Hypervisor time is not a domain; report it as a synthetic row.
+        xen_cycles = machine.cycles("xen")
+        if xen_cycles:
+            percent = (100.0 * xen_cycles / (self.elapsed * machine.clock_hz)
+                       if self.elapsed > 0 else 0.0)
+            rows.append(DomainRow("(hypervisor)", "xen", percent, []))
+        return rows
+
+    @property
+    def total_percent(self) -> float:
+        return sum(row.cpu_percent for row in self.rows)
+
+    def render(self) -> str:
+        """A text table, xentop style."""
+        lines = [f"{'NAME':<16}{'KIND':<8}{'CPU%':>8}  CORES"]
+        for row in sorted(self.rows, key=lambda r: -r.cpu_percent):
+            cores = ",".join(map(str, sorted(set(row.home_cores)))) or "-"
+            lines.append(f"{row.name:<16}{row.kind:<8}"
+                         f"{row.cpu_percent:>8.2f}  {cores}")
+        lines.append(f"{'TOTAL':<16}{'':<8}{self.total_percent:>8.2f}")
+        return "\n".join(lines)
+
+
+def format_run_result(result: RunResult) -> str:
+    """The CLI's compact result block."""
+    lines = [
+        f"throughput : {result.throughput_gbps:8.3f} Gbps "
+        f"({result.vm_count} guests)",
+        f"loss       : {result.loss_rate * 100:8.2f} %",
+    ]
+    if result.interrupt_hz:
+        lines.append(f"interrupts : {result.interrupt_hz:8.0f} Hz/guest")
+    lines.append("CPU (xentop convention, 100% = one thread):")
+    for account, percent in sorted(result.cpu.items()):
+        lines.append(f"  {account:8s}: {percent:7.2f} %")
+    lines.append(f"  {'total':8s}: {result.total_cpu_percent:7.2f} %")
+    return "\n".join(lines)

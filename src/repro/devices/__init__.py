@@ -1,0 +1,32 @@
+"""Device models: the SR-IOV NIC, the VMDq NIC, and their internals.
+
+* :mod:`repro.devices.mailbox` — the PF<->VF mailbox + doorbell channel
+  (paper §4.2: how driver-to-driver communication avoids any
+  VMM-specific interface).
+* :mod:`repro.devices.l2switch` — the on-chip layer-2 switch that
+  classifies by MAC/VLAN and loops inter-VF traffic back internally
+  (paper §4.1, §6.3).
+* :mod:`repro.devices.igb82576` — the Intel 82576 Gigabit port model:
+  PF + up to 8 VFs, descriptor rings, MSI-X, interrupt throttling.
+* :mod:`repro.devices.ixgbe82598` — the Intel 82598 10 GbE model with 8
+  VMDq queue pairs (the Fig. 19 comparison).
+"""
+
+from repro.devices.igb82576 import Igb82576Port, VirtualFunction
+from repro.devices.ixgbe82598 import Ixgbe82598Port, VmdqQueuePair
+from repro.devices.ixgbe82599 import Ixgbe82599Port
+from repro.devices.l2switch import L2Switch, SwitchTarget
+from repro.devices.mailbox import Mailbox, MailboxError, MailboxMessage
+
+__all__ = [
+    "Igb82576Port",
+    "Ixgbe82598Port",
+    "Ixgbe82599Port",
+    "L2Switch",
+    "Mailbox",
+    "MailboxError",
+    "MailboxMessage",
+    "SwitchTarget",
+    "VirtualFunction",
+    "VmdqQueuePair",
+]

@@ -1,0 +1,132 @@
+"""The PF <-> VF mailbox and doorbell channel.
+
+Paper §4.2: "the communications between the VF and PF drivers depends on
+a private hardware-based channel ... The Intel 82576 implemented that
+type of hardware-based communication method with a simple mailbox and
+doorbell system.  The sender writes a message to the mailbox and then
+'rings the doorbell', which will interrupt and notify the receiver that
+a message is ready for consumption.  The receiver consumes the message
+and sets a bit in a shared register, indicating acknowledgment."
+
+This channel is the key to VMM portability: because requests like "add
+this multicast address" flow through *device registers*, neither driver
+ever calls a hypervisor-specific API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: The 82576 mailbox memory is 16 dwords per VF.
+MAILBOX_DWORDS = 16
+
+#: Control-register bits (modelled after the 82576 VMBX register).
+BIT_REQUEST = 1 << 0   # sender rang the doorbell
+BIT_ACK = 1 << 1       # receiver acknowledged
+BIT_BUSY = 1 << 2      # message buffer owned by sender
+
+
+class MailboxError(RuntimeError):
+    """Protocol violation: overlapping send, oversized message..."""
+
+
+@dataclass(frozen=True)
+class MailboxMessage:
+    """A typed message plus its raw dword payload."""
+
+    kind: str
+    payload: Tuple[int, ...] = ()
+    #: Arbitrary structured argument for convenience at the driver level.
+    body: Any = None
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAILBOX_DWORDS:
+            raise MailboxError(
+                f"message payload {len(self.payload)} dwords exceeds "
+                f"mailbox size {MAILBOX_DWORDS}"
+            )
+
+
+class _Endpoint:
+    """One side's view of the shared mailbox."""
+
+    def __init__(self) -> None:
+        self.control: int = 0
+        self.buffer: Optional[MailboxMessage] = None
+        self.on_doorbell: Optional[Callable[[MailboxMessage], None]] = None
+        self.sent = 0
+        self.received = 0
+
+
+class Mailbox:
+    """The bidirectional mailbox between one VF and its PF.
+
+    Each direction follows the same protocol: ``send`` latches the
+    message and rings the doorbell (interrupting the peer), the peer's
+    handler runs, and ``acknowledge`` releases the buffer.  A second send
+    before acknowledgment is a protocol violation, as on hardware.
+    """
+
+    PF = "pf"
+    VF = "vf"
+
+    def __init__(self, vf_index: int = 0):
+        self.vf_index = vf_index
+        self._ends: Dict[str, _Endpoint] = {self.PF: _Endpoint(), self.VF: _Endpoint()}
+
+    # ------------------------------------------------------------------
+    def connect(self, side: str, on_doorbell: Callable[[MailboxMessage], None]) -> None:
+        """Register ``side``'s doorbell interrupt handler."""
+        self._end(side).on_doorbell = on_doorbell
+
+    def send(self, sender: str, message: MailboxMessage) -> None:
+        """Write the message and ring the peer's doorbell."""
+        receiver = self._peer(sender)
+        peer = self._end(receiver)
+        if peer.control & BIT_REQUEST and not peer.control & BIT_ACK:
+            raise MailboxError(
+                f"{sender} mailbox busy: previous message not yet acknowledged"
+            )
+        peer.buffer = message
+        peer.control = BIT_REQUEST | BIT_BUSY
+        self._end(sender).sent += 1
+        if peer.on_doorbell is None:
+            raise MailboxError(f"{receiver} side has no doorbell handler connected")
+        peer.on_doorbell(message)
+
+    def read(self, side: str) -> MailboxMessage:
+        """Receiver consumes the message (without acknowledging yet)."""
+        end = self._end(side)
+        if end.buffer is None or not end.control & BIT_REQUEST:
+            raise MailboxError(f"no message pending for {side}")
+        end.received += 1
+        return end.buffer
+
+    def acknowledge(self, side: str) -> None:
+        """Receiver sets the ACK bit, releasing the channel."""
+        end = self._end(side)
+        if not end.control & BIT_REQUEST:
+            raise MailboxError(f"{side} acknowledging with no message pending")
+        end.control |= BIT_ACK
+        end.control &= ~BIT_BUSY
+        end.buffer = None
+
+    # ------------------------------------------------------------------
+    def pending(self, side: str) -> bool:
+        end = self._end(side)
+        return bool(end.control & BIT_REQUEST) and not bool(end.control & BIT_ACK)
+
+    def stats(self, side: str) -> Tuple[int, int]:
+        end = self._end(side)
+        return end.sent, end.received
+
+    # ------------------------------------------------------------------
+    def _end(self, side: str) -> _Endpoint:
+        if side not in self._ends:
+            raise MailboxError(f"unknown mailbox side {side!r}")
+        return self._ends[side]
+
+    def _peer(self, side: str) -> str:
+        self._end(side)
+        return self.VF if side == self.PF else self.PF

@@ -1,0 +1,55 @@
+"""Guest and host drivers.
+
+The software the paper actually shipped, re-expressed against the
+simulated hardware:
+
+* :mod:`repro.drivers.pf_igb` — the PF (igb) driver in the service OS:
+  enables VFs, programs the L2 switch, services mailbox requests,
+  broadcasts physical events (§4.1-4.2).
+* :mod:`repro.drivers.vf_igbvf` — the VF (igbvf) driver in the guest:
+  the performance-critical interrupt path the §5 optimizations target.
+* :mod:`repro.drivers.coalescing` — interrupt-throttle policies: fixed
+  rates, the IGB driver's dynamic mode, and the paper's adaptive
+  interrupt coalescing (AIC, §5.3).
+* :mod:`repro.drivers.napi` — budgeted polling (the NAPI discipline).
+* :mod:`repro.drivers.guest_app` — the netserver application model with
+  the finite socket buffer AIC is designed around.
+* :mod:`repro.drivers.netfront` / :mod:`repro.drivers.netback` — the
+  Xen PV split driver, including the multi-threaded backend enhancement
+  of §6.5.
+* :mod:`repro.drivers.vmdq` — the dom0 service path for VMDq queues
+  (§6.6).
+* :mod:`repro.drivers.bonding` — the Linux bonding driver DNIS uses to
+  switch between VF and PV NIC (§4.4).
+"""
+
+from repro.drivers.bonding import BondingDriver, SlaveDevice
+from repro.drivers.coalescing import (
+    AdaptiveCoalescing,
+    CoalescingPolicy,
+    DynamicItr,
+    FixedItr,
+)
+from repro.drivers.guest_app import NetserverApp
+from repro.drivers.napi import NapiContext
+from repro.drivers.netback import Netback
+from repro.drivers.netfront import Netfront
+from repro.drivers.pf_igb import PfDriver
+from repro.drivers.vf_igbvf import VfDriver
+from repro.drivers.vmdq import VmdqService
+
+__all__ = [
+    "AdaptiveCoalescing",
+    "BondingDriver",
+    "CoalescingPolicy",
+    "DynamicItr",
+    "FixedItr",
+    "NapiContext",
+    "Netback",
+    "Netfront",
+    "NetserverApp",
+    "PfDriver",
+    "SlaveDevice",
+    "VfDriver",
+    "VmdqService",
+]

@@ -1,0 +1,135 @@
+"""The Linux bonding driver, active-backup mode.
+
+DNIS's foundation (§4.4): "An OS bonding driver aggregates multiple
+underlying network interface drivers, and presents the OS network stack
+as a single logical network interface driver.  The OS bonding driver
+chooses one network interface driver to be activated, while leaving the
+rest to standby."  DNIS enslaves the VF driver and the PV NIC, keeps the
+VF active for performance, and fails over to the PV NIC at migration
+time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.packet import Packet
+
+
+class SlaveDevice(ABC):
+    """What the bond needs from an enslaved interface."""
+
+    @property
+    @abstractmethod
+    def slave_name(self) -> str:
+        """Interface name (e.g. ``eth0``, ``vf0``)."""
+
+    @property
+    @abstractmethod
+    def carrier(self) -> bool:
+        """Link state; the bond will not activate a downed slave."""
+
+    @abstractmethod
+    def transmit(self, burst: List[Packet]) -> int:
+        """Send a burst; returns packets accepted."""
+
+
+@dataclass
+class FailoverRecord:
+    """One activation change, for the migration timeline."""
+
+    time: float
+    from_slave: Optional[str]
+    to_slave: Optional[str]
+
+
+class BondingDriver:
+    """An active-backup bond of slave devices."""
+
+    def __init__(self, sim, name: str = "bond0"):
+        self.sim = sim
+        self.name = name
+        self._slaves: Dict[str, SlaveDevice] = {}
+        self._active: Optional[str] = None
+        self.failovers: List[FailoverRecord] = []
+        self.tx_packets = 0
+        self.tx_dropped = 0
+
+    # ------------------------------------------------------------------
+    # enslavement
+    # ------------------------------------------------------------------
+    def enslave(self, device: SlaveDevice) -> None:
+        name = device.slave_name
+        if name in self._slaves:
+            raise ValueError(f"slave {name!r} already enslaved")
+        self._slaves[name] = device
+        if self._active is None and device.carrier:
+            self._activate(name)
+
+    def release(self, slave_name: str) -> None:
+        """Remove a slave (hot-unplug).  If it was active, fail over to
+        any carrier-up standby."""
+        if slave_name not in self._slaves:
+            raise ValueError(f"no slave {slave_name!r}")
+        del self._slaves[slave_name]
+        if self._active == slave_name:
+            self._active = None
+            self.failovers.append(FailoverRecord(self.sim.now, slave_name, None))
+            self._failover_to_any()
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    @property
+    def active_slave(self) -> Optional[str]:
+        return self._active
+
+    def set_active(self, slave_name: str) -> None:
+        if slave_name not in self._slaves:
+            raise ValueError(f"no slave {slave_name!r}")
+        if not self._slaves[slave_name].carrier:
+            raise RuntimeError(f"slave {slave_name!r} has no carrier")
+        if slave_name != self._active:
+            self._activate(slave_name)
+
+    def carrier_changed(self, slave_name: str) -> None:
+        """MII-monitor notification: re-evaluate the active slave."""
+        if slave_name not in self._slaves:
+            return
+        device = self._slaves[slave_name]
+        if self._active == slave_name and not device.carrier:
+            self._active = None
+            self.failovers.append(FailoverRecord(self.sim.now, slave_name, None))
+            self._failover_to_any()
+        elif self._active is None and device.carrier:
+            self._activate(slave_name)
+
+    def _failover_to_any(self) -> None:
+        for name, device in self._slaves.items():
+            if device.carrier:
+                self._activate(name)
+                return
+
+    def _activate(self, slave_name: str) -> None:
+        previous = self._active
+        self._active = slave_name
+        self.failovers.append(FailoverRecord(self.sim.now, previous, slave_name))
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def transmit(self, burst: List[Packet]) -> int:
+        """Send through the active slave; drops when none is active —
+        the packet loss window during a DNIS interface switch."""
+        if self._active is None:
+            self.tx_dropped += len(burst)
+            return 0
+        sent = self._slaves[self._active].transmit(burst)
+        self.tx_packets += sent
+        self.tx_dropped += len(burst) - sent
+        return sent
+
+    def slaves(self) -> List[str]:
+        return list(self._slaves)

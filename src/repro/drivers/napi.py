@@ -1,0 +1,46 @@
+"""NAPI: budgeted interrupt-to-poll processing.
+
+Linux's NAPI discipline (the paper's [27]) bounds how much RX work one
+softirq invocation does: the driver polls its ring in ``budget``-sized
+chunks, re-queuing itself while packets remain.  We keep the discipline
+(it shapes burst delivery into the socket buffer) and its statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.dma import Descriptor, DescriptorRing
+
+#: Linux's default NAPI budget.
+DEFAULT_BUDGET = 64
+
+
+class NapiContext:
+    """Per-interface NAPI state and statistics."""
+
+    def __init__(self, budget: int = DEFAULT_BUDGET):
+        if budget <= 0:
+            raise ValueError("NAPI budget must be positive")
+        self.budget = budget
+        self.polls = 0
+        self.packets = 0
+        self.exhausted_polls = 0  # polls that used the whole budget
+
+    def poll(self, ring: DescriptorRing) -> List[Descriptor]:
+        """One poll invocation: reap at most ``budget`` descriptors."""
+        reaped = ring.reap(limit=self.budget)
+        self.polls += 1
+        self.packets += len(reaped)
+        if len(reaped) == self.budget:
+            self.exhausted_polls += 1
+        return reaped
+
+    def poll_all(self, ring: DescriptorRing) -> List[Descriptor]:
+        """Poll until the ring is clean (the softirq re-queue loop)."""
+        collected: List[Descriptor] = []
+        while True:
+            chunk = self.poll(ring)
+            collected.extend(chunk)
+            if len(chunk) < self.budget:
+                return collected

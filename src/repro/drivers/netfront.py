@@ -1,0 +1,73 @@
+"""Netfront: the guest half of the Xen PV split driver.
+
+The "software emulated NIC" of the paper: hardware-neutral (which is why
+DNIS can always fail over to it for migration, §4.4) but every packet
+arrives via a dom0 copy and an event-channel notification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.drivers.guest_app import NetserverApp
+from repro.net.packet import Packet
+from repro.vmm.domain import Domain
+from repro.vmm.grant_table import GrantTable
+
+_frontend_ids = itertools.count()
+
+
+class Netfront:
+    """One guest's PV network frontend."""
+
+    def __init__(self, platform, domain: Domain,
+                 app: Optional[NetserverApp] = None, name: str = ""):
+        self.platform = platform
+        self.sim = platform.sim
+        self.costs = platform.costs
+        self.domain = domain
+        self.app = app or NetserverApp(platform.costs)
+        self.frontend_id = next(_frontend_ids)
+        self.name = name or f"vif{domain.id}.0"
+        self.grant_table = GrantTable(domain.id)
+        self.backend = None  # set by Netback.connect
+        self.mac = None  # assigned by the bridge / VMDq service
+        self.carrier_on = True
+        self.rx_packets = 0
+        self.notifications = 0
+        # The event channel netback signals us on.
+        if hasattr(platform, "event_channels"):
+            self.event_port = platform.event_channels.bind(self._upcall)
+        else:
+            self.event_port = None
+
+    # ------------------------------------------------------------------
+    def receive_burst(self, burst: List[Packet]) -> None:
+        """Called by netback once the copy into our pages completed."""
+        if not self.carrier_on:
+            return
+        # The event-channel upcall that tells us data landed.
+        if self.event_port is not None:
+            self.platform.event_channels.notify(self.event_port)
+        self.domain.charge_hypervisor(self.costs.event_channel_notify_cycles)
+        self.domain.charge_guest(self.costs.guest_cycles_per_interrupt)
+        cycles = self.costs.netfront_cycles_per_packet
+        if self.domain.is_pvm:
+            cycles += self.costs.pvm_syscall_surcharge_per_packet
+        # The copy path is flow-controlled by the shared ring, so the
+        # per-interrupt socket cap of the VF path does not apply.
+        accepted, _ = self.app.deliver(burst, self.sim.now, capped=False)
+        self.domain.charge_guest(cycles * accepted)
+        self.rx_packets += accepted
+
+    def _upcall(self, port: int) -> None:
+        self.notifications += 1
+
+    # ------------------------------------------------------------------
+    def set_carrier(self, on: bool) -> None:
+        """Link state as the bonding driver sees it."""
+        self.carrier_on = on
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Netfront {self.name} domain={self.domain.name}>"

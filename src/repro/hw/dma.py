@@ -1,0 +1,145 @@
+"""DMA descriptor rings, as both the driver and the NIC see them.
+
+A VF's "performance critical resources" are exactly these rings (paper
+§4.1): the driver posts buffer addresses and advances the *tail*; the
+device fills buffers, writes back completion status and advances the
+*head*.  Because addresses in the ring are guest-physical, every device
+access goes through the IOMMU (that is what makes direct assignment
+safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.packet import Packet
+
+
+class RingFullError(RuntimeError):
+    """Driver tried to post into a ring with no free descriptors."""
+
+
+@dataclass
+class Descriptor:
+    """One ring slot: a buffer address plus completion status."""
+
+    buffer_addr: int = 0
+    buffer_len: int = 0
+    #: Device "descriptor done" writeback.
+    done: bool = False
+    #: The packet the device placed (RX) or the driver posted (TX).
+    packet: Optional[Packet] = None
+
+
+class DescriptorRing:
+    """A circular descriptor queue with head/tail semantics.
+
+    Convention (Intel NICs): slots in ``[head, tail)`` belong to the
+    *device*; the entry at ``tail`` is where software posts next.  The
+    ring is full when advancing tail would make it collide with head —
+    one slot is always left unused, as on real hardware.
+    """
+
+    def __init__(self, size: int, name: str = ""):
+        if size < 2 or size & (size - 1):
+            raise ValueError("ring size must be a power of two >= 2")
+        self.size = size
+        self.name = name
+        self.slots = [Descriptor() for _ in range(size)]
+        self.head = 0  # device-owned consumption point
+        self.tail = 0  # software production point
+        self.posted = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+    @property
+    def device_owned(self) -> int:
+        """Descriptors currently available to the device."""
+        return (self.tail - self.head) % self.size
+
+    @property
+    def free(self) -> int:
+        """Descriptors software may still post (one slot reserved)."""
+        return self.size - 1 - self.device_owned
+
+    @property
+    def empty(self) -> bool:
+        return self.head == self.tail
+
+    @property
+    def full(self) -> bool:
+        return self.free == 0
+
+    # ------------------------------------------------------------------
+    # software side
+    # ------------------------------------------------------------------
+    def post(self, buffer_addr: int, buffer_len: int,
+             packet: Optional[Packet] = None) -> int:
+        """Post one descriptor at tail; returns the slot index."""
+        if self.full:
+            raise RingFullError(f"ring {self.name!r} is full")
+        index = self.tail
+        slot = self.slots[index]
+        slot.buffer_addr = buffer_addr
+        slot.buffer_len = buffer_len
+        slot.done = False
+        slot.packet = packet
+        self.tail = (self.tail + 1) % self.size
+        self.posted += 1
+        return index
+
+    def reap(self, limit: Optional[int] = None) -> List[Descriptor]:
+        """Collect completed descriptors in order (driver cleanup path).
+
+        Walks from the oldest software-visible slot and stops at the first
+        descriptor the device has not written back yet.
+        """
+        reaped: List[Descriptor] = []
+        budget = self.size if limit is None else limit
+        index = self._clean_index()
+        while budget > 0:
+            slot = self.slots[index]
+            if not slot.done:
+                break
+            reaped.append(slot)
+            slot.done = False
+            self._advance_clean()
+            index = self._clean_index()
+            budget -= 1
+        return reaped
+
+    # ------------------------------------------------------------------
+    # device side
+    # ------------------------------------------------------------------
+    def consume(self, packet: Optional[Packet] = None) -> Optional[Descriptor]:
+        """Device takes the descriptor at head and completes it."""
+        if self.empty:
+            return None
+        slot = self.slots[self.head]
+        slot.done = True
+        if packet is not None:
+            slot.packet = packet
+        self.head = (self.head + 1) % self.size
+        self.completed += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # The driver's cleanup cursor trails the device's head.
+    # ------------------------------------------------------------------
+    def _clean_index(self) -> int:
+        return getattr(self, "_clean", 0) % self.size
+
+    def _advance_clean(self) -> None:
+        self._clean = (self._clean_index() + 1) % self.size
+
+    def reset(self) -> None:
+        """Device reset: everything returns to software, state cleared."""
+        self.head = 0
+        self.tail = 0
+        self._clean = 0
+        for slot in self.slots:
+            slot.done = False
+            slot.packet = None

@@ -1,0 +1,136 @@
+"""The local APIC interrupt state machine.
+
+Implements the IRR/ISR vector bookkeeping of an x86 local APIC: raising
+a vector sets it in the Interrupt Request Register; the CPU acknowledges
+the highest-priority requested vector, moving it to the In-Service
+Register; writing End-Of-Interrupt retires the highest in-service vector
+and allows the next to be dispatched (Intel SDM vol. 3, ch. 10 — the
+paper's reference [9]).
+
+This one state machine serves two masters:
+
+* the *physical* per-core APIC that receives MSI messages from the NIC;
+* the state behind the hypervisor's *virtual* LAPIC device model, whose
+  EOI-write emulation cost is the subject of §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: MMIO offsets within the 4 KiB APIC page (Intel SDM).
+APIC_OFFSET_ID = 0x020
+APIC_OFFSET_TPR = 0x080
+APIC_OFFSET_EOI = 0x0B0
+APIC_OFFSET_ISR_BASE = 0x100
+APIC_OFFSET_IRR_BASE = 0x200
+
+#: Vectors 0-31 are architecture-reserved exceptions.
+FIRST_USABLE_VECTOR = 32
+VECTOR_COUNT = 256
+
+
+class LapicError(RuntimeError):
+    """Raised on architecturally invalid LAPIC operations."""
+
+
+class Lapic:
+    """IRR/ISR state machine for one (possibly virtual) CPU."""
+
+    def __init__(self, apic_id: int = 0):
+        self.apic_id = apic_id
+        self._irr = [False] * VECTOR_COUNT
+        self._isr = [False] * VECTOR_COUNT
+        self.tpr = 0
+        #: Counts of spurious EOIs (EOI with nothing in service).
+        self.spurious_eois = 0
+
+    # ------------------------------------------------------------------
+    # request side
+    # ------------------------------------------------------------------
+    def fire(self, vector: int) -> None:
+        """Latch ``vector`` into the IRR (MSI delivery, IPI...)."""
+        self._check_vector(vector)
+        self._irr[vector] = True
+
+    def irr_contains(self, vector: int) -> bool:
+        self._check_vector(vector)
+        return self._irr[vector]
+
+    def isr_contains(self, vector: int) -> bool:
+        self._check_vector(vector)
+        return self._isr[vector]
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    @property
+    def highest_pending(self) -> Optional[int]:
+        """Highest-priority requested vector deliverable at current TPR."""
+        for vector in range(VECTOR_COUNT - 1, FIRST_USABLE_VECTOR - 1, -1):
+            if self._irr[vector]:
+                if (vector >> 4) <= (self.tpr >> 4):
+                    return None  # masked by task priority
+                return vector
+        return None
+
+    @property
+    def in_service(self) -> Optional[int]:
+        """Highest-priority vector currently being serviced."""
+        for vector in range(VECTOR_COUNT - 1, FIRST_USABLE_VECTOR - 1, -1):
+            if self._isr[vector]:
+                return vector
+        return None
+
+    @property
+    def interrupt_window_open(self) -> bool:
+        """True when a pending vector outranks everything in service."""
+        pending = self.highest_pending
+        if pending is None:
+            return False
+        servicing = self.in_service
+        return servicing is None or (pending >> 4) > (servicing >> 4)
+
+    def ack(self) -> int:
+        """CPU accepts the highest pending vector: IRR -> ISR."""
+        vector = self.highest_pending
+        if vector is None:
+            raise LapicError("INTA with no deliverable vector pending")
+        if not self.interrupt_window_open:
+            raise LapicError(f"vector {vector} does not outrank in-service")
+        self._irr[vector] = False
+        self._isr[vector] = True
+        return vector
+
+    def eoi(self) -> Optional[int]:
+        """Retire the highest in-service vector; returns it (or None).
+
+        A spurious EOI (nothing in service) is counted but harmless, as
+        on real hardware.
+        """
+        vector = self.in_service
+        if vector is None:
+            self.spurious_eois += 1
+            return None
+        self._isr[vector] = False
+        return vector
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_vectors(self) -> List[int]:
+        return [v for v in range(VECTOR_COUNT) if self._irr[v]]
+
+    def in_service_vectors(self) -> List[int]:
+        return [v for v in range(VECTOR_COUNT) if self._isr[v]]
+
+    def reset(self) -> None:
+        self._irr = [False] * VECTOR_COUNT
+        self._isr = [False] * VECTOR_COUNT
+        self.tpr = 0
+
+    @staticmethod
+    def _check_vector(vector: int) -> None:
+        if not FIRST_USABLE_VECTOR <= vector < VECTOR_COUNT:
+            raise LapicError(f"vector {vector} outside usable range "
+                             f"[{FIRST_USABLE_VECTOR}, {VECTOR_COUNT})")

@@ -1,0 +1,123 @@
+"""MSI / MSI-X interrupt capabilities.
+
+Message Signaled Interrupts replace wired interrupt pins with memory
+writes: the device posts ``data`` to ``address`` and the interrupt fabric
+turns that into a vector on a CPU.  MSI-X adds a per-vector table with
+individual mask bits and a Pending Bit Array (PBA): raising a masked
+vector sets its pending bit, and unmasking delivers it (PCIe spec §6.1).
+
+These mask/unmask registers are the villains of the paper's §5.1: Linux
+2.6.18 masks the vector on entry to every MSI handler and unmasks it on
+exit, and each of those MMIO writes trapped to the user-level device
+model — the overhead that optimization moves into the hypervisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class MsiMessage:
+    """The (address, data) pair a device posts to signal an interrupt."""
+
+    address: int
+    data: int
+
+    @property
+    def vector(self) -> int:
+        """x86 encodes the vector in the low byte of the data payload."""
+        return self.data & 0xFF
+
+
+class MsixTableEntry:
+    """One MSI-X table entry: message address/data plus a mask bit."""
+
+    __slots__ = ("message", "masked")
+
+    def __init__(self) -> None:
+        self.message: Optional[MsiMessage] = None
+        self.masked: bool = True  # spec: entries come up masked
+
+
+class MsixCapability:
+    """An MSI-X capability: vector table + pending bit array.
+
+    ``deliver`` is the interrupt fabric callback (ultimately the
+    hypervisor or a physical LAPIC).  Statistics count the mask/unmask
+    MMIO writes because the paper's Fig. 6 optimization is entirely about
+    who emulates them.
+    """
+
+    def __init__(self, table_size: int,
+                 deliver: Optional[Callable[[MsiMessage], None]] = None):
+        if not 1 <= table_size <= 2048:
+            raise ValueError("MSI-X table size must be in [1, 2048]")
+        self.table = [MsixTableEntry() for _ in range(table_size)]
+        self._pending = [False] * table_size
+        self._deliver = deliver
+        self.mask_writes = 0
+        self.unmask_writes = 0
+        self.interrupts_posted = 0
+
+    # ------------------------------------------------------------------
+    # software-facing (driver / emulator writes)
+    # ------------------------------------------------------------------
+    def configure(self, index: int, message: MsiMessage) -> None:
+        """Program a table entry's address/data."""
+        self._entry(index).message = message
+
+    def connect(self, deliver: Callable[[MsiMessage], None]) -> None:
+        self._deliver = deliver
+
+    def mask(self, index: int) -> None:
+        """Set the entry's mask bit (counted: this is a trapped MMIO)."""
+        self._entry(index).masked = True
+        self.mask_writes += 1
+
+    def unmask(self, index: int) -> None:
+        """Clear the mask bit; a pending interrupt fires immediately."""
+        entry = self._entry(index)
+        entry.masked = False
+        self.unmask_writes += 1
+        if self._pending[index]:
+            self._pending[index] = False
+            self._post(entry)
+
+    def is_masked(self, index: int) -> bool:
+        return self._entry(index).masked
+
+    def is_pending(self, index: int) -> bool:
+        self._entry(index)
+        return self._pending[index]
+
+    # ------------------------------------------------------------------
+    # device-facing
+    # ------------------------------------------------------------------
+    def raise_vector(self, index: int) -> bool:
+        """Device signals the vector.  Returns True if posted now,
+        False if latched into the PBA because the entry is masked."""
+        entry = self._entry(index)
+        if entry.masked:
+            self._pending[index] = True
+            return False
+        self._post(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    def pending_vectors(self) -> List[int]:
+        return [i for i, p in enumerate(self._pending) if p]
+
+    def _post(self, entry: MsixTableEntry) -> None:
+        if entry.message is None:
+            raise RuntimeError("MSI-X entry raised before being configured")
+        if self._deliver is None:
+            raise RuntimeError("MSI-X capability has no interrupt fabric")
+        self.interrupts_posted += 1
+        self._deliver(entry.message)
+
+    def _entry(self, index: int) -> MsixTableEntry:
+        if not 0 <= index < len(self.table):
+            raise IndexError(f"MSI-X vector index {index} out of range")
+        return self.table[index]

@@ -1,0 +1,52 @@
+"""PCI Express: configuration space, SR-IOV capability, topology, ACS.
+
+The SR-IOV specifics the paper's architecture leans on are modelled at
+register level:
+
+* :mod:`repro.hw.pcie.config_space` — the 4 KiB per-function space with
+  a standard header and capability lists.  VFs implement only a trimmed
+  subset and *do not answer vendor-ID probes*, which is why the IOVM has
+  to synthesize a full virtual config space (paper §4.1).
+* :mod:`repro.hw.pcie.sriov_cap` — the SR-IOV extended capability: VF
+  enable, NumVFs, First VF Offset / VF Stride and the RID arithmetic
+  that gives each VF its own requester ID.
+* :mod:`repro.hw.pcie.topology` — root complex, switches, downstream
+  ports and Access Control Services; peer-to-peer routing either goes
+  direct (the §4.3 security hole) or is redirected upstream through the
+  IOMMU.
+* :mod:`repro.hw.pcie.datapath` — a bandwidth-shared DMA path; its
+  finite throughput is what caps SR-IOV inter-VM traffic at 2.8 Gbps in
+  Fig. 13.
+"""
+
+from repro.hw.pcie.config_space import (
+    CAP_ID_MSIX,
+    ConfigSpace,
+    EXT_CAP_ID_SRIOV,
+)
+from repro.hw.pcie.datapath import PcieDataPath
+from repro.hw.pcie.sriov_cap import SriovCapability
+from repro.hw.pcie.topology import (
+    AcsViolation,
+    DownstreamPort,
+    PciFunction,
+    RootComplex,
+    Switch,
+    format_rid,
+    make_rid,
+)
+
+__all__ = [
+    "AcsViolation",
+    "CAP_ID_MSIX",
+    "ConfigSpace",
+    "DownstreamPort",
+    "EXT_CAP_ID_SRIOV",
+    "PciFunction",
+    "PcieDataPath",
+    "RootComplex",
+    "SriovCapability",
+    "Switch",
+    "format_rid",
+    "make_rid",
+]

@@ -1,0 +1,211 @@
+"""PCI configuration space.
+
+Each PCIe function owns 4 KiB of configuration space: a 64-byte standard
+header, a linked list of legacy capabilities below 0x100, and extended
+capabilities above.  The reproduction models it as a real byte array with
+register accessors, because the IOVM's job (paper §4.1) is precisely to
+*synthesize* one of these for each VF — VFs only implement a subset and
+"do not respond to an ordinary PCI bus scan".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+CONFIG_SPACE_SIZE = 4096
+LEGACY_CAP_BASE = 0x40
+EXTENDED_CAP_BASE = 0x100
+
+# Standard header offsets.
+OFF_VENDOR_ID = 0x00
+OFF_DEVICE_ID = 0x02
+OFF_COMMAND = 0x04
+OFF_STATUS = 0x06
+OFF_REVISION = 0x08
+OFF_CLASS_CODE = 0x09
+OFF_HEADER_TYPE = 0x0E
+OFF_BAR0 = 0x10
+OFF_SUBSYSTEM_VENDOR = 0x2C
+OFF_CAP_POINTER = 0x34
+OFF_INTERRUPT_LINE = 0x3C
+
+# Command register bits.
+CMD_MEMORY_ENABLE = 1 << 1
+CMD_BUS_MASTER_ENABLE = 1 << 2
+CMD_INTX_DISABLE = 1 << 10
+
+# Status register bits.
+STATUS_CAP_LIST = 1 << 4
+
+# Capability IDs.
+CAP_ID_POWER_MGMT = 0x01
+CAP_ID_MSI = 0x05
+CAP_ID_PCIE = 0x10
+CAP_ID_MSIX = 0x11
+
+# Extended capability IDs.
+EXT_CAP_ID_SRIOV = 0x0010
+EXT_CAP_ID_ACS = 0x000D
+
+#: Reads from nonexistent functions float high on PCI.
+INVALID_VENDOR_ID = 0xFFFF
+
+
+class ConfigSpace:
+    """A 4 KiB configuration space with capability-list management."""
+
+    def __init__(self, vendor_id: int, device_id: int, class_code: int = 0x020000):
+        self._bytes = bytearray(CONFIG_SPACE_SIZE)
+        self.write16(OFF_VENDOR_ID, vendor_id)
+        self.write16(OFF_DEVICE_ID, device_id)
+        self.write8(OFF_CLASS_CODE, class_code & 0xFF)
+        self.write16(OFF_CLASS_CODE + 1, (class_code >> 8) & 0xFFFF)
+        self._next_legacy = LEGACY_CAP_BASE
+        self._next_extended = EXTENDED_CAP_BASE
+        self._last_legacy: Optional[int] = None
+        self._last_extended: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+    def read8(self, offset: int) -> int:
+        self._check(offset, 1)
+        return self._bytes[offset]
+
+    def read16(self, offset: int) -> int:
+        self._check(offset, 2)
+        return int.from_bytes(self._bytes[offset:offset + 2], "little")
+
+    def read32(self, offset: int) -> int:
+        self._check(offset, 4)
+        return int.from_bytes(self._bytes[offset:offset + 4], "little")
+
+    def write8(self, offset: int, value: int) -> None:
+        self._check(offset, 1)
+        self._bytes[offset] = value & 0xFF
+
+    def write16(self, offset: int, value: int) -> None:
+        self._check(offset, 2)
+        self._bytes[offset:offset + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def write32(self, offset: int, value: int) -> None:
+        self._check(offset, 4)
+        self._bytes[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    # ------------------------------------------------------------------
+    # header conveniences
+    # ------------------------------------------------------------------
+    @property
+    def vendor_id(self) -> int:
+        return self.read16(OFF_VENDOR_ID)
+
+    @property
+    def device_id(self) -> int:
+        return self.read16(OFF_DEVICE_ID)
+
+    @property
+    def command(self) -> int:
+        return self.read16(OFF_COMMAND)
+
+    def enable_bus_master(self) -> None:
+        self.write16(OFF_COMMAND, self.command | CMD_BUS_MASTER_ENABLE)
+
+    def enable_memory(self) -> None:
+        self.write16(OFF_COMMAND, self.command | CMD_MEMORY_ENABLE)
+
+    @property
+    def bus_master_enabled(self) -> bool:
+        return bool(self.command & CMD_BUS_MASTER_ENABLE)
+
+    def set_bar(self, index: int, address: int) -> None:
+        if not 0 <= index < 6:
+            raise ValueError("BAR index must be 0-5")
+        self.write32(OFF_BAR0 + index * 4, address)
+
+    def bar(self, index: int) -> int:
+        if not 0 <= index < 6:
+            raise ValueError("BAR index must be 0-5")
+        return self.read32(OFF_BAR0 + index * 4)
+
+    # ------------------------------------------------------------------
+    # capability lists
+    # ------------------------------------------------------------------
+    def add_capability(self, cap_id: int, length: int) -> int:
+        """Append a legacy capability; returns its offset.
+
+        The capability's header (id, next pointer) is maintained here;
+        the body is the caller's to fill via the raw accessors.
+        """
+        if length < 2:
+            raise ValueError("capability must cover its own header")
+        offset = self._next_legacy
+        if offset + length > EXTENDED_CAP_BASE:
+            raise RuntimeError("legacy capability area exhausted")
+        self.write8(offset, cap_id)
+        self.write8(offset + 1, 0)  # next pointer, fixed up below
+        if self._last_legacy is None:
+            self.write8(OFF_CAP_POINTER, offset)
+            self.write16(OFF_STATUS, self.read16(OFF_STATUS) | STATUS_CAP_LIST)
+        else:
+            self.write8(self._last_legacy + 1, offset)
+        self._last_legacy = offset
+        self._next_legacy = offset + ((length + 3) & ~3)
+        return offset
+
+    def add_extended_capability(self, cap_id: int, length: int) -> int:
+        """Append an extended capability (above 0x100); returns offset."""
+        if length < 4:
+            raise ValueError("extended capability must cover its header")
+        offset = self._next_extended
+        if offset + length > CONFIG_SPACE_SIZE:
+            raise RuntimeError("extended capability area exhausted")
+        # Header: cap id (16) | version (4) | next offset (12).
+        self.write32(offset, (cap_id & 0xFFFF) | (1 << 16))
+        if self._last_extended is not None:
+            previous = self.read32(self._last_extended)
+            self.write32(self._last_extended,
+                         (previous & 0x000FFFFF) | (offset << 20))
+        self._last_extended = offset
+        self._next_extended = offset + ((length + 3) & ~3)
+        return offset
+
+    def capabilities(self) -> Iterator[Tuple[int, int]]:
+        """Yield (cap_id, offset) down the legacy capability chain."""
+        if not self.read16(OFF_STATUS) & STATUS_CAP_LIST:
+            return
+        offset = self.read8(OFF_CAP_POINTER)
+        seen = set()
+        while offset and offset not in seen:
+            seen.add(offset)
+            yield self.read8(offset), offset
+            offset = self.read8(offset + 1)
+
+    def extended_capabilities(self) -> Iterator[Tuple[int, int]]:
+        """Yield (cap_id, offset) down the extended capability chain."""
+        offset = EXTENDED_CAP_BASE
+        if self.read32(offset) == 0:
+            return
+        seen = set()
+        while offset and offset not in seen:
+            seen.add(offset)
+            header = self.read32(offset)
+            yield header & 0xFFFF, offset
+            offset = header >> 20
+
+    def find_capability(self, cap_id: int) -> Optional[int]:
+        for found_id, offset in self.capabilities():
+            if found_id == cap_id:
+                return offset
+        return None
+
+    def find_extended_capability(self, cap_id: int) -> Optional[int]:
+        for found_id, offset in self.extended_capabilities():
+            if found_id == cap_id:
+                return offset
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check(offset: int, width: int) -> None:
+        if offset < 0 or offset + width > CONFIG_SPACE_SIZE:
+            raise IndexError(f"config space access at {offset:#x}+{width} out of range")

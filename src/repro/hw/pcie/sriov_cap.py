@@ -1,0 +1,129 @@
+"""The SR-IOV extended capability.
+
+The capability lives in the PF's extended config space and is how system
+software sizes and enables virtual functions (PCI-SIG SR-IOV 1.1; paper
+§2).  The fields that matter to the architecture:
+
+* **TotalVFs** — hardware limit (the 82576 exposes 8 per port, of which
+  the paper enables 7 so the PF keeps a queue pair);
+* **NumVFs** — how many the PF driver asks for;
+* **VF Enable** — the control bit that makes VFs spring into existence;
+* **First VF Offset / VF Stride** — the routing-ID arithmetic: VF *i*
+  answers at ``PF_RID + offset + i × stride``, giving each VF the unique
+  requester ID the IOMMU keys on (paper §2: "A VF is associated with a
+  unique RID").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.pcie.config_space import ConfigSpace, EXT_CAP_ID_SRIOV
+
+#: Register offsets within the capability (SR-IOV spec layout).
+REG_CONTROL = 0x08
+REG_STATUS = 0x0A
+REG_INITIAL_VFS = 0x0C
+REG_TOTAL_VFS = 0x0E
+REG_NUM_VFS = 0x10
+REG_FIRST_VF_OFFSET = 0x14
+REG_VF_STRIDE = 0x16
+REG_VF_DEVICE_ID = 0x1A
+REG_SUPPORTED_PAGE_SIZES = 0x1C
+REG_SYSTEM_PAGE_SIZE = 0x20
+CAPABILITY_LENGTH = 0x40
+
+#: Control register bits.
+CTRL_VF_ENABLE = 1 << 0
+CTRL_VF_MSE = 1 << 3  # VF memory space enable
+
+
+class SriovCapability:
+    """Accessor for an SR-IOV extended capability within a config space."""
+
+    def __init__(
+        self,
+        config: ConfigSpace,
+        total_vfs: int,
+        vf_device_id: int,
+        first_vf_offset: int = 0x80,
+        vf_stride: int = 2,
+    ):
+        if total_vfs <= 0:
+            raise ValueError("total_vfs must be positive")
+        if vf_stride <= 0:
+            raise ValueError("vf_stride must be positive")
+        self.config = config
+        self.offset = config.add_extended_capability(EXT_CAP_ID_SRIOV,
+                                                     CAPABILITY_LENGTH)
+        config.write16(self.offset + REG_INITIAL_VFS, total_vfs)
+        config.write16(self.offset + REG_TOTAL_VFS, total_vfs)
+        config.write16(self.offset + REG_FIRST_VF_OFFSET, first_vf_offset)
+        config.write16(self.offset + REG_VF_STRIDE, vf_stride)
+        config.write16(self.offset + REG_VF_DEVICE_ID, vf_device_id)
+        config.write32(self.offset + REG_SUPPORTED_PAGE_SIZES, 0x1)  # 4 KiB
+        config.write32(self.offset + REG_SYSTEM_PAGE_SIZE, 0x1)
+
+    # ------------------------------------------------------------------
+    # fields
+    # ------------------------------------------------------------------
+    @property
+    def total_vfs(self) -> int:
+        return self.config.read16(self.offset + REG_TOTAL_VFS)
+
+    @property
+    def num_vfs(self) -> int:
+        return self.config.read16(self.offset + REG_NUM_VFS)
+
+    @num_vfs.setter
+    def num_vfs(self, count: int) -> None:
+        if self.vf_enabled:
+            raise RuntimeError("NumVFs is read-only while VF Enable is set")
+        if not 0 <= count <= self.total_vfs:
+            raise ValueError(f"NumVFs {count} exceeds TotalVFs {self.total_vfs}")
+        self.config.write16(self.offset + REG_NUM_VFS, count)
+
+    @property
+    def first_vf_offset(self) -> int:
+        return self.config.read16(self.offset + REG_FIRST_VF_OFFSET)
+
+    @property
+    def vf_stride(self) -> int:
+        return self.config.read16(self.offset + REG_VF_STRIDE)
+
+    @property
+    def vf_device_id(self) -> int:
+        return self.config.read16(self.offset + REG_VF_DEVICE_ID)
+
+    # ------------------------------------------------------------------
+    # VF enable
+    # ------------------------------------------------------------------
+    @property
+    def vf_enabled(self) -> bool:
+        return bool(self.config.read16(self.offset + REG_CONTROL) & CTRL_VF_ENABLE)
+
+    def enable_vfs(self) -> None:
+        """Set VF Enable; NumVFs must have been programmed first."""
+        if self.num_vfs == 0:
+            raise RuntimeError("cannot enable zero VFs")
+        control = self.config.read16(self.offset + REG_CONTROL)
+        self.config.write16(self.offset + REG_CONTROL,
+                            control | CTRL_VF_ENABLE | CTRL_VF_MSE)
+
+    def disable_vfs(self) -> None:
+        control = self.config.read16(self.offset + REG_CONTROL)
+        self.config.write16(self.offset + REG_CONTROL,
+                            control & ~(CTRL_VF_ENABLE | CTRL_VF_MSE))
+
+    # ------------------------------------------------------------------
+    # RID arithmetic
+    # ------------------------------------------------------------------
+    def vf_rid(self, pf_rid: int, index: int) -> int:
+        """Requester ID of VF ``index`` (0-based) under the given PF."""
+        if not 0 <= index < self.total_vfs:
+            raise IndexError(f"VF index {index} out of range")
+        return pf_rid + self.first_vf_offset + index * self.vf_stride
+
+    def vf_rids(self, pf_rid: int) -> List[int]:
+        """Requester IDs of all currently enabled VFs."""
+        return [self.vf_rid(pf_rid, i) for i in range(self.num_vfs)]

@@ -1,0 +1,130 @@
+"""Named MMIO register files with write side effects.
+
+Device behaviour in this reproduction is ultimately driven through
+registers, the way real drivers drive real silicon: the PF driver
+programs receive-address registers to steer the L2 switch, the VF
+driver programs its interrupt-throttle register, a device reset is a
+bit in a control register.  :class:`RegisterFile` provides the plumbing:
+32-bit registers at fixed offsets, reset values, read-only enforcement,
+and per-register write hooks that connect bits to behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+
+class RegisterError(RuntimeError):
+    """Bad register access: unknown offset, write to read-only..."""
+
+
+@dataclass
+class Register:
+    """One 32-bit register definition."""
+
+    name: str
+    offset: int
+    reset_value: int = 0
+    read_only: bool = False
+    #: Called as hook(old_value, new_value) after a write lands.
+    on_write: Optional[Callable[[int, int], None]] = None
+    #: Called before a read; returns the value to present (dynamic
+    #: status registers) or None to use the stored value.
+    on_read: Optional[Callable[[], Optional[int]]] = None
+
+
+class RegisterFile:
+    """A sparse 32-bit MMIO register space."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._by_offset: Dict[int, Register] = {}
+        self._by_name: Dict[str, Register] = {}
+        self._values: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # definition
+    # ------------------------------------------------------------------
+    def define(self, name: str, offset: int, reset_value: int = 0,
+               read_only: bool = False,
+               on_write: Optional[Callable[[int, int], None]] = None,
+               on_read: Optional[Callable[[], Optional[int]]] = None) -> Register:
+        if offset % 4:
+            raise RegisterError(f"register {name!r} offset {offset:#x} "
+                                "not dword aligned")
+        if offset in self._by_offset:
+            raise RegisterError(f"offset {offset:#x} already defined "
+                                f"({self._by_offset[offset].name})")
+        if name in self._by_name:
+            raise RegisterError(f"register name {name!r} already defined")
+        register = Register(name, offset, reset_value, read_only,
+                            on_write, on_read)
+        self._by_offset[offset] = register
+        self._by_name[name] = register
+        self._values[offset] = reset_value & 0xFFFFFFFF
+        return register
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def read(self, offset: int) -> int:
+        register = self._require(offset)
+        self.reads += 1
+        if register.on_read is not None:
+            dynamic = register.on_read()
+            if dynamic is not None:
+                self._values[offset] = dynamic & 0xFFFFFFFF
+        return self._values[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        register = self._require(offset)
+        if register.read_only:
+            raise RegisterError(f"register {register.name} is read-only")
+        self.writes += 1
+        old = self._values[offset]
+        self._values[offset] = value & 0xFFFFFFFF
+        if register.on_write is not None:
+            register.on_write(old, value & 0xFFFFFFFF)
+
+    def read_by_name(self, name: str) -> int:
+        return self.read(self._named(name).offset)
+
+    def write_by_name(self, name: str, value: int) -> None:
+        self.write(self._named(name).offset, value)
+
+    def poke(self, name: str, value: int) -> None:
+        """Hardware-side update (bypasses read-only and hooks)."""
+        register = self._named(name)
+        self._values[register.offset] = value & 0xFFFFFFFF
+
+    def peek(self, name: str) -> int:
+        """Hardware-side read (no hooks, no statistics)."""
+        return self._values[self._named(name).offset]
+
+    def reset(self) -> None:
+        """Device reset: all registers to their reset values."""
+        for offset, register in self._by_offset.items():
+            self._values[offset] = register.reset_value & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    def registers(self) -> Iterator[Tuple[str, int, int]]:
+        """(name, offset, current value) in offset order."""
+        for offset in sorted(self._by_offset):
+            register = self._by_offset[offset]
+            yield register.name, offset, self._values[offset]
+
+    def _require(self, offset: int) -> Register:
+        register = self._by_offset.get(offset)
+        if register is None:
+            raise RegisterError(
+                f"{self.name}: access to undefined register {offset:#x}")
+        return register
+
+    def _named(self, name: str) -> Register:
+        register = self._by_name.get(name)
+        if register is None:
+            raise RegisterError(f"{self.name}: no register named {name!r}")
+        return register

@@ -1,0 +1,31 @@
+"""Live migration: pre-copy, DNIS, and service timelines (§4.4, §6.7).
+
+* :mod:`repro.migration.precopy` — the iterative pre-copy model: round
+  durations, the stop-and-copy blackout, total migration time.
+* :mod:`repro.migration.dnis` — the paper's Dynamic Network Interface
+  Switching: a bond of (VF driver, PV NIC) plus the virtual-hot-plug
+  choreography that ejects the VF before migration and restores it
+  after.
+* :mod:`repro.migration.manager` — the migration manager process that
+  drives either a plain PV migration (Fig. 20) or a DNIS migration
+  (Fig. 21) against live traffic.
+* :mod:`repro.migration.timeline` — periodic samplers and downtime
+  extraction for the Figs. 20-21 timelines.
+"""
+
+from repro.migration.dnis import DnisGuest, PvSlave, VfSlave
+from repro.migration.manager import MigrationManager, MigrationReport
+from repro.migration.precopy import PrecopyConfig, PrecopyModel
+from repro.migration.timeline import Sampler, downtime_windows
+
+__all__ = [
+    "DnisGuest",
+    "MigrationManager",
+    "MigrationReport",
+    "PrecopyConfig",
+    "PrecopyModel",
+    "PvSlave",
+    "Sampler",
+    "VfSlave",
+    "downtime_windows",
+]

@@ -1,0 +1,165 @@
+"""Dynamic Network Interface Switching (DNIS), §4.4.
+
+The guest-side machinery: a bonding driver aggregating the VF driver
+(active, for performance) with the PV NIC (standby, hardware-neutral).
+On a virtual hot-removal event the guest shuts the VF driver down and
+the bond fails over to the PV NIC; after migration, a virtual hot-add
+restores the VF and the bond switches back.
+
+The interface switch itself costs ~0.6 s of packet loss ("the DNIS
+incurs ... an additional 0.6 s service shutdown time at very beginning
+of migration, due to packet loss at interface switch time", §6.7):
+until the switch's MAC table and the bond settle, inbound packets have
+no delivery path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.drivers.bonding import BondingDriver, SlaveDevice
+from repro.drivers.netfront import Netfront
+from repro.drivers.vf_igbvf import VfDriver
+from repro.net.packet import Packet
+from repro.vmm.domain import Domain
+from repro.vmm.hotplug import HotplugController
+
+#: Inbound packet-loss window while the interface switch settles (§6.7).
+DEFAULT_SWITCH_OUTAGE = 0.6
+
+
+class VfSlave(SlaveDevice):
+    """The bond's view of the VF driver."""
+
+    def __init__(self, driver: VfDriver, name: str = "vf0"):
+        self.driver = driver
+        self._name = name
+
+    @property
+    def slave_name(self) -> str:
+        return self._name
+
+    @property
+    def carrier(self) -> bool:
+        # Up only when the driver is bound AND the PF reports link-up
+        # (the §4.2 link_change event feeds the bond's MII monitor).
+        return self.driver.running and self.driver.carrier
+
+    def transmit(self, burst: List[Packet]) -> int:
+        return self.driver.transmit(burst)
+
+
+class PvSlave(SlaveDevice):
+    """The bond's view of the PV NIC."""
+
+    def __init__(self, netfront: Netfront, name: str = "eth0"):
+        self.netfront = netfront
+        self._name = name
+
+    @property
+    def slave_name(self) -> str:
+        return self._name
+
+    @property
+    def carrier(self) -> bool:
+        return self.netfront.carrier_on
+
+    def transmit(self, burst: List[Packet]) -> int:
+        # TX through the PV path is flow-controlled by the shared ring;
+        # the backend accepts the burst for copy-out.
+        return len(burst)
+
+
+class DnisGuest:
+    """One guest running the DNIS configuration.
+
+    Owns the bond, the two slaves, and the guest's ACPI hot-plug
+    handler.  :meth:`wire_sink` is the ingress the client stream feeds:
+    it dispatches to whichever interface currently carries the service,
+    dropping packets during the switch window and the blackout — which
+    is exactly what the Figs. 20-21 timelines measure.
+    """
+
+    def __init__(self, platform, domain: Domain, vf_driver: VfDriver,
+                 netfront: Netfront, hotplug: HotplugController,
+                 switch_outage: float = DEFAULT_SWITCH_OUTAGE):
+        self.platform = platform
+        self.sim = platform.sim
+        self.domain = domain
+        self.vf_driver = vf_driver
+        self.netfront = netfront
+        self.hotplug = hotplug
+        self.switch_outage = switch_outage
+        self.bond = BondingDriver(self.sim, name=f"bond-{domain.name}")
+        self.vf_slave = VfSlave(vf_driver)
+        self.pv_slave = PvSlave(netfront)
+        self.bond.enslave(self.vf_slave)
+        self.bond.enslave(self.pv_slave)
+        self.bond.set_active(self.vf_slave.slave_name)
+        hotplug.register_guest(domain, self._acpi_event)
+        self._switching_until: float = -1.0
+        self.dropped_at_switch = 0
+        self.dropped_in_blackout = 0
+
+    # ------------------------------------------------------------------
+    # ingress dispatch
+    # ------------------------------------------------------------------
+    def wire_sink(self, burst: List[Packet]) -> None:
+        """Client traffic arrives; deliver via the active interface."""
+        if self.sim.now < self._switching_until:
+            self.dropped_at_switch += len(burst)
+            return
+        active = self.bond.active_slave
+        if active == self.vf_slave.slave_name and self.vf_driver.running:
+            self.vf_driver.vf.port.wire_receive(burst)
+        elif active == self.pv_slave.slave_name and self.netfront.carrier_on:
+            backend = self.netfront.backend
+            if backend is not None:
+                backend.deliver(self.netfront, burst)
+            else:
+                self.dropped_in_blackout += len(burst)
+        else:
+            self.dropped_in_blackout += len(burst)
+
+    # ------------------------------------------------------------------
+    # the ACPI choreography
+    # ------------------------------------------------------------------
+    def _acpi_event(self, kind: str, device) -> None:
+        if kind == "remove":
+            # Guest OS response to virtual hot removal: shut the VF
+            # driver down, let the bond fail over to the PV NIC.
+            self._switching_until = self.sim.now + self.switch_outage
+            self.vf_driver.stop()
+            self.bond.carrier_changed(self.vf_slave.slave_name)
+        elif kind == "add":
+            # VF present at the target: bring the driver back and make
+            # it the active slave again.  §4.4's "mobile pass-through":
+            # "the VF hardware in the target platform may or may not be
+            # identical to that in the source platform" — a different
+            # VF arriving with the hot-add event gets a fresh driver
+            # instance bound to it.
+            from repro.devices.igb82576 import VirtualFunction
+            if (isinstance(device, VirtualFunction)
+                    and device is not self.vf_driver.vf):
+                self._adopt_new_vf(device)
+            else:
+                self.vf_driver.start()
+            self.bond.carrier_changed(self.vf_slave.slave_name)
+            self.bond.set_active(self.vf_slave.slave_name)
+
+    def _adopt_new_vf(self, vf) -> None:
+        """Bind a fresh VF-driver instance to the target platform's VF,
+        keeping the application and coalescing policy."""
+        slave_name = self.vf_slave.slave_name
+        self.bond.release(slave_name)
+        self.vf_driver = VfDriver(self.platform, self.domain, vf,
+                                  self.vf_driver.policy,
+                                  self.vf_driver.app)
+        self.vf_driver.start()
+        self.vf_slave = VfSlave(self.vf_driver, slave_name)
+        self.bond.enslave(self.vf_slave)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_path(self) -> Optional[str]:
+        return self.bond.active_slave

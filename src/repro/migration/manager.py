@@ -1,0 +1,176 @@
+"""The migration manager: drives Figs. 20-21 against live traffic.
+
+Two flows, per §4.4 and §6.7:
+
+* **Plain PV migration** (Fig. 20): the guest's only NIC is the PV
+  frontend (hardware-neutral), so migration is pre-copy rounds followed
+  by the stop-and-copy blackout.
+* **DNIS migration** (Fig. 21): first the virtual hot-removal of the VF
+  (bond fails over to the PV NIC, costing the ~0.6 s switch outage),
+  then "the migration manager starts the 'real' VM migration process,
+  as if the guest was never equipped with the VF hardware", and finally
+  a virtual hot-add restores VF performance at the target.
+
+dom0 is charged the migration data-moving cost in 100 ms slices so the
+CPU timelines show the pre-copy load, as the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.drivers.netfront import Netfront
+from repro.migration.dnis import DnisGuest
+from repro.migration.precopy import PrecopyConfig, PrecopyModel
+from repro.sim.process import Condition, Process
+from repro.vmm.hotplug import HotplugController
+
+#: Slice width for charging migration CPU to dom0.
+CPU_SLICE = 0.1
+
+
+@dataclass
+class MigrationReport:
+    """Timestamps and events of one migration."""
+
+    started_at: float = 0.0
+    switch_completed_at: Optional[float] = None  # DNIS only
+    round_durations: List[float] = field(default_factory=list)
+    blackout_start: float = 0.0
+    blackout_end: float = 0.0
+    completed_at: float = 0.0
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def mark(self, time: float, event: str) -> None:
+        self.events.append((time, event))
+
+    @property
+    def downtime(self) -> float:
+        return self.blackout_end - self.blackout_start
+
+    @property
+    def total_time(self) -> float:
+        return self.completed_at - self.started_at
+
+
+class MigrationManager:
+    """Orchestrates live migrations on a testbed platform."""
+
+    def __init__(self, platform, hotplug: HotplugController,
+                 config: Optional[PrecopyConfig] = None):
+        self.platform = platform
+        self.sim = platform.sim
+        self.hotplug = hotplug
+        self.config = (config or PrecopyConfig()).validate()
+        self.model = PrecopyModel(self.config)
+
+    # ------------------------------------------------------------------
+    def migrate_pv(self, netfront: Netfront,
+                   start_at: float) -> Tuple[Process, MigrationReport]:
+        """Migrate a guest whose service rides the PV NIC (Fig. 20)."""
+        report = MigrationReport()
+        process = Process(self.sim, self._pv_flow(netfront, start_at, report),
+                          name=f"migrate-{netfront.domain.name}")
+        return process, report
+
+    def migrate_dnis(self, guest: DnisGuest,
+                     start_at: float) -> Tuple[Process, MigrationReport]:
+        """Migrate a guest running DNIS over a VF (Fig. 21)."""
+        report = MigrationReport()
+        process = Process(self.sim, self._dnis_flow(guest, start_at, report),
+                          name=f"migrate-{guest.domain.name}")
+        return process, report
+
+    # ------------------------------------------------------------------
+    def abort(self, process: Process, report: MigrationReport,
+              netfront: Netfront,
+              dnis_guest: Optional[DnisGuest] = None) -> None:
+        """Cancel an in-flight migration.
+
+        Pre-copy work already done is discarded; the service must end up
+        fully available at the *source*: carrier restored, and — for a
+        DNIS guest whose VF was already ejected — the VF hot-added back.
+        Aborting after the blackout began is refused (the stop-and-copy
+        point is the commit point, as in real Xen).
+        """
+        if not process.alive:
+            raise RuntimeError("migration already completed")
+        if report.blackout_start and self.sim.now >= report.blackout_start:
+            raise RuntimeError("cannot abort after stop-and-copy began")
+        process.interrupt("aborted")
+        netfront.set_carrier(True)
+        report.mark(self.sim.now, "aborted")
+        if dnis_guest is not None and not dnis_guest.vf_driver.running:
+            self.hotplug.hot_add(dnis_guest.domain, "vf")
+
+    # ------------------------------------------------------------------
+    def _pv_flow(self, netfront: Netfront, start_at: float,
+                 report: MigrationReport):
+        yield max(0.0, start_at - self.sim.now)
+        report.started_at = self.sim.now
+        report.mark(self.sim.now, "migration-start")
+        yield from self._precopy_rounds(report)
+        yield from self._blackout(report, netfront)
+        report.completed_at = self.sim.now
+        report.mark(self.sim.now, "migration-complete")
+
+    def _dnis_flow(self, guest: DnisGuest, start_at: float,
+                   report: MigrationReport):
+        yield max(0.0, start_at - self.sim.now)
+        report.started_at = self.sim.now
+        report.mark(self.sim.now, "migration-start")
+        # Step 1: virtual hot removal of the VF; the bond fails over to
+        # the PV NIC (the guest handles the ACPI event).
+        removed = Condition(self.sim)
+        self.hotplug.request_removal(guest.domain, "vf", removed.succeed)
+        yield removed
+        # Wait out the interface-switch packet-loss window too, so the
+        # "real" migration starts with the service restored on PV.
+        yield guest.switch_outage
+        report.switch_completed_at = self.sim.now
+        report.mark(self.sim.now, "interface-switched-to-pv")
+        # Step 2: the real migration, as if there were never a VF.
+        yield from self._precopy_rounds(report)
+        yield from self._blackout(report, guest.netfront)
+        # Step 3: virtual hot add at the target restores the VF path.
+        added = Condition(self.sim)
+        self.hotplug.hot_add(guest.domain, "vf", added.succeed)
+        yield added
+        report.completed_at = self.sim.now
+        report.mark(self.sim.now, "vf-restored-at-target")
+
+    # ------------------------------------------------------------------
+    def _precopy_rounds(self, report: MigrationReport):
+        """Live rounds: service stays up; dom0 pays the copy CPU."""
+        for round_index, (duration, bytes_) in enumerate(
+                zip(self.model.round_durations(), self.model.round_bytes())):
+            report.round_durations.append(duration)
+            report.mark(self.sim.now, f"precopy-round-{round_index}")
+            cycles_total = bytes_ * self.config.cpu_cycles_per_byte
+            remaining = duration
+            while remaining > 0:
+                slice_ = min(CPU_SLICE, remaining)
+                self._charge_dom0(cycles_total * slice_ / duration)
+                yield slice_
+                remaining -= slice_
+
+    def _blackout(self, report: MigrationReport, netfront: Netfront):
+        """Stop-and-copy: the VM is paused; service is down."""
+        report.blackout_start = self.sim.now
+        report.mark(self.sim.now, "stop-and-copy")
+        netfront.set_carrier(False)
+        final_cycles = (self.model.final_dirty_bytes()
+                        * self.config.cpu_cycles_per_byte)
+        self._charge_dom0(final_cycles)
+        yield self.model.downtime
+        netfront.set_carrier(True)
+        report.blackout_end = self.sim.now
+        report.mark(self.sim.now, "service-restored")
+
+    def _charge_dom0(self, cycles: float) -> None:
+        dom0 = getattr(self.platform, "dom0", None)
+        if dom0 is not None:
+            # The migration helper runs on dom0's last VCPU, away from
+            # the netback threads.
+            dom0.charge_guest(cycles, vcpu=len(dom0.vcpus) - 1)

@@ -1,0 +1,58 @@
+"""Network substrate: packets, addressing, links, buffers, transport models.
+
+The reproduction never runs a real network stack; it models the pieces the
+paper's evaluation depends on:
+
+* Ethernet framing arithmetic (:mod:`repro.net.packet`) — wire overhead is
+  what turns a 1 Gbps line into the paper's 957 Mbps UDP / 940 Mbps TCP
+  goodput figures.
+* MAC/VLAN addressing (:mod:`repro.net.mac`) — the NIC's layer-2 switch
+  classifies on these (paper §4.1).
+* Point-to-point links (:mod:`repro.net.link`) with serialization delay and
+  tail-drop queues.
+* Bounded packet buffers (:mod:`repro.net.buffers`) — the device-driver and
+  socket/application buffers whose overflow behaviour drives the adaptive
+  interrupt coalescing design (paper §5.3).
+* A window/RTT TCP throughput model (:mod:`repro.net.tcp`) — captures TCP's
+  latency sensitivity, the reason 1 kHz coalescing loses 9.6 % throughput
+  in Fig. 9.
+* netperf-style workload generators (:mod:`repro.net.netperf`).
+"""
+
+from repro.net.buffers import BufferStats, PacketBuffer
+from repro.net.link import Link
+from repro.net.mac import MacAddress, MacAllocator, VLAN_NONE
+from repro.net.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    IP_HEADER_BYTES,
+    Packet,
+    Protocol,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    tcp_goodput_bps,
+    udp_goodput_bps,
+    wire_bytes,
+)
+from repro.net.netperf import NetperfResult, NetperfStream
+from repro.net.tcp import TcpThroughputModel
+
+__all__ = [
+    "BufferStats",
+    "ETHERNET_OVERHEAD_BYTES",
+    "IP_HEADER_BYTES",
+    "Link",
+    "MacAddress",
+    "MacAllocator",
+    "NetperfResult",
+    "NetperfStream",
+    "Packet",
+    "PacketBuffer",
+    "Protocol",
+    "TCP_HEADER_BYTES",
+    "TcpThroughputModel",
+    "UDP_HEADER_BYTES",
+    "VLAN_NONE",
+    "tcp_goodput_bps",
+    "udp_goodput_bps",
+    "wire_bytes",
+]

@@ -1,0 +1,107 @@
+"""MAC addresses and VLAN identifiers.
+
+The SR-IOV NIC's on-chip layer-2 switch classifies incoming packets by
+(MAC, VLAN) pairs programmed by the PF driver (paper §4.1); these are the
+keys it matches on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Sentinel for "no VLAN tag".
+VLAN_NONE = 0
+#: 802.1Q VLAN IDs are 12 bits; 0 and 4095 are reserved.
+VLAN_MAX = 4094
+
+
+class MacAddress:
+    """An immutable 48-bit MAC address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 48):
+            raise ValueError(f"MAC address out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse the conventional colon-separated form."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            byte = int(part, 16)
+            if not 0 <= byte <= 0xFF:
+                raise ValueError(f"malformed MAC address: {text!r}")
+            value = (value << 8) | byte
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit of the first octet is set."""
+        return bool((self._value >> 40) & 0x01)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 48) - 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        octets = [(self._value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+#: The Ethernet broadcast address.
+BROADCAST = MacAddress((1 << 48) - 1)
+
+
+class MacAllocator:
+    """Hands out locally administered unicast MAC addresses.
+
+    The PF driver uses one of these per port to assign each VF a stable
+    MAC (paper §4.1: "device specific configurations such as MAC address
+    ... for a network SR-IOV-capable device").
+    """
+
+    #: Locally-administered (bit 1), unicast (bit 0 clear) OUI prefix.
+    _BASE = 0x02_00_00_00_00_00
+
+    def __init__(self, port_index: int = 0):
+        if port_index < 0 or port_index > 0xFF:
+            raise ValueError("port index must fit in one octet")
+        self._next = self._BASE | (port_index << 16)
+        self._port_limit = self._next + 0x10000
+
+    def allocate(self) -> MacAddress:
+        """Return the next unused address for this port."""
+        if self._next >= self._port_limit:
+            raise RuntimeError("MAC allocator exhausted for this port")
+        mac = MacAddress(self._next)
+        self._next += 1
+        return mac
+
+    def allocate_many(self, count: int) -> Iterator[MacAddress]:
+        for _ in range(count):
+            yield self.allocate()
+
+
+def validate_vlan(vlan: int) -> int:
+    """Validate a VLAN id (VLAN_NONE means untagged) and return it."""
+    if vlan != VLAN_NONE and not 1 <= vlan <= VLAN_MAX:
+        raise ValueError(f"VLAN id out of range: {vlan}")
+    return vlan

@@ -1,0 +1,89 @@
+"""A window/RTT TCP throughput model.
+
+The paper's Fig. 9 shows TCP_STREAM throughput is flat at 940 Mbps for
+20 kHz, 2 kHz and AIC interrupt coalescing, but drops 9.6 % at 1 kHz —
+"reflecting the fact that TCP throughput is more latency sensitive"
+(§5.3).  The mechanism is classic bandwidth-delay arithmetic: delaying RX
+interrupts delays ACK generation, inflating the effective RTT; once
+``window / RTT`` falls below the line's goodput, throughput becomes
+window-limited.
+
+We model exactly that: ``throughput = min(line_goodput, window*8 / RTT)``
+where ``RTT = base_rtt + ack_delay``.  A segment lands uniformly at random
+within the coalescing window, so its ACK waits on average *half* the
+interrupt interval.
+
+Calibration: with the classic 64 KiB unscaled TCP window and a 116 µs base
+RTT, the model reproduces the paper's measured 9.6 % drop at 1 kHz while
+staying line-limited at 2 kHz and 20 kHz — the exact Fig. 9 shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import DEFAULT_MTU, tcp_goodput_bps
+
+#: Effective TCP window: the classic 64 KiB unscaled receive window
+#: (RHEL5U1 netperf runs without window scaling on a LAN).
+DEFAULT_WINDOW_BYTES = 64 * 1024
+
+#: LAN base RTT between two directly connected hosts (§6.1: "the client
+#: and server machines are directly connected").  116 µs calibrates the
+#: model to the paper's measured 9.6 % TCP drop at 1 kHz coalescing.
+DEFAULT_BASE_RTT = 116e-6
+
+
+@dataclass
+class TcpThroughputModel:
+    """Predicts steady-state TCP goodput under interrupt coalescing.
+
+    Parameters
+    ----------
+    window_bytes:
+        Effective (min of congestion and receive) window.
+    base_rtt:
+        Round-trip time excluding interrupt-coalescing delay.
+    """
+
+    window_bytes: int = DEFAULT_WINDOW_BYTES
+    base_rtt: float = DEFAULT_BASE_RTT
+
+    def __post_init__(self) -> None:
+        if self.window_bytes <= 0:
+            raise ValueError("window must be positive")
+        if self.base_rtt <= 0:
+            raise ValueError("base RTT must be positive")
+
+    def effective_rtt(self, interrupt_interval: float) -> float:
+        """RTT including the mean ACK delay added by RX coalescing.
+
+        A segment arrives uniformly within the coalescing window, so the
+        expected wait for the next interrupt is half the interval.
+        """
+        if interrupt_interval < 0:
+            raise ValueError("interrupt interval must be non-negative")
+        return self.base_rtt + interrupt_interval / 2
+
+    def window_limited_bps(self, interrupt_interval: float) -> float:
+        """Throughput permitted by window/RTT alone."""
+        return self.window_bytes * 8 / self.effective_rtt(interrupt_interval)
+
+    def throughput_bps(
+        self,
+        line_rate_bps: float,
+        interrupt_interval: float,
+        mtu: int = DEFAULT_MTU,
+    ) -> float:
+        """Steady-state goodput under the given coalescing interval."""
+        line_goodput = tcp_goodput_bps(line_rate_bps, mtu)
+        return min(line_goodput, self.window_limited_bps(interrupt_interval))
+
+    def crossover_interval(self, line_rate_bps: float, mtu: int = DEFAULT_MTU) -> float:
+        """The coalescing interval at which TCP stops filling the line.
+
+        Below this interval throughput is line-limited; above it, the
+        window limit bites — this is where Fig. 9's 1 kHz point lives.
+        """
+        line_goodput = tcp_goodput_bps(line_rate_bps, mtu)
+        return 2 * (self.window_bytes * 8 / line_goodput - self.base_rtt)

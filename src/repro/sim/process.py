@@ -1,0 +1,125 @@
+"""Generator-based cooperative processes.
+
+Sequential protocols — the DNIS migration choreography, a netperf session,
+a pre-copy loop — read far better as straight-line code than as a web of
+callbacks.  A :class:`Process` wraps a generator that *yields*:
+
+* a ``float`` — sleep that many simulated seconds;
+* a :class:`Condition` — block until someone calls ``condition.succeed()``.
+
+Processes can be interrupted (:meth:`Process.interrupt`), which raises
+:class:`Interrupt` inside the generator at its current yield point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Condition:
+    """A one-shot waitable event.
+
+    Any number of processes may wait on the same condition; all are resumed
+    (in wait order) when :meth:`succeed` fires.  A value may be carried to
+    the waiters and becomes the result of their ``yield``.
+    """
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._waiters: List["Process"] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the condition, resuming all waiters at the current instant."""
+        if self.triggered:
+            raise SimulationError("condition already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0.0, process._resume, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process."""
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any], name: str = ""):
+        self._sim = sim
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self.done = Condition(sim)
+        self._sleep_handle: Optional[EventHandle] = None
+        # Start on the next tick so construction order does not matter.
+        sim.schedule(0.0, self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Inject :class:`Interrupt` at the process's current yield point."""
+        if not self.alive:
+            return
+        if self._sleep_handle is not None:
+            self._sleep_handle.cancel()
+            self._sleep_handle = None
+        self._sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._sleep_handle = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(yielded)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: it dies quietly.
+            self._finish(None)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Condition):
+            if yielded.triggered:
+                self._sim.schedule(0.0, self._resume, yielded.value)
+            else:
+                yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            self._wait_on(yielded.done)
+        elif isinstance(yielded, (int, float)):
+            self._sleep_handle = self._sim.schedule(float(yielded), self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        if not self.done.triggered:
+            self.done.succeed(result)

@@ -1,0 +1,144 @@
+"""Structured trace capture.
+
+A :class:`Tracer` records timestamped, categorized events into a bounded
+ring buffer — the xentrace analogue this reproduction uses to debug and
+to let tests assert on *sequences* of behaviour rather than just
+aggregate counters.  Tracing is off unless a tracer is installed, and a
+disabled tracer's :meth:`Tracer.emit` is a cheap no-op, so hot paths can
+trace unconditionally.
+
+Typical use::
+
+    tracer = Tracer(sim, capacity=10_000)
+    tracer.enable("irq", "mailbox")
+    ...
+    for event in tracer.select(category="irq", after=1.0):
+        print(event)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One captured event."""
+
+    time: float
+    category: str
+    name: str
+    #: Free-form key=value detail (kept small; this is a debug channel).
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.time:.6f}] {self.category}:{self.name} {detail}".rstrip()
+
+
+class Tracer:
+    """A bounded, category-filtered event recorder."""
+
+    def __init__(self, sim: Simulator, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._enabled: Optional[set] = set()  # None = everything
+        self.dropped = 0
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def enable(self, *categories: str) -> None:
+        """Enable specific categories (cumulative)."""
+        if self._enabled is None:
+            self._enabled = set()
+        self._enabled.update(categories)
+
+    def enable_all(self) -> None:
+        self._enabled = None
+
+    def disable(self, *categories: str) -> None:
+        if self._enabled is None:
+            raise ValueError("disable specific categories only after "
+                             "enabling specific ones")
+        self._enabled.difference_update(categories)
+
+    def is_enabled(self, category: str) -> bool:
+        return self._enabled is None or category in self._enabled
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def emit(self, category: str, name: str, **detail: Any) -> None:
+        """Record an event if its category is enabled."""
+        if not self.is_enabled(category):
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self.emitted += 1
+        self._events.append(TraceEvent(self.sim.now, category, name,
+                                       tuple(detail.items())))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def select(self, category: Optional[str] = None,
+               name: Optional[str] = None,
+               after: Optional[float] = None,
+               before: Optional[float] = None) -> Iterator[TraceEvent]:
+        """Filter captured events."""
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            if after is not None and event.time < after:
+                continue
+            if before is not None and event.time >= before:
+                continue
+            yield event
+
+    def counts_by_name(self, category: Optional[str] = None) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.select(category=category):
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self.emitted = 0
+
+
+class NullTracer:
+    """The do-nothing tracer installed by default: emit() is free."""
+
+    def emit(self, category: str, name: str, **detail: Any) -> None:
+        pass
+
+    def is_enabled(self, category: str) -> bool:
+        return False
+
+
+#: Shared default instance (stateless, so sharing is safe).
+NULL_TRACER = NullTracer()

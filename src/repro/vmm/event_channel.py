@@ -1,0 +1,94 @@
+"""Xen event channels.
+
+The paravirtualized interrupt mechanism (paper [1]): a PVM guest binds a
+port to a handler; notifying the port sets a pending bit and upcalls the
+guest.  Delivering through an event channel costs far fewer cycles than
+emulating a virtual LAPIC interrupt — the reason PVM scalability costs
+1.76%/VM where HVM costs 2.8% (§6.4).
+
+PV split drivers (netfront/netback) also signal each other over event
+channels, in both PVM and HVM guests; in an HVM guest the upcall itself
+is built on top of a LAPIC vector ("an additional layer of interrupt
+conversion", §6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class EventChannelError(RuntimeError):
+    """Bad port operations: double bind, notify on a closed port..."""
+
+
+class EventChannels:
+    """The per-hypervisor event-channel table."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, Callable[[int], None]] = {}
+        self._pending: Dict[int, bool] = {}
+        self._masked: Dict[int, bool] = {}
+        self._next_port = 1
+        self.notifications = 0
+
+    def bind(self, handler: Callable[[int], None]) -> int:
+        """Allocate a port bound to ``handler(port)``; returns the port."""
+        port = self._next_port
+        self._next_port += 1
+        self._handlers[port] = handler
+        self._pending[port] = False
+        self._masked[port] = False
+        return port
+
+    def close(self, port: int) -> None:
+        if port not in self._handlers:
+            raise EventChannelError(f"closing unbound port {port}")
+        del self._handlers[port]
+        del self._pending[port]
+        del self._masked[port]
+
+    def notify(self, port: int) -> bool:
+        """Signal the port.  Returns True when the upcall ran now.
+
+        Pending bits collapse multiple notifications, and a masked port
+        latches the event for delivery at unmask — same semantics as the
+        MSI-X pending bit array, which is what makes both ends of the
+        paper's DNIS bond driver behave identically across NIC types.
+        """
+        if port not in self._handlers:
+            raise EventChannelError(f"notify on unbound port {port}")
+        self.notifications += 1
+        if self._masked[port]:
+            self._pending[port] = True
+            return False
+        if self._pending[port]:
+            return False  # already signalled, upcall still queued
+        self._handlers[port](port)
+        return True
+
+    def mask(self, port: int) -> None:
+        self._require(port)
+        self._masked[port] = True
+
+    def unmask(self, port: int) -> None:
+        self._require(port)
+        self._masked[port] = False
+        if self._pending[port]:
+            self._pending[port] = False
+            self._handlers[port](port)
+
+    def clear_pending(self, port: int) -> None:
+        self._require(port)
+        self._pending[port] = False
+
+    def is_pending(self, port: int) -> bool:
+        self._require(port)
+        return self._pending[port]
+
+    @property
+    def bound_ports(self) -> int:
+        return len(self._handlers)
+
+    def _require(self, port: int) -> None:
+        if port not in self._handlers:
+            raise EventChannelError(f"operation on unbound port {port}")

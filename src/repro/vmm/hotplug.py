@@ -1,0 +1,87 @@
+"""The virtual ACPI hot-plug controller.
+
+Paper §4.4: "We extended Xen to implement the virtual ACPI hot-plug
+controller device model to support the virtual hot-plug event."  DNIS
+migration rides on it: the migration manager signals a virtual hot
+*removal* of the VF, the guest ejects its VF driver (eliminating
+hardware stickiness), and after migration a hot *add* at the target
+brings a VF back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.vmm.domain import Domain
+
+#: Time for the guest OS to process an eject request: driver shutdown,
+#: interrupt teardown (sub-second; the dominant DNIS delay is the
+#: datapath switch, modelled separately).
+DEFAULT_EJECT_LATENCY = 0.2
+DEFAULT_ADD_LATENCY = 0.1
+
+
+class HotplugController:
+    """Per-guest virtual ACPI slot events."""
+
+    def __init__(self, sim: Simulator,
+                 eject_latency: float = DEFAULT_EJECT_LATENCY,
+                 add_latency: float = DEFAULT_ADD_LATENCY):
+        if eject_latency < 0 or add_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.sim = sim
+        self.eject_latency = eject_latency
+        self.add_latency = add_latency
+        #: domain id -> guest-side handler(event, device) -> None.
+        self._guest_handlers: Dict[int, Callable[[str, Any], None]] = {}
+        self.events: List[str] = []
+
+    def register_guest(self, domain: Domain,
+                       handler: Callable[[str, Any], None]) -> None:
+        """The guest OS's ACPI event handler (its PCI hotplug core)."""
+        self._guest_handlers[domain.id] = handler
+
+    def unregister_guest(self, domain: Domain) -> None:
+        self._guest_handlers.pop(domain.id, None)
+
+    def request_removal(self, domain: Domain, device: Any,
+                        on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Signal a virtual hot-removal of ``device`` to the guest.
+
+        After the guest's eject latency, its handler runs (shutting the
+        driver down) and ``on_complete`` fires — the migration manager's
+        cue to start the "real" migration (§4.4).
+        """
+        handler = self._require(domain)
+        self.events.append(f"remove-requested:{domain.name}")
+
+        def deliver() -> None:
+            handler("remove", device)
+            self.events.append(f"remove-completed:{domain.name}")
+            if on_complete is not None:
+                on_complete()
+
+        self.sim.schedule(self.eject_latency, deliver)
+
+    def hot_add(self, domain: Domain, device: Any,
+                on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Signal a virtual hot-add at the (target) platform."""
+        handler = self._require(domain)
+        self.events.append(f"add-requested:{domain.name}")
+
+        def deliver() -> None:
+            handler("add", device)
+            self.events.append(f"add-completed:{domain.name}")
+            if on_complete is not None:
+                on_complete()
+
+        self.sim.schedule(self.add_latency, deliver)
+
+    def _require(self, domain: Domain) -> Callable[[str, Any], None]:
+        handler = self._guest_handlers.get(domain.id)
+        if handler is None:
+            raise RuntimeError(
+                f"domain {domain.name} has no ACPI hotplug handler registered"
+            )
+        return handler

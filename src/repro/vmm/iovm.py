@@ -1,0 +1,145 @@
+"""The SR-IOV Manager (IOVM).
+
+Paper §4.1: "IOVM presents a virtual full configuration space for each
+VF, so that a guest OS can enumerate and configure the VF as an ordinary
+PCIe device."  The real VF answers neither bus scans nor full config
+reads, so the IOVM:
+
+1. surfaces enabled VFs to the host via the Linux PCI **hot-add** path
+   ("our architecture uses Linux PCI hot add APIs to dynamically add
+   VFs to the host OS");
+2. synthesizes a complete virtual config space per VF from the VF's
+   trimmed space plus PF-derived fields;
+3. assigns a VF to a guest: installs the guest's I/O page table in the
+   IOMMU under the VF's requester ID and routes the VF's MSI-X vectors
+   into the guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.devices.igb82576 import Igb82576Port, VirtualFunction
+from repro.hw.iommu import Iommu
+from repro.hw.pcie.config_space import (
+    CAP_ID_MSIX,
+    ConfigSpace,
+    OFF_CLASS_CODE,
+    OFF_REVISION,
+)
+from repro.vmm.domain import Domain
+
+
+class IovmError(RuntimeError):
+    """Assignment conflicts and lifecycle violations."""
+
+
+@dataclass
+class VfAssignment:
+    """The binding between one VF and the guest that owns it."""
+
+    vf: VirtualFunction
+    domain: Domain
+    virtual_config: ConfigSpace
+
+    @property
+    def rid(self) -> int:
+        assert self.vf.pci.rid is not None
+        return self.vf.pci.rid
+
+
+class Iovm:
+    """The SR-IOV manager running in the service OS."""
+
+    def __init__(self, platform) -> None:
+        """``platform`` is a :class:`~repro.vmm.hypervisor.Xen` or
+        :class:`~repro.vmm.hypervisor.NativeHost` (both expose a root
+        complex and an IOMMU)."""
+        self.platform = platform
+        self.root_complex = platform.root_complex
+        self.iommu: Iommu = platform.iommu
+        self._assignments: Dict[int, VfAssignment] = {}
+
+    # ------------------------------------------------------------------
+    # VF discovery
+    # ------------------------------------------------------------------
+    def surface_vfs(self, port: Igb82576Port) -> List[VirtualFunction]:
+        """Hot-add every enabled VF of a port into the host's PCI tree.
+
+        A plain bus rescan would miss them (they don't answer probes);
+        this is the Linux hot-add API path of §4.1.
+        """
+        surfaced = []
+        for vf in port.vfs:
+            rid = vf.pci.rid
+            assert rid is not None
+            if self.root_complex.function_at(rid) is None:
+                # hot_add wants an unbound function; the RID was
+                # precomputed by the SR-IOV capability arithmetic.
+                vf.pci.rid = None
+                self.root_complex.hot_add(vf.pci, rid)
+            surfaced.append(vf)
+        return surfaced
+
+    # ------------------------------------------------------------------
+    # virtual config space
+    # ------------------------------------------------------------------
+    def synthesize_config_space(self, vf: VirtualFunction) -> ConfigSpace:
+        """Build the full virtual config space the guest will see.
+
+        Identity fields come from the VF; structural fields the VF does
+        not implement (revision, class code, capability layout) are
+        cloned from the PF template, exactly what lets the guest treat
+        the VF "as an ordinary PCIe function".
+        """
+        pf_config = vf.port.pf.pci.config
+        virtual = ConfigSpace(
+            vendor_id=vf.pci.config.vendor_id,
+            device_id=vf.pci.config.device_id,
+        )
+        virtual.write8(OFF_REVISION, pf_config.read8(OFF_REVISION))
+        virtual.write8(OFF_CLASS_CODE, pf_config.read8(OFF_CLASS_CODE))
+        virtual.add_capability(CAP_ID_MSIX, 12)
+        return virtual
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def assign(self, vf: VirtualFunction, domain: Domain) -> VfAssignment:
+        """Give ``domain`` direct access to ``vf``.
+
+        Installs the guest's I/O page table at the VF's RID (the Direct
+        I/O inheritance of §2) and records the assignment.  The guest's
+        driver still has to bind the MSI-X vectors itself, as a real
+        driver would.
+        """
+        rid = vf.pci.rid
+        if rid is None:
+            raise IovmError("VF has no RID; surface it first")
+        if rid in self._assignments:
+            raise IovmError(f"VF {vf.name} already assigned")
+        if any(a.vf is vf for a in self._assignments.values()):
+            raise IovmError(f"VF {vf.name} already assigned")
+        self.iommu.attach(rid, domain.io_page_table)
+        assignment = VfAssignment(vf, domain, self.synthesize_config_space(vf))
+        self._assignments[rid] = assignment
+        return assignment
+
+    def revoke(self, assignment: VfAssignment) -> None:
+        """Tear an assignment down (hot removal, migration)."""
+        rid = assignment.rid
+        if rid not in self._assignments:
+            raise IovmError("assignment not active")
+        self.iommu.detach(rid)
+        del self._assignments[rid]
+
+    def assignment_for(self, domain: Domain) -> Optional[VfAssignment]:
+        for assignment in self._assignments.values():
+            if assignment.domain is domain:
+                return assignment
+        return None
+
+    @property
+    def active_assignments(self) -> int:
+        return len(self._assignments)

@@ -1,0 +1,44 @@
+"""VCPU placement, per the paper's §6.1 pinning discipline.
+
+"Domain 0 employs 8 VCPUs and binds each of them to a thread in a
+different core, and the guest runs with only one VCPU, which is bounded
+evenly to the remaining threads."  Deterministic pinning is also what
+makes the cycle accounting attributable: a guest's work always lands on
+its home thread.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PinningPolicy:
+    """Assigns dom0 and guest VCPUs to hardware threads."""
+
+    def __init__(self, core_count: int, dom0_vcpus: int):
+        if dom0_vcpus >= core_count:
+            raise ValueError("need at least one thread left for guests")
+        self.core_count = core_count
+        self.dom0_vcpus = dom0_vcpus
+        self._next_guest_slot = 0
+
+    def dom0_cores(self) -> List[int]:
+        """dom0's VCPUs: one per thread, threads 0..N-1."""
+        return list(range(self.dom0_vcpus))
+
+    @property
+    def guest_cores(self) -> List[int]:
+        """The threads guests share."""
+        return list(range(self.dom0_vcpus, self.core_count))
+
+    def place_guest(self) -> int:
+        """Pin the next guest's single VCPU, round-robin over the
+        remaining threads ("bounded evenly")."""
+        cores = self.guest_cores
+        core = cores[self._next_guest_slot % len(cores)]
+        self._next_guest_slot += 1
+        return core
+
+    def guests_per_core(self, guest_count: int) -> float:
+        """Average oversubscription of the guest threads."""
+        return guest_count / len(self.guest_cores)

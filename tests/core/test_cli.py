@@ -1,0 +1,105 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, parse_policy, run_cli
+from repro.drivers import AdaptiveCoalescing, DynamicItr, FixedItr
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sriov_defaults(self):
+        args = build_parser().parse_args(["sriov"])
+        assert args.vms == 10
+        assert args.kind == "hvm"
+        assert args.kernel == "2.6.28"
+        assert not args.no_opts
+
+    def test_sriov_full_flags(self):
+        args = build_parser().parse_args(
+            ["sriov", "--vms", "7", "--ports", "1", "--kind", "pvm",
+             "--kernel", "2.6.18", "--no-opts", "--itr", "2000"])
+        assert args.vms == 7
+        assert args.ports == 1
+        assert args.no_opts
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sriov", "--kind", "xen"])
+
+    def test_migrate_modes(self):
+        args = build_parser().parse_args(["migrate", "--mode", "pv"])
+        assert args.mode == "pv"
+
+
+class TestPolicyParsing:
+    def test_named_policies(self):
+        assert isinstance(parse_policy("aic"), AdaptiveCoalescing)
+        assert isinstance(parse_policy("dynamic"), DynamicItr)
+
+    def test_numeric_frequency(self):
+        policy = parse_policy("2000")
+        assert isinstance(policy, FixedItr)
+        assert policy.hz == 2000
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_policy("often")
+
+
+class TestSmokeRuns:
+    """Tiny end-to-end CLI invocations (small scale for speed)."""
+
+    def test_sriov_run(self, capsys):
+        code = run_cli(["--warmup", "0.2", "--duration", "0.2",
+                        "sriov", "--vms", "1", "--ports", "1",
+                        "--itr", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "Gbps" in out
+
+    def test_pv_run(self, capsys):
+        code = run_cli(["--warmup", "0.2", "--duration", "0.2",
+                        "pv", "--vms", "1", "--ports", "1"])
+        assert code == 0
+        assert "dom0" in capsys.readouterr().out
+
+    def test_vmdq_run(self, capsys):
+        code = run_cli(["--warmup", "0.2", "--duration", "0.2",
+                        "vmdq", "--vms", "2"])
+        assert code == 0
+
+    def test_intervm_run(self, capsys):
+        code = run_cli(["--warmup", "0.3", "--duration", "0.2",
+                        "intervm", "--mode", "pv"])
+        assert code == 0
+
+    def test_migration_run(self, capsys):
+        code = run_cli(["migrate", "--mode", "dnis", "--start-at", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "migration events" in out
+        assert "downtime" in out
+
+
+def test_migration_pv_mode(capsys):
+    code = run_cli(["migrate", "--mode", "pv", "--start-at", "0.5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "migration events (pv)" in out
+
+
+def test_report_on_native_host_has_no_domain_rows():
+    from repro.core.report import XentopReport
+    from repro.sim import Simulator
+    from repro.vmm import NativeHost
+    host = NativeHost(Simulator())
+    host.start_measurement()
+    host.sim.run(until=1.0)
+    report = XentopReport(host)
+    assert report.rows == []
+    assert "TOTAL" in report.render()

@@ -1,0 +1,60 @@
+"""Unit tests for experiment helpers and result types."""
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, RunResult, steady_tcp_rate
+from repro.drivers import AdaptiveCoalescing, FixedItr
+from repro.net.packet import tcp_goodput_bps
+
+
+class TestSteadyTcpRate:
+    def test_fixed_high_frequency_reaches_line(self):
+        rate = steady_tcp_rate(FixedItr(20000), line_share_bps=1e9)
+        assert rate == pytest.approx(tcp_goodput_bps(1e9))
+
+    def test_fixed_1khz_window_limited(self):
+        rate = steady_tcp_rate(FixedItr(1000), line_share_bps=1e9)
+        assert rate < tcp_goodput_bps(1e9) * 0.95
+
+    def test_line_share_caps(self):
+        rate = steady_tcp_rate(FixedItr(20000), line_share_bps=1e8)
+        assert rate == pytest.approx(1e8)
+
+    def test_aic_fixed_point_converges_to_line(self):
+        """AIC's frequency rises with pps, so the feedback loop should
+        settle at the full line goodput."""
+        rate = steady_tcp_rate(AdaptiveCoalescing(), line_share_bps=1e9)
+        assert rate == pytest.approx(tcp_goodput_bps(1e9), rel=0.01)
+
+    def test_converges_identically_from_repeat_runs(self):
+        a = steady_tcp_rate(FixedItr(1000), 1e9)
+        b = steady_tcp_rate(FixedItr(1000), 1e9)
+        assert a == b
+
+
+class TestRunResult:
+    def make(self, **overrides):
+        base = dict(vm_count=2, duration=1.0, throughput_bps=2e9,
+                    per_vm_throughput_bps=[1e9, 1e9],
+                    cpu={"guest": 30.0, "xen": 5.0, "dom0": 3.0},
+                    loss_rate=0.0, interrupt_hz=2000.0)
+        base.update(overrides)
+        return RunResult(**base)
+
+    def test_total_cpu_sums_accounts(self):
+        assert self.make().total_cpu_percent == pytest.approx(38.0)
+
+    def test_throughput_gbps(self):
+        assert self.make().throughput_gbps == pytest.approx(2.0)
+
+
+class TestRunnerDeterminism:
+    def test_same_config_same_result(self):
+        runner = ExperimentRunner(warmup=0.2, duration=0.2)
+        first = runner.run_sriov(1, ports=1,
+                                 policy_factory=lambda: FixedItr(2000))
+        second = runner.run_sriov(1, ports=1,
+                                  policy_factory=lambda: FixedItr(2000))
+        assert first.throughput_bps == second.throughput_bps
+        assert first.cpu == second.cpu
+        assert first.exit_counts == second.exit_counts

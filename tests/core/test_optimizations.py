@@ -1,0 +1,40 @@
+"""Unit tests for the optimization configuration."""
+
+from repro.core.optimizations import OptimizationConfig
+
+
+def test_none_is_all_off():
+    config = OptimizationConfig.none()
+    assert not config.msi_acceleration
+    assert not config.eoi_acceleration
+    assert not config.adaptive_coalescing
+    assert not config.eoi_instruction_check
+
+
+def test_all_enables_the_three_paper_optimizations():
+    config = OptimizationConfig.all()
+    assert config.msi_acceleration
+    assert config.eoi_acceleration
+    assert config.adaptive_coalescing
+    # The paper ships without the instruction check (§5.2's argument).
+    assert not config.eoi_instruction_check
+
+
+def test_with_creates_modified_copy():
+    base = OptimizationConfig.none()
+    modified = base.with_(eoi_acceleration=True)
+    assert modified.eoi_acceleration
+    assert not base.eoi_acceleration  # frozen original untouched
+
+
+def test_describe_tags():
+    assert OptimizationConfig.none().describe() == "baseline"
+    assert OptimizationConfig.all().describe() == "+msi+eoi+aic"
+    assert OptimizationConfig(eoi_acceleration=True).describe() == "+eoi"
+
+
+def test_frozen():
+    import dataclasses
+    import pytest
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        OptimizationConfig().msi_acceleration = True

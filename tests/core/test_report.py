@@ -1,0 +1,77 @@
+"""Unit tests for xentop-style reporting."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig, XentopReport, format_run_result
+from repro.core.experiment import RunResult
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+
+
+def run_some_traffic():
+    bed = Testbed(TestbedConfig(ports=1))
+    a = bed.add_sriov_guest(DomainKind.HVM, name="web")
+    b = bed.add_sriov_guest(DomainKind.HVM, name="db")
+    bed.platform.start_measurement()
+    a.port.wire_receive([Packet(src=REMOTE, dst=a.vf.mac) for _ in range(50)])
+    bed.sim.run(until=bed.sim.now + 0.1)
+    return bed, a, b
+
+
+def test_per_domain_rows_distinguish_guests():
+    bed, a, b = run_some_traffic()
+    report = XentopReport(bed.platform)
+    by_name = {row.name: row for row in report.rows}
+    # Only guest "web" received traffic.
+    assert by_name["web"].cpu_percent > 0
+    assert by_name["db"].cpu_percent == 0
+    assert "dom0" in by_name
+    assert by_name["(hypervisor)"].cpu_percent > 0
+
+
+def test_rows_carry_pinning():
+    bed, a, b = run_some_traffic()
+    report = XentopReport(bed.platform)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["web"].home_cores == [a.domain.home_core()]
+    assert by_name["dom0"].home_cores == list(range(8))
+
+
+def test_render_is_a_table():
+    bed, a, b = run_some_traffic()
+    text = XentopReport(bed.platform).render()
+    assert "NAME" in text
+    assert "web" in text
+    assert "TOTAL" in text
+
+
+def test_total_matches_platform_breakdown():
+    bed, a, b = run_some_traffic()
+    report = XentopReport(bed.platform)
+    breakdown = bed.platform.utilization_breakdown()
+    assert report.total_percent == pytest.approx(sum(breakdown.values()),
+                                                 rel=0.01)
+
+
+def test_measurement_reset_clears_domain_counters():
+    bed, a, b = run_some_traffic()
+    bed.platform.start_measurement()
+    bed.sim.run(until=bed.sim.now + 0.05)
+    report = XentopReport(bed.platform)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["web"].cpu_percent == 0
+
+
+def test_format_run_result():
+    result = RunResult(vm_count=2, duration=1.0, throughput_bps=1.914e9,
+                       per_vm_throughput_bps=[0.957e9] * 2,
+                       cpu={"guest": 30.0, "xen": 5.0}, loss_rate=0.01,
+                       interrupt_hz=2000.0)
+    text = format_run_result(result)
+    assert "1.914 Gbps" in text
+    assert "guest" in text
+    assert "total" in text
+    assert "2000 Hz/guest" in text

@@ -1,0 +1,94 @@
+"""Unit tests for the §6.1 testbed builder."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.net.packet import Protocol, udp_goodput_bps
+from repro.vmm import DomainKind, GuestKernel
+
+
+def test_ports_built_and_vfs_enabled():
+    bed = Testbed(TestbedConfig(ports=3, vfs_per_port=4))
+    assert len(bed.ports) == 3
+    for port in bed.ports:
+        assert len(port.vfs) == 4
+        assert port.pf.sriov.vf_enabled
+
+
+def test_fig11_vf_allocation_policy():
+    """Guest i -> port (i mod ports), VF (i div ports): "the assigned
+    VFs will come from VF(7j+0) to VF(7j+n-1) for each port j"."""
+    bed = Testbed(TestbedConfig(ports=3, vfs_per_port=7))
+    guests = [bed.add_sriov_guest() for _ in range(7)]
+    placements = [(g.port.index, g.vf.index) for g in guests]
+    assert placements == [(0, 0), (1, 0), (2, 0),
+                          (0, 1), (1, 1), (2, 1),
+                          (0, 2)]
+
+
+def test_vf_exhaustion_raises():
+    bed = Testbed(TestbedConfig(ports=1, vfs_per_port=2))
+    bed.add_sriov_guest()
+    bed.add_sriov_guest()
+    with pytest.raises(RuntimeError):
+        bed.add_sriov_guest()
+
+
+def test_sriov_guest_fully_wired():
+    bed = Testbed(TestbedConfig(ports=1))
+    guest = bed.add_sriov_guest(DomainKind.HVM, GuestKernel.LINUX_2_6_18)
+    assert guest.domain.kernel is GuestKernel.LINUX_2_6_18
+    assert guest.driver.running
+    assert guest.vf.enabled
+    assert guest.assignment is not None
+    assert guest.vf.mac is not None
+    # The switch routes the VF's MAC to it.
+    assert guest.port.switch.is_local(guest.vf.mac)
+
+
+def test_native_testbed_has_no_hypervisor():
+    bed = Testbed(TestbedConfig(ports=1, native=True))
+    assert bed.platform.is_native
+    guest = bed.add_sriov_guest()
+    assert guest.assignment is None  # no IOVM assignment bookkeeping
+    assert guest.domain.account_label == "native"
+
+
+def test_netback_lazily_built_and_shared():
+    bed = Testbed(TestbedConfig(ports=1))
+    a = bed.add_pv_guest()
+    b = bed.add_pv_guest()
+    assert bed.netback.frontend_count == 2
+    assert a.netfront.backend is bed.netback
+
+
+def test_single_thread_netback_must_precede_guests():
+    bed = Testbed(TestbedConfig(ports=1))
+    bed.add_pv_guest()
+    with pytest.raises(RuntimeError):
+        bed.use_single_thread_netback()
+
+
+def test_per_vm_line_share():
+    bed = Testbed(TestbedConfig(ports=10))
+    full = udp_goodput_bps(1e9)
+    assert bed.per_vm_line_share_bps(10) == pytest.approx(full)
+    assert bed.per_vm_line_share_bps(20) == pytest.approx(full / 2)
+    # 15 VMs: worst-loaded port carries 2.
+    assert bed.per_vm_line_share_bps(15) == pytest.approx(full / 2)
+
+
+def test_client_streams_use_unique_macs():
+    bed = Testbed(TestbedConfig(ports=1))
+    a = bed.add_sriov_guest()
+    b = bed.add_sriov_guest()
+    sa = bed.attach_client_to_sriov(a, 1e8)
+    sb = bed.attach_client_to_sriov(b, 1e8)
+    assert sa.src != sb.src
+
+
+def test_vmdq_guests_register_with_service():
+    bed = Testbed(TestbedConfig(ports=1))
+    guests = [bed.add_vmdq_guest() for _ in range(9)]
+    assert bed.vmdq_service.dedicated_guest_count == 7
+    assert guests[0].netfront.mac is not None

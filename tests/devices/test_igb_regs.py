@@ -1,0 +1,146 @@
+"""Unit tests for the 82576 register map and its behaviour hooks."""
+
+import pytest
+
+from repro.devices import Igb82576Port
+from repro.devices.igb_regs import (
+    CTRL_RST,
+    STATUS_LU,
+    mac_from_ral_rah,
+    ral_rah_for_mac,
+)
+from repro.hw.pcie import RootComplex
+from repro.net.mac import MacAddress
+from repro.net.packet import Packet
+from repro.sim import Simulator
+
+
+def build_port(vf_count=2):
+    sim = Simulator()
+    rc = RootComplex()
+    port = Igb82576Port(sim)
+    rc.attach(port.pf.pci, bus=1, device=0)
+    port.enable_vfs(vf_count)
+    return sim, port
+
+
+class TestMacRegisterEncoding:
+    def test_roundtrip(self):
+        mac = MacAddress.parse("02:1a:2b:3c:4d:5e")
+        ral, rah = ral_rah_for_mac(mac, pool=3)
+        assert mac_from_ral_rah(ral, rah) == mac
+        assert (rah >> 18) & 0x7F == 3
+        assert rah & (1 << 31)
+
+    def test_invalid_flag(self):
+        mac = MacAddress(0x020000000001)
+        _, rah = ral_rah_for_mac(mac, pool=0, valid=False)
+        assert not rah & (1 << 31)
+
+
+class TestRahHook:
+    def test_writing_rah_programs_switch(self):
+        sim, port = build_port()
+        mac = MacAddress.parse("02:00:00:00:00:42")
+        ral, rah = ral_rah_for_mac(mac, pool=1)  # pool 1 = VF 0
+        port.regs.write_by_name("RAL1", ral)
+        port.regs.write_by_name("RAH1", rah)
+        assert port.switch.is_local(mac)
+        [target] = port.switch.classify(Packet(src=MacAddress(0x02_9999),
+                                               dst=mac))
+        assert target.function_index == 0
+
+    def test_pool_zero_is_pf(self):
+        sim, port = build_port()
+        mac = MacAddress.parse("02:00:00:00:00:43")
+        ral, rah = ral_rah_for_mac(mac, pool=0)
+        port.regs.write_by_name("RAL2", ral)
+        port.regs.write_by_name("RAH2", rah)
+        from repro.devices.l2switch import SwitchTarget
+        from repro.net.packet import Packet
+        [target] = port.switch.classify(Packet(src=MacAddress(1), dst=mac))
+        assert target.is_pf
+
+    def test_rewriting_entry_unprograms_old_mac(self):
+        sim, port = build_port()
+        old_mac = MacAddress.parse("02:00:00:00:00:44")
+        new_mac = MacAddress.parse("02:00:00:00:00:45")
+        ral, rah = ral_rah_for_mac(old_mac, pool=1)
+        port.regs.write_by_name("RAL1", ral)
+        port.regs.write_by_name("RAH1", rah)
+        ral, rah = ral_rah_for_mac(new_mac, pool=1)
+        port.regs.write_by_name("RAL1", ral)
+        port.regs.write_by_name("RAH1", rah)
+        assert not port.switch.is_local(old_mac)
+        assert port.switch.is_local(new_mac)
+
+    def test_clearing_av_bit_unprograms(self):
+        sim, port = build_port()
+        mac = MacAddress.parse("02:00:00:00:00:46")
+        ral, rah = ral_rah_for_mac(mac, pool=1)
+        port.regs.write_by_name("RAL1", ral)
+        port.regs.write_by_name("RAH1", rah)
+        port.regs.write_by_name("RAH1", rah & ~(1 << 31))
+        assert not port.switch.is_local(mac)
+
+
+class TestCtrlReset:
+    def test_rst_bit_clears_all_rings_and_self_clears(self):
+        sim, port = build_port()
+        port.pf.rx_ring.post(0x1000, 2048)
+        port.vf(0).rx_ring.post(0x1000, 2048)
+        port.regs.write_by_name("CTRL", CTRL_RST)
+        assert port.pf.rx_ring.empty
+        assert port.vf(0).rx_ring.empty
+        assert not port.regs.read_by_name("CTRL") & CTRL_RST
+
+
+class TestStatusRegister:
+    def test_link_bit_tracks_port_state(self):
+        sim, port = build_port()
+        assert port.regs.read_by_name("STATUS") & STATUS_LU
+        port.link_up = False
+        assert not port.regs.read_by_name("STATUS") & STATUS_LU
+
+    def test_status_is_read_only(self):
+        from repro.hw.registers import RegisterError
+        sim, port = build_port()
+        with pytest.raises(RegisterError):
+            port.regs.write_by_name("STATUS", 0)
+
+
+class TestVfRegisters:
+    def test_vteitr_programs_throttle(self):
+        sim, port = build_port()
+        vf = port.vf(0)
+        vf.regs.write_by_name("VTEITR0", 500)  # 500 us -> 2 kHz
+        assert vf.throttle.interval == pytest.approx(500e-6)
+
+    def test_vtctrl_reset_quiesces_vf(self):
+        sim, port = build_port()
+        vf = port.vf(0)
+        vf.enabled = True
+        vf.rx_ring.post(0x1000, 2048)
+        vf.regs.write_by_name("VTCTRL", CTRL_RST)
+        assert not vf.enabled
+        assert vf.rx_ring.empty
+
+
+class TestDriverProgramsThroughRegisters:
+    def test_pf_driver_writes_receive_address_registers(self):
+        from repro.core import Testbed, TestbedConfig
+        bed = Testbed(TestbedConfig(ports=1, vfs_per_port=2))
+        port = bed.ports[0]
+        # Entry 0 = PF's MAC, entries 1..2 = the VFs'.
+        assert port.regs.peek("RAH0") & (1 << 31)
+        assert port.regs.peek("RAH1") & (1 << 31)
+        assert mac_from_ral_rah(port.regs.peek("RAL1"),
+                                port.regs.peek("RAH1")) == port.vf(0).mac
+
+    def test_vf_driver_writes_vteitr(self):
+        from repro.core import Testbed, TestbedConfig
+        from repro.drivers import FixedItr
+        bed = Testbed(TestbedConfig(ports=1))
+        guest = bed.add_sriov_guest(policy=FixedItr(2000))
+        assert guest.vf.regs.peek("VTEITR0") == 500
+        assert guest.vf.throttle.interval == pytest.approx(500e-6)

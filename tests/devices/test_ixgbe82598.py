@@ -1,0 +1,87 @@
+"""Unit tests for the 82598 VMDq port model."""
+
+from repro.devices import Ixgbe82598Port
+from repro.devices.ixgbe82598 import DEFAULT_QUEUE, TOTAL_QUEUE_PAIRS
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.sim import Simulator
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+
+
+def guest_mac(i):
+    return MacAddress(0x020000000020 + i)
+
+
+def test_only_seven_dedicated_queues():
+    port = Ixgbe82598Port(Simulator())
+    assert port.dedicated_queues_available == TOTAL_QUEUE_PAIRS - 1
+    granted = [port.assign_queue(i, guest_mac(i)) for i in range(10)]
+    assert sum(1 for queue in granted if queue is not None) == 7
+    assert granted[7] is None  # 8th guest falls back to the default queue
+
+
+def test_classified_packets_land_in_owner_queue():
+    port = Ixgbe82598Port(Simulator())
+    queue = port.assign_queue(1, guest_mac(1))
+    port.wire_receive([Packet(src=REMOTE, dst=guest_mac(1))])
+    assert len(queue.rx) == 1
+    assert port.default_queue_packets == 0
+
+
+def test_unassigned_mac_hits_default_queue():
+    port = Ixgbe82598Port(Simulator())
+    port.wire_receive([Packet(src=REMOTE, dst=guest_mac(9))])
+    assert len(port.queues[DEFAULT_QUEUE].rx) == 1
+    assert port.default_queue_packets == 1
+
+
+def test_fallback_guest_shares_default_queue():
+    port = Ixgbe82598Port(Simulator())
+    for i in range(8):
+        port.assign_queue(i, guest_mac(i))
+    port.wire_receive([Packet(src=REMOTE, dst=guest_mac(7))])
+    assert port.queue_of(guest_mac(7)) == DEFAULT_QUEUE
+    assert len(port.queues[DEFAULT_QUEUE].rx) == 1
+
+
+def test_interrupt_sink_notified_per_burst():
+    port = Ixgbe82598Port(Simulator())
+    notified = []
+    port.interrupt_sink = lambda queue: notified.append(queue.index)
+    queue = port.assign_queue(1, guest_mac(1))
+    port.wire_receive([Packet(src=REMOTE, dst=guest_mac(1)) for _ in range(3)])
+    assert notified == [queue.index]
+    assert queue.interrupts == 1
+
+
+def test_queue_overflow_drops():
+    port = Ixgbe82598Port(Simulator())
+    queue = port.assign_queue(1, guest_mac(1))
+    burst = [Packet(src=REMOTE, dst=guest_mac(1)) for _ in range(600)]
+    port.wire_receive(burst)
+    assert len(queue.rx) == 512
+    assert queue.rx.stats.dropped == 88
+
+
+def test_release_queue_frees_it():
+    port = Ixgbe82598Port(Simulator())
+    port.assign_queue(1, guest_mac(1))
+    assert port.dedicated_queues_available == 6
+    port.release_queue(1)
+    assert port.dedicated_queues_available == 7
+    assert port.queue_of(guest_mac(1)) == DEFAULT_QUEUE
+
+
+def test_mixed_burst_classification():
+    port = Ixgbe82598Port(Simulator())
+    q1 = port.assign_queue(1, guest_mac(1))
+    q2 = port.assign_queue(2, guest_mac(2))
+    burst = [
+        Packet(src=REMOTE, dst=guest_mac(1)),
+        Packet(src=REMOTE, dst=guest_mac(2)),
+        Packet(src=REMOTE, dst=guest_mac(1)),
+    ]
+    port.wire_receive(burst)
+    assert len(q1.rx) == 2
+    assert len(q2.rx) == 1

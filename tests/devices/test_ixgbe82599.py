@@ -1,0 +1,55 @@
+"""Unit tests for the 82599 10 GbE SR-IOV port."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.devices import Ixgbe82599Port
+from repro.devices.ixgbe82599 import IXGBE_PF_DEVICE_ID, IXGBE_TOTAL_VFS
+from repro.hw.pcie import RootComplex
+from repro.sim import Simulator
+
+
+def test_constants():
+    sim = Simulator()
+    port = Ixgbe82599Port(sim)
+    assert port.LINE_RATE_BPS == 10e9
+    assert port.pf.pci.config.device_id == IXGBE_PF_DEVICE_ID
+    assert port.pf.sriov.total_vfs == IXGBE_TOTAL_VFS
+
+
+def test_sixty_four_vfs_enable_with_unique_rids():
+    sim = Simulator()
+    rc = RootComplex()
+    port = Ixgbe82599Port(sim)
+    rc.attach(port.pf.pci, bus=1, device=0)
+    vfs = port.enable_vfs(64)
+    rids = [vf.pci.rid for vf in vfs]
+    assert len(set(rids)) == 64
+
+
+def test_wider_dma_pipe():
+    sim = Simulator()
+    port = Ixgbe82599Port(sim)
+    # 22 Gb/s one way; inter-VM (two crossings) still clears the line.
+    assert port.datapath.throughput_cap_bps(crossings=2) > 10e9
+
+
+def test_testbed_builds_82599():
+    bed = Testbed(TestbedConfig(ports=1, vfs_per_port=32, nic="82599"))
+    assert isinstance(bed.ports[0], Ixgbe82599Port)
+    assert len(bed.ports[0].vfs) == 32
+    assert bed.per_vm_line_share_bps(32) == pytest.approx(9.571e9 / 32,
+                                                          rel=0.001)
+
+
+def test_receive_address_table_covers_all_vfs():
+    bed = Testbed(TestbedConfig(ports=1, vfs_per_port=64, nic="82599"))
+    port = bed.ports[0]
+    # PF in entry 0, VFs in entries 1..64 — all programmed and valid.
+    for i in range(65):
+        assert port.regs.peek(f"RAH{i}") & (1 << 31)
+
+
+def test_unknown_nic_family_rejected():
+    with pytest.raises(ValueError):
+        Testbed(TestbedConfig(nic="82999"))

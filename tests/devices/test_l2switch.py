@@ -1,0 +1,100 @@
+"""Unit tests for the on-chip L2 switch."""
+
+from repro.devices import L2Switch, SwitchTarget
+from repro.net import Packet
+from repro.net.mac import MacAddress
+
+MAC_VF0 = MacAddress.parse("02:00:00:00:00:10")
+MAC_VF1 = MacAddress.parse("02:00:00:00:00:11")
+MAC_PF = MacAddress.parse("02:00:00:00:00:01")
+MAC_REMOTE = MacAddress.parse("02:00:00:00:99:99")
+BROADCAST = MacAddress.parse("ff:ff:ff:ff:ff:ff")
+
+
+def make_switch():
+    switch = L2Switch()
+    switch.program(MAC_PF, SwitchTarget.PF)
+    switch.program(MAC_VF0, 0)
+    switch.program(MAC_VF1, 1)
+    return switch
+
+
+def test_unicast_classification():
+    switch = make_switch()
+    packet = Packet(src=MAC_REMOTE, dst=MAC_VF1)
+    targets = switch.classify(packet)
+    assert targets == [SwitchTarget(1)]
+
+
+def test_pf_classification():
+    switch = make_switch()
+    [target] = switch.classify(Packet(src=MAC_REMOTE, dst=MAC_PF))
+    assert target.is_pf
+
+
+def test_unknown_unicast_goes_uplink():
+    switch = make_switch()
+    [target] = switch.classify(Packet(src=MAC_VF0, dst=MAC_REMOTE))
+    assert target.is_uplink
+    assert switch.unknown_unicast == 1
+
+
+def test_broadcast_floods_all_local_functions():
+    switch = make_switch()
+    targets = switch.classify(Packet(src=MAC_REMOTE, dst=BROADCAST))
+    indexes = sorted(t.function_index for t in targets)
+    assert indexes == [SwitchTarget.PF, 0, 1]
+
+
+def test_vlan_scoped_entry():
+    switch = L2Switch()
+    switch.program(MAC_VF0, 0, vlan=100)
+    [hit] = switch.classify(Packet(src=MAC_REMOTE, dst=MAC_VF0, vlan=100))
+    assert hit.function_index == 0
+    # Different VLAN does not match the VLAN-scoped entry.
+    [miss] = switch.classify(Packet(src=MAC_REMOTE, dst=MAC_VF0, vlan=200))
+    assert miss.is_uplink
+
+
+def test_tagged_frame_falls_back_to_untagged_entry():
+    switch = make_switch()  # entries programmed untagged
+    [hit] = switch.classify(Packet(src=MAC_REMOTE, dst=MAC_VF0, vlan=5))
+    assert hit.function_index == 0
+
+
+def test_antispoof_accepts_own_mac():
+    switch = make_switch()
+    assert switch.check_transmit(0, Packet(src=MAC_VF0, dst=MAC_REMOTE))
+    assert switch.spoofed_drops == 0
+
+
+def test_antispoof_drops_forged_source():
+    switch = make_switch()
+    forged = Packet(src=MAC_VF1, dst=MAC_REMOTE)  # VF0 forging VF1's MAC
+    assert not switch.check_transmit(0, forged)
+    assert switch.spoofed_drops == 1
+
+
+def test_unprogram_removes_entry():
+    switch = make_switch()
+    switch.unprogram(MAC_VF0)
+    [target] = switch.classify(Packet(src=MAC_REMOTE, dst=MAC_VF0))
+    assert target.is_uplink
+
+
+def test_is_local():
+    switch = make_switch()
+    assert switch.is_local(MAC_VF0)
+    assert switch.is_local(MAC_PF)
+    assert not switch.is_local(MAC_REMOTE)
+
+
+def test_entries_listing():
+    switch = make_switch()
+    assert len(switch.entries()) == 3
+
+
+def test_mac_of_function():
+    switch = make_switch()
+    assert switch.mac_of(0) == MAC_VF0
+    assert switch.mac_of(9) is None

@@ -1,0 +1,94 @@
+"""Unit tests for the PF<->VF mailbox/doorbell channel."""
+
+import pytest
+
+from repro.devices import Mailbox, MailboxError, MailboxMessage
+
+
+def make_connected():
+    mailbox = Mailbox(vf_index=0)
+    pf_inbox, vf_inbox = [], []
+    mailbox.connect(Mailbox.PF, pf_inbox.append)
+    mailbox.connect(Mailbox.VF, vf_inbox.append)
+    return mailbox, pf_inbox, vf_inbox
+
+
+def test_vf_to_pf_doorbell():
+    mailbox, pf_inbox, _ = make_connected()
+    message = MailboxMessage("set_multicast", payload=(1, 2, 3))
+    mailbox.send(Mailbox.VF, message)
+    assert pf_inbox == [message]
+    assert mailbox.pending(Mailbox.PF)
+
+
+def test_pf_to_vf_doorbell():
+    mailbox, _, vf_inbox = make_connected()
+    message = MailboxMessage("link_change", body={"up": False})
+    mailbox.send(Mailbox.PF, message)
+    assert vf_inbox == [message]
+
+
+def test_read_then_acknowledge_releases_channel():
+    mailbox, _, _ = make_connected()
+    mailbox.send(Mailbox.VF, MailboxMessage("ping"))
+    received = mailbox.read(Mailbox.PF)
+    assert received.kind == "ping"
+    mailbox.acknowledge(Mailbox.PF)
+    assert not mailbox.pending(Mailbox.PF)
+    # Channel free: next send succeeds.
+    mailbox.send(Mailbox.VF, MailboxMessage("ping2"))
+
+
+def test_overlapping_send_is_protocol_violation():
+    mailbox, _, _ = make_connected()
+    mailbox.send(Mailbox.VF, MailboxMessage("first"))
+    with pytest.raises(MailboxError):
+        mailbox.send(Mailbox.VF, MailboxMessage("second"))
+
+
+def test_directions_are_independent():
+    mailbox, _, _ = make_connected()
+    mailbox.send(Mailbox.VF, MailboxMessage("request"))
+    # PF can still send the other way while its inbox is pending.
+    mailbox.send(Mailbox.PF, MailboxMessage("event"))
+
+
+def test_read_without_message_fails():
+    mailbox, _, _ = make_connected()
+    with pytest.raises(MailboxError):
+        mailbox.read(Mailbox.PF)
+
+
+def test_acknowledge_without_message_fails():
+    mailbox, _, _ = make_connected()
+    with pytest.raises(MailboxError):
+        mailbox.acknowledge(Mailbox.VF)
+
+
+def test_send_without_handler_fails():
+    mailbox = Mailbox()
+    with pytest.raises(MailboxError):
+        mailbox.send(Mailbox.VF, MailboxMessage("x"))
+
+
+def test_payload_size_limit():
+    with pytest.raises(MailboxError):
+        MailboxMessage("big", payload=tuple(range(17)))
+    MailboxMessage("fits", payload=tuple(range(16)))
+
+
+def test_unknown_side_rejected():
+    mailbox = Mailbox()
+    with pytest.raises(MailboxError):
+        mailbox.pending("hypervisor")
+
+
+def test_stats_count_sent_and_received():
+    mailbox, _, _ = make_connected()
+    mailbox.send(Mailbox.VF, MailboxMessage("a"))
+    mailbox.read(Mailbox.PF)
+    mailbox.acknowledge(Mailbox.PF)
+    sent, _ = mailbox.stats(Mailbox.VF)
+    _, received = mailbox.stats(Mailbox.PF)
+    assert sent == 1
+    assert received == 1

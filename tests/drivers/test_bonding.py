@@ -1,0 +1,134 @@
+"""Unit tests for the bonding driver."""
+
+import pytest
+
+from repro.drivers import BondingDriver
+from repro.drivers.bonding import SlaveDevice
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.sim import Simulator
+
+SRC = MacAddress(0x020000000001)
+DST = MacAddress(0x020000000002)
+
+
+class FakeSlave(SlaveDevice):
+    def __init__(self, name, carrier=True):
+        self._name = name
+        self._carrier = carrier
+        self.sent = []
+
+    @property
+    def slave_name(self):
+        return self._name
+
+    @property
+    def carrier(self):
+        return self._carrier
+
+    def set_carrier(self, on):
+        self._carrier = on
+
+    def transmit(self, burst):
+        self.sent.extend(burst)
+        return len(burst)
+
+
+def burst(n=3):
+    return [Packet(src=SRC, dst=DST) for _ in range(n)]
+
+
+def test_first_carrier_slave_becomes_active():
+    bond = BondingDriver(Simulator())
+    vf = FakeSlave("vf0")
+    bond.enslave(vf)
+    bond.enslave(FakeSlave("eth0"))
+    assert bond.active_slave == "vf0"
+
+
+def test_transmit_goes_through_active_only():
+    bond = BondingDriver(Simulator())
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    bond.transmit(burst(3))
+    assert len(vf.sent) == 3
+    assert pv.sent == []
+
+
+def test_carrier_loss_fails_over():
+    bond = BondingDriver(Simulator())
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    vf.set_carrier(False)
+    bond.carrier_changed("vf0")
+    assert bond.active_slave == "eth0"
+    bond.transmit(burst(2))
+    assert len(pv.sent) == 2
+
+
+def test_release_active_slave_fails_over():
+    bond = BondingDriver(Simulator())
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    bond.release("vf0")
+    assert bond.active_slave == "eth0"
+    assert "vf0" not in bond.slaves()
+
+
+def test_no_active_slave_drops():
+    bond = BondingDriver(Simulator())
+    down = FakeSlave("vf0", carrier=False)
+    bond.enslave(down)
+    assert bond.active_slave is None
+    assert bond.transmit(burst(4)) == 0
+    assert bond.tx_dropped == 4
+
+
+def test_carrier_return_reactivates_when_idle():
+    bond = BondingDriver(Simulator())
+    vf = FakeSlave("vf0", carrier=False)
+    bond.enslave(vf)
+    vf.set_carrier(True)
+    bond.carrier_changed("vf0")
+    assert bond.active_slave == "vf0"
+
+
+def test_set_active_requires_carrier():
+    bond = BondingDriver(Simulator())
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0", carrier=False)
+    bond.enslave(vf)
+    bond.enslave(pv)
+    with pytest.raises(RuntimeError):
+        bond.set_active("eth0")
+
+
+def test_unknown_slave_operations_rejected():
+    bond = BondingDriver(Simulator())
+    with pytest.raises(ValueError):
+        bond.set_active("nope")
+    with pytest.raises(ValueError):
+        bond.release("nope")
+
+
+def test_double_enslave_rejected():
+    bond = BondingDriver(Simulator())
+    bond.enslave(FakeSlave("vf0"))
+    with pytest.raises(ValueError):
+        bond.enslave(FakeSlave("vf0"))
+
+
+def test_failover_records():
+    sim = Simulator()
+    bond = BondingDriver(sim)
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    sim.run(until=2.0)
+    vf.set_carrier(False)
+    bond.carrier_changed("vf0")
+    records = bond.failovers
+    assert records[-1].to_slave == "eth0"
+    assert records[-1].time == 2.0

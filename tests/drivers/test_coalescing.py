@@ -1,0 +1,89 @@
+"""Unit tests for interrupt-coalescing policies."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.drivers import AdaptiveCoalescing, DynamicItr, FixedItr
+
+
+class TestFixedItr:
+    def test_interval_is_reciprocal(self):
+        assert FixedItr(2000).initial_interval() == pytest.approx(1 / 2000)
+
+    def test_never_adapts(self):
+        policy = FixedItr(2000)
+        assert policy.on_sample(1e6) is None
+        assert policy.on_sample(0) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedItr(0)
+
+
+class TestDynamicItr:
+    def test_rate_follows_traffic(self):
+        policy = DynamicItr(target_packets_per_interrupt=9, max_hz=9000,
+                            min_hz=500)
+        # 81.3 kpps -> capped at max.
+        assert policy.frequency_for(81300) == 9000
+        # 11.6 kpps (one seventh of a port) -> ~1.3 kHz.
+        assert policy.frequency_for(11600) == pytest.approx(1289, rel=0.01)
+        # Idle floor.
+        assert policy.frequency_for(0) == 500
+
+    def test_on_sample_returns_interval(self):
+        policy = DynamicItr(target_packets_per_interrupt=10, max_hz=10000)
+        assert policy.on_sample(50000) == pytest.approx(1 / 5000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DynamicItr(target_packets_per_interrupt=0)
+        with pytest.raises(ValueError):
+            DynamicItr(min_hz=0)
+        with pytest.raises(ValueError):
+            DynamicItr(min_hz=2000, max_hz=1000)
+
+
+class TestAdaptiveCoalescing:
+    def test_aic_equation(self):
+        """IF = max(pps x r / bufs, lif) with the paper's defaults:
+        bufs = min(64, 1024) = 64, r = 1.2 (§5.3 eq. 2)."""
+        costs = CostModel()
+        policy = AdaptiveCoalescing(costs)
+        assert costs.aic_bufs == 64
+        # 81.3 kpps UDP line rate -> 81.3k x 1.2 / 64 = ~1524 Hz.
+        assert policy.frequency_for(81274) == pytest.approx(1524, rel=0.01)
+
+    def test_lif_floor(self):
+        policy = AdaptiveCoalescing(CostModel(aic_lif_hz=900))
+        assert policy.frequency_for(0) == 900
+        assert policy.frequency_for(10000) == pytest.approx(900)
+
+    def test_frequency_scales_with_intervm_rates(self):
+        """Fig. 10: AIC raises the rate as inter-VM throughput climbs,
+        avoiding the fixed-2kHz overflow."""
+        policy = AdaptiveCoalescing(CostModel())
+        # 2.8 Gbps inter-VM -> ~233 kpps -> ~4.4 kHz, well above the
+        # fixed 2 kHz that drops packets.
+        assert policy.frequency_for(233000) == pytest.approx(4369, rel=0.01)
+        assert policy.frequency_for(233000) > 2000
+
+    def test_no_overflow_property(self):
+        """Above the lif floor, packets per interrupt stay at bufs/r —
+        r's worth of headroom below the buffer size (§5.3's goal)."""
+        costs = CostModel()
+        policy = AdaptiveCoalescing(costs)
+        for pps in [1e3, 5e4, 8.13e4, 2.33e5, 1e6]:
+            hz = policy.frequency_for(pps)
+            packets_per_interrupt = pps / hz
+            if hz > costs.aic_lif_hz:  # not floored
+                assert packets_per_interrupt == pytest.approx(
+                    costs.aic_bufs / costs.aic_redundancy)
+            assert packets_per_interrupt <= costs.aic_bufs
+
+    def test_sample_period_from_cost_model(self):
+        assert AdaptiveCoalescing(CostModel()).sample_period == 1.0
+
+    def test_negative_pps_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().aic_interrupt_hz(-1)

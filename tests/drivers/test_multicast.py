@@ -1,0 +1,81 @@
+"""Unit tests for the §4.2 multicast subscription flow."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+GROUP_A = MacAddress.parse("01:00:5e:00:00:01")
+GROUP_B = MacAddress.parse("01:00:5e:00:00:02")
+BROADCAST = MacAddress.parse("ff:ff:ff:ff:ff:ff")
+
+
+def build():
+    bed = Testbed(TestbedConfig(ports=1))
+    a = bed.add_sriov_guest(DomainKind.HVM)
+    b = bed.add_sriov_guest(DomainKind.HVM)
+    return bed, a, b
+
+
+def send(bed, dst, n=1):
+    bed.ports[0].wire_receive([Packet(src=REMOTE, dst=dst)
+                               for _ in range(n)])
+    bed.sim.run(until=bed.sim.now + 0.01)
+
+
+def test_multicast_delivers_to_subscribers_only():
+    bed, a, b = build()
+    a.driver.request_multicast([GROUP_A])
+    send(bed, GROUP_A, 3)
+    assert a.app.rx_packets == 3
+    assert b.app.rx_packets == 0
+
+
+def test_unsubscribed_group_dropped():
+    bed, a, b = build()
+    send(bed, GROUP_A, 2)
+    assert a.app.rx_packets == 0
+    assert b.app.rx_packets == 0
+
+
+def test_multiple_subscribers_all_receive():
+    bed, a, b = build()
+    a.driver.request_multicast([GROUP_A])
+    b.driver.request_multicast([GROUP_A, GROUP_B])
+    send(bed, GROUP_A)
+    send(bed, GROUP_B)
+    assert a.app.rx_packets == 1
+    assert b.app.rx_packets == 2
+
+
+def test_new_list_replaces_old():
+    """The mailbox message carries the *full* list; re-requesting with
+    a different list drops the old subscriptions."""
+    bed, a, b = build()
+    a.driver.request_multicast([GROUP_A])
+    a.driver.request_multicast([GROUP_B])
+    send(bed, GROUP_A)
+    send(bed, GROUP_B)
+    assert a.app.rx_packets == 1  # only GROUP_B now
+
+
+def test_broadcast_still_floods_everyone():
+    bed, a, b = build()
+    send(bed, BROADCAST)
+    assert a.app.rx_packets == 1
+    assert b.app.rx_packets == 1
+
+
+def test_request_logged_for_pf_inspection():
+    bed, a, b = build()
+    a.driver.request_multicast([GROUP_A])
+    assert "set_multicast" in bed.pf_drivers[0].vf_requests[a.vf.index]
+
+
+def test_unicast_address_rejected_for_subscription():
+    bed, a, b = build()
+    with pytest.raises(ValueError):
+        bed.ports[0].switch.subscribe_multicast(0, REMOTE)

@@ -1,0 +1,83 @@
+"""Unit tests for NAPI polling and the netserver app model."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.drivers import NapiContext, NetserverApp
+from repro.hw import DescriptorRing
+from repro.net import Packet
+from repro.net.mac import MacAddress
+
+SRC = MacAddress(0x020000000001)
+DST = MacAddress(0x020000000002)
+
+
+def loaded_ring(count):
+    ring = DescriptorRing(256)
+    for i in range(count):
+        ring.post(i * 4096, 2048)
+    for _ in range(count):
+        ring.consume(Packet(src=SRC, dst=DST))
+    return ring
+
+
+class TestNapi:
+    def test_poll_respects_budget(self):
+        napi = NapiContext(budget=64)
+        ring = loaded_ring(100)
+        first = napi.poll(ring)
+        assert len(first) == 64
+        assert napi.exhausted_polls == 1
+        second = napi.poll(ring)
+        assert len(second) == 36
+
+    def test_poll_all_drains(self):
+        napi = NapiContext(budget=64)
+        ring = loaded_ring(200)
+        collected = napi.poll_all(ring)
+        assert len(collected) == 200
+        assert napi.polls == 4  # 64+64+64+8
+        assert napi.packets == 200
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            NapiContext(budget=0)
+
+
+class TestNetserverApp:
+    def make_burst(self, n):
+        return [Packet(src=SRC, dst=DST, size_bytes=1500) for _ in range(n)]
+
+    def test_small_batch_fully_accepted(self):
+        app = NetserverApp(CostModel())
+        accepted, dropped = app.deliver(self.make_burst(40), now=0.0)
+        assert (accepted, dropped) == (40, 0)
+        assert app.rx_packets == 40
+
+    def test_batch_capacity_is_bufs_times_r(self):
+        costs = CostModel()
+        app = NetserverApp(costs)
+        assert app.batch_capacity == int(64 * 1.2)
+
+    def test_oversized_batch_drops_excess(self):
+        """The Fig. 10 mechanism: a 1 kHz interrupt delivering a full
+        line-rate second's 81 packets overflows the 76-packet sink."""
+        app = NetserverApp(CostModel())
+        accepted, dropped = app.deliver(self.make_burst(81), now=0.0)
+        assert accepted == 76
+        assert dropped == 5
+        assert app.loss_rate == pytest.approx(5 / 81)
+
+    def test_throughput_counts_payload(self):
+        app = NetserverApp(CostModel())
+        app.deliver(self.make_burst(10), now=0.0)
+        # 10 x 1472 payload bytes over 1 ms.
+        assert app.throughput_bps(1e-3) == pytest.approx(10 * 1472 * 8 / 1e-3)
+
+    def test_reset(self):
+        app = NetserverApp(CostModel())
+        app.deliver(self.make_burst(10), now=0.0)
+        app.reset()
+        assert app.rx_packets == 0
+        assert app.throughput_bps(1.0) == 0.0
+        assert app.loss_rate == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for the VMDq dom0 service path."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.net import Packet
+from repro.net.mac import MacAddress
+
+SRC = MacAddress.parse("02:00:00:00:99:99")
+
+
+def build(vm_count):
+    bed = Testbed(TestbedConfig(ports=1))
+    guests = [bed.add_vmdq_guest() for _ in range(vm_count)]
+    return bed, guests
+
+
+def send_to(bed, guest, n):
+    burst = [Packet(src=SRC, dst=guest.netfront.mac) for _ in range(n)]
+    bed._vmdq_port.wire_receive(burst)
+
+
+def test_first_seven_guests_get_dedicated_queues():
+    bed, guests = build(9)
+    assert bed.vmdq_service.dedicated_guest_count == 7
+
+
+def test_dedicated_guest_receives_packets():
+    bed, guests = build(3)
+    send_to(bed, guests[0], 10)
+    bed.sim.run()
+    assert guests[0].app.rx_packets == 10
+    assert bed.vmdq_service.delivered_packets == 10
+
+
+def test_fallback_guest_still_served():
+    bed, guests = build(9)
+    send_to(bed, guests[8], 5)  # guest 8 is on the default queue
+    bed.sim.run()
+    assert guests[8].app.rx_packets == 5
+
+
+def test_fallback_costs_more_than_dedicated():
+    bed, guests = build(9)
+    service = bed.vmdq_service
+    assert (service.cycles_per_packet(dedicated=False)
+            > service.cycles_per_packet(dedicated=True))
+
+
+def test_dom0_charged_for_copies():
+    bed, guests = build(2)
+    bed.platform.start_measurement()
+    send_to(bed, guests[0], 10)
+    bed.sim.run()
+    assert bed.platform.machine.cycles("dom0") > 0
+
+
+def test_unknown_mac_dropped():
+    bed, guests = build(1)
+    burst = [Packet(src=SRC, dst=MacAddress(0x02FFFFFFFFFF))]
+    bed._vmdq_port.wire_receive(burst)
+    bed.sim.run()
+    assert bed.vmdq_service.dropped_packets == 1
+
+
+def test_default_queue_single_thread_saturates():
+    """Fallback guests all share one service thread; flooding them
+    produces drops while dedicated guests keep flowing."""
+    bed, guests = build(9)
+    fallback = guests[8]
+    for _ in range(3000):
+        send_to(bed, fallback, 20)
+    bed.sim.run(until=0.05)
+    assert bed.vmdq_service.dropped_packets > 0
+
+
+def test_unregister_releases_queue():
+    bed, guests = build(8)
+    service = bed.vmdq_service
+    assert service.dedicated_guest_count == 7
+    service.unregister_guest(guests[0].netfront, guests[0].netfront.mac)
+    assert bed._vmdq_port.dedicated_queues_available == 1

@@ -1,0 +1,98 @@
+"""Unit tests for PCI configuration space and capability lists."""
+
+import pytest
+
+from repro.hw.pcie import CAP_ID_MSIX, ConfigSpace, EXT_CAP_ID_SRIOV
+from repro.hw.pcie.config_space import (
+    CAP_ID_MSI,
+    CAP_ID_PCIE,
+    EXT_CAP_ID_ACS,
+    OFF_CAP_POINTER,
+)
+
+
+def make_space():
+    return ConfigSpace(vendor_id=0x8086, device_id=0x10C9)  # Intel 82576
+
+
+def test_header_fields():
+    space = make_space()
+    assert space.vendor_id == 0x8086
+    assert space.device_id == 0x10C9
+
+
+def test_read_write_widths_little_endian():
+    space = make_space()
+    space.write32(0x40, 0x11223344)
+    assert space.read8(0x40) == 0x44
+    assert space.read8(0x43) == 0x11
+    assert space.read16(0x42) == 0x1122
+
+
+def test_out_of_range_access_rejected():
+    space = make_space()
+    with pytest.raises(IndexError):
+        space.read32(4094)
+    with pytest.raises(IndexError):
+        space.write8(-1, 0)
+
+
+def test_command_register_bits():
+    space = make_space()
+    assert not space.bus_master_enabled
+    space.enable_bus_master()
+    assert space.bus_master_enabled
+    space.enable_memory()
+    assert space.bus_master_enabled  # previous bit preserved
+
+
+def test_bars():
+    space = make_space()
+    space.set_bar(0, 0xF0000000)
+    space.set_bar(3, 0xF0020000)
+    assert space.bar(0) == 0xF0000000
+    assert space.bar(3) == 0xF0020000
+    with pytest.raises(ValueError):
+        space.set_bar(6, 0)
+
+
+def test_capability_chain_walk():
+    space = make_space()
+    msi = space.add_capability(CAP_ID_MSI, 24)
+    pcie = space.add_capability(CAP_ID_PCIE, 60)
+    msix = space.add_capability(CAP_ID_MSIX, 12)
+    found = list(space.capabilities())
+    assert found == [(CAP_ID_MSI, msi), (CAP_ID_PCIE, pcie), (CAP_ID_MSIX, msix)]
+    assert space.read8(OFF_CAP_POINTER) == msi
+
+
+def test_find_capability():
+    space = make_space()
+    space.add_capability(CAP_ID_MSI, 24)
+    offset = space.add_capability(CAP_ID_MSIX, 12)
+    assert space.find_capability(CAP_ID_MSIX) == offset
+    assert space.find_capability(CAP_ID_PCIE) is None
+
+
+def test_no_capabilities_walk_is_empty():
+    assert list(make_space().capabilities()) == []
+    assert list(make_space().extended_capabilities()) == []
+
+
+def test_extended_capability_chain():
+    space = make_space()
+    sriov = space.add_extended_capability(EXT_CAP_ID_SRIOV, 0x40)
+    acs = space.add_extended_capability(EXT_CAP_ID_ACS, 8)
+    assert sriov == 0x100
+    found = list(space.extended_capabilities())
+    assert found == [(EXT_CAP_ID_SRIOV, sriov), (EXT_CAP_ID_ACS, acs)]
+    assert space.find_extended_capability(EXT_CAP_ID_ACS) == acs
+    assert space.find_extended_capability(0x9999) is None
+
+
+def test_capability_length_validation():
+    space = make_space()
+    with pytest.raises(ValueError):
+        space.add_capability(CAP_ID_MSI, 1)
+    with pytest.raises(ValueError):
+        space.add_extended_capability(EXT_CAP_ID_SRIOV, 2)

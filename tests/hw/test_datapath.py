@@ -1,0 +1,56 @@
+"""Unit tests for the PCIe DMA data path."""
+
+import pytest
+
+from repro.hw.pcie import PcieDataPath
+from repro.sim import Simulator
+
+
+def test_transfer_time_scales_with_size():
+    path = PcieDataPath(Simulator(), effective_bps=1e9)
+    assert path.transfer_time(125) == pytest.approx(1e-6)
+    assert path.transfer_time(0) == 0.0
+    with pytest.raises(ValueError):
+        path.transfer_time(-1)
+
+
+def test_transfers_serialize():
+    sim = Simulator()
+    path = PcieDataPath(sim, effective_bps=1e9)
+    first = path.transfer(125_000)   # 1 ms
+    second = path.transfer(125_000)  # queued behind
+    assert first == pytest.approx(1e-3)
+    assert second == pytest.approx(2e-3)
+    assert path.backlog_seconds == pytest.approx(2e-3)
+
+
+def test_completion_callback_fires_at_finish():
+    sim = Simulator()
+    path = PcieDataPath(sim, effective_bps=1e9)
+    done = []
+    path.transfer(125_000, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1e-3)]
+
+
+def test_throughput_cap_with_double_crossing():
+    """The Fig. 13 ceiling: each inter-VM byte crosses twice, halving
+    the effective 5.6 Gb/s pipe to 2.8 Gb/s."""
+    path = PcieDataPath(Simulator())
+    assert path.throughput_cap_bps(crossings=2) == pytest.approx(2.8e9)
+    with pytest.raises(ValueError):
+        path.throughput_cap_bps(0)
+
+
+def test_utilization():
+    sim = Simulator()
+    path = PcieDataPath(sim, effective_bps=1e9)
+    path.transfer(62_500)  # 0.5 ms of a 1 ms window
+    sim.run(until=1e-3)
+    assert path.utilization(1e-3) == pytest.approx(0.5)
+    assert path.utilization(0) == 0.0
+
+
+def test_bandwidth_validated():
+    with pytest.raises(ValueError):
+        PcieDataPath(Simulator(), effective_bps=0)

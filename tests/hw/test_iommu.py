@@ -1,0 +1,112 @@
+"""Unit tests for IOMMU translation and protection."""
+
+import pytest
+
+from repro.hw import Iommu, IommuFault, IoPageTable, PAGE_SIZE
+
+
+def test_translate_mapped_page():
+    iommu = Iommu()
+    table = IoPageTable(domain_id=1)
+    table.map(guest_addr=0x1000, machine_addr=0x80000)
+    iommu.attach(rid=0x100, table=table)
+    assert iommu.translate(0x100, 0x1000) == 0x80000
+    assert iommu.translate(0x100, 0x1abc) == 0x80abc  # offset preserved
+    assert iommu.translations == 2
+
+
+def test_multi_page_mapping():
+    table = IoPageTable(domain_id=1)
+    table.map(0x0, 0x100000, size=4 * PAGE_SIZE)
+    assert table.mapped_pages == 4
+    assert table.lookup(0x3000) == (0x103000, True)
+
+
+def test_unmapped_address_faults():
+    iommu = Iommu()
+    table = IoPageTable(domain_id=1)
+    iommu.attach(0x100, table)
+    with pytest.raises(IommuFault) as excinfo:
+        iommu.translate(0x100, 0x5000)
+    assert "not mapped" in str(excinfo.value)
+    assert iommu.faults == 1
+
+
+def test_unknown_requester_faults():
+    iommu = Iommu()
+    with pytest.raises(IommuFault) as excinfo:
+        iommu.translate(0x999, 0x1000)
+    assert "no context entry" in str(excinfo.value)
+
+
+def test_write_to_readonly_page_faults():
+    iommu = Iommu()
+    table = IoPageTable(domain_id=1)
+    table.map(0x1000, 0x80000, writable=False)
+    iommu.attach(0x100, table)
+    assert iommu.translate(0x100, 0x1000, write=False) == 0x80000
+    with pytest.raises(IommuFault):
+        iommu.translate(0x100, 0x1000, write=True)
+
+
+def test_isolation_between_requesters():
+    """Two VFs with different RIDs see only their own VM's mappings —
+    the protection property SR-IOV inherits from Direct I/O."""
+    iommu = Iommu()
+    vm1 = IoPageTable(domain_id=1)
+    vm1.map(0x1000, 0xA0000)
+    vm2 = IoPageTable(domain_id=2)
+    vm2.map(0x1000, 0xB0000)
+    iommu.attach(0x100, vm1)
+    iommu.attach(0x102, vm2)
+    assert iommu.translate(0x100, 0x1000) == 0xA0000
+    assert iommu.translate(0x102, 0x1000) == 0xB0000
+    # VM1's VF cannot reach VM2-only addresses.
+    vm2.map(0x9000, 0xC0000)
+    with pytest.raises(IommuFault):
+        iommu.translate(0x100, 0x9000)
+
+
+def test_detach_revokes_access():
+    iommu = Iommu()
+    table = IoPageTable(domain_id=1)
+    table.map(0x1000, 0x80000)
+    iommu.attach(0x100, table)
+    iommu.detach(0x100)
+    with pytest.raises(IommuFault):
+        iommu.translate(0x100, 0x1000)
+
+
+def test_unmap_removes_translation():
+    table = IoPageTable(domain_id=1)
+    table.map(0x1000, 0x80000, size=2 * PAGE_SIZE)
+    table.unmap(0x1000)
+    assert table.lookup(0x1000) is None
+    assert table.lookup(0x2000) is not None
+
+
+def test_alignment_enforced():
+    table = IoPageTable(domain_id=1)
+    with pytest.raises(ValueError):
+        table.map(0x1001, 0x80000)
+    with pytest.raises(ValueError):
+        table.map(0x1000, 0x80001)
+    with pytest.raises(ValueError):
+        table.map(0x1000, 0x80000, size=100)
+    with pytest.raises(ValueError):
+        table.unmap(0x1, size=PAGE_SIZE)
+
+
+def test_remap_overwrites():
+    table = IoPageTable(domain_id=1)
+    table.map(0x1000, 0x80000)
+    table.map(0x1000, 0x90000)
+    assert table.lookup(0x1000) == (0x90000, True)
+
+
+def test_context_for_lookup():
+    iommu = Iommu()
+    table = IoPageTable(domain_id=7)
+    iommu.attach(0x42, table)
+    assert iommu.context_for(0x42) is table
+    assert iommu.context_for(0x43) is None

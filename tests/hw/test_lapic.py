@@ -1,0 +1,118 @@
+"""Unit tests for the LAPIC IRR/ISR state machine."""
+
+import pytest
+
+from repro.hw import Lapic, LapicError
+
+
+def test_fire_sets_irr():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    assert lapic.irr_contains(0x40)
+    assert not lapic.isr_contains(0x40)
+
+
+def test_ack_moves_irr_to_isr():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    assert lapic.ack() == 0x40
+    assert not lapic.irr_contains(0x40)
+    assert lapic.isr_contains(0x40)
+
+
+def test_eoi_retires_in_service_vector():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    lapic.ack()
+    assert lapic.eoi() == 0x40
+    assert lapic.in_service is None
+
+
+def test_highest_priority_vector_delivered_first():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    lapic.fire(0x80)
+    lapic.fire(0x60)
+    assert lapic.ack() == 0x80
+
+
+def test_lower_priority_blocked_while_higher_in_service():
+    lapic = Lapic()
+    lapic.fire(0x80)
+    lapic.ack()
+    lapic.fire(0x40)
+    assert not lapic.interrupt_window_open
+    with pytest.raises(LapicError):
+        lapic.ack()
+    lapic.eoi()
+    assert lapic.interrupt_window_open
+    assert lapic.ack() == 0x40
+
+
+def test_higher_priority_preempts_lower_in_service():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    lapic.ack()
+    lapic.fire(0x80)
+    assert lapic.interrupt_window_open
+    assert lapic.ack() == 0x80
+    # Nested EOIs retire in priority order.
+    assert lapic.eoi() == 0x80
+    assert lapic.eoi() == 0x40
+
+
+def test_same_priority_class_does_not_preempt():
+    lapic = Lapic()
+    lapic.fire(0x41)
+    lapic.ack()
+    lapic.fire(0x42)  # same class 0x4x
+    assert not lapic.interrupt_window_open
+
+
+def test_tpr_masks_low_priority_vectors():
+    lapic = Lapic()
+    lapic.tpr = 0x50
+    lapic.fire(0x45)
+    assert lapic.highest_pending is None
+    lapic.fire(0x65)
+    assert lapic.highest_pending == 0x65
+
+
+def test_spurious_eoi_counted_not_fatal():
+    lapic = Lapic()
+    assert lapic.eoi() is None
+    assert lapic.spurious_eois == 1
+
+
+def test_reserved_vectors_rejected():
+    lapic = Lapic()
+    for vector in [0, 31, 256, -1]:
+        with pytest.raises(LapicError):
+            lapic.fire(vector)
+
+
+def test_ack_without_pending_raises():
+    with pytest.raises(LapicError):
+        Lapic().ack()
+
+
+def test_duplicate_fire_collapses():
+    """IRR is a bitmap: firing the same vector twice delivers once."""
+    lapic = Lapic()
+    lapic.fire(0x40)
+    lapic.fire(0x40)
+    lapic.ack()
+    lapic.eoi()
+    assert lapic.highest_pending is None
+
+
+def test_reset_clears_state():
+    lapic = Lapic()
+    lapic.fire(0x40)
+    lapic.ack()
+    lapic.fire(0x50)
+    lapic.tpr = 0x30
+    lapic.reset()
+    assert lapic.pending_vectors() == []
+    assert lapic.in_service_vectors() == []
+    assert lapic.tpr == 0

@@ -1,0 +1,108 @@
+"""Unit tests for MSI-X mask/pending semantics."""
+
+import pytest
+
+from repro.hw import MsiMessage, MsixCapability
+
+
+def make_capability(size=4):
+    delivered = []
+    capability = MsixCapability(size, delivered.append)
+    for i in range(size):
+        capability.configure(i, MsiMessage(address=0xFEE00000, data=0x40 + i))
+        capability.unmask(i)
+    return capability, delivered
+
+
+def test_entries_come_up_masked():
+    capability = MsixCapability(2)
+    assert capability.is_masked(0)
+    assert capability.is_masked(1)
+
+
+def test_raise_unmasked_delivers_message():
+    capability, delivered = make_capability()
+    assert capability.raise_vector(0) is True
+    assert delivered == [MsiMessage(address=0xFEE00000, data=0x40)]
+
+
+def test_vector_encoded_in_data_low_byte():
+    message = MsiMessage(address=0xFEE00000, data=0x12345)
+    assert message.vector == 0x45
+
+
+def test_raise_masked_sets_pending():
+    capability, delivered = make_capability()
+    capability.mask(1)
+    assert capability.raise_vector(1) is False
+    assert delivered == []
+    assert capability.is_pending(1)
+
+
+def test_unmask_flushes_pending():
+    capability, delivered = make_capability()
+    capability.mask(0)
+    capability.raise_vector(0)
+    capability.unmask(0)
+    assert len(delivered) == 1
+    assert not capability.is_pending(0)
+
+
+def test_pending_collapses_multiple_raises():
+    capability, delivered = make_capability()
+    capability.mask(0)
+    capability.raise_vector(0)
+    capability.raise_vector(0)
+    capability.unmask(0)
+    assert len(delivered) == 1
+
+
+def test_mask_unmask_writes_counted():
+    """§5.1's optimization is about who emulates these writes — they
+    must be observable."""
+    capability, _ = make_capability()
+    baseline = capability.unmask_writes
+    capability.mask(0)
+    capability.unmask(0)
+    capability.mask(0)
+    assert capability.mask_writes >= 2
+    assert capability.unmask_writes == baseline + 1
+
+
+def test_unconfigured_entry_raise_fails():
+    capability = MsixCapability(1, lambda message: None)
+    capability.unmask(0)
+    with pytest.raises(RuntimeError):
+        capability.raise_vector(0)
+
+
+def test_no_fabric_fails():
+    capability = MsixCapability(1)
+    capability.configure(0, MsiMessage(0xFEE00000, 0x40))
+    capability.unmask(0)
+    with pytest.raises(RuntimeError):
+        capability.raise_vector(0)
+
+
+def test_out_of_range_index_rejected():
+    capability, _ = make_capability(2)
+    with pytest.raises(IndexError):
+        capability.mask(2)
+    with pytest.raises(IndexError):
+        capability.raise_vector(-1)
+
+
+def test_table_size_validated():
+    with pytest.raises(ValueError):
+        MsixCapability(0)
+    with pytest.raises(ValueError):
+        MsixCapability(4096)
+
+
+def test_pending_vectors_listing():
+    capability, _ = make_capability(4)
+    capability.mask(1)
+    capability.mask(3)
+    capability.raise_vector(1)
+    capability.raise_vector(3)
+    assert capability.pending_vectors() == [1, 3]

@@ -1,0 +1,88 @@
+"""Unit tests for the generic register file."""
+
+import pytest
+
+from repro.hw.registers import RegisterError, RegisterFile
+
+
+def test_define_read_write_roundtrip():
+    regs = RegisterFile("test")
+    regs.define("CTRL", 0x0, reset_value=0x1234)
+    assert regs.read(0x0) == 0x1234
+    regs.write(0x0, 0xDEADBEEF)
+    assert regs.read_by_name("CTRL") == 0xDEADBEEF
+
+
+def test_values_masked_to_32_bits():
+    regs = RegisterFile()
+    regs.define("X", 0x0)
+    regs.write(0x0, 0x1_FFFF_FFFF)
+    assert regs.read(0x0) == 0xFFFF_FFFF
+
+
+def test_alignment_and_duplicates_rejected():
+    regs = RegisterFile()
+    with pytest.raises(RegisterError):
+        regs.define("BAD", 0x2)
+    regs.define("A", 0x0)
+    with pytest.raises(RegisterError):
+        regs.define("B", 0x0)
+    with pytest.raises(RegisterError):
+        regs.define("A", 0x4)
+
+
+def test_undefined_access_rejected():
+    regs = RegisterFile()
+    with pytest.raises(RegisterError):
+        regs.read(0x100)
+    with pytest.raises(RegisterError):
+        regs.write(0x100, 0)
+    with pytest.raises(RegisterError):
+        regs.read_by_name("NOPE")
+
+
+def test_read_only_enforced_for_software_not_hardware():
+    regs = RegisterFile()
+    regs.define("STATUS", 0x8, read_only=True)
+    with pytest.raises(RegisterError):
+        regs.write(0x8, 1)
+    regs.poke("STATUS", 0x2)  # the device itself may update it
+    assert regs.read(0x8) == 0x2
+
+
+def test_write_hook_sees_old_and_new():
+    regs = RegisterFile()
+    seen = []
+    regs.define("CTRL", 0x0, reset_value=5,
+                on_write=lambda old, new: seen.append((old, new)))
+    regs.write(0x0, 9)
+    assert seen == [(5, 9)]
+
+
+def test_dynamic_read_hook():
+    regs = RegisterFile()
+    state = {"link": True}
+    regs.define("STATUS", 0x8, read_only=True,
+                on_read=lambda: 2 if state["link"] else 0)
+    assert regs.read(0x8) == 2
+    state["link"] = False
+    assert regs.read(0x8) == 0
+
+
+def test_reset_restores_reset_values():
+    regs = RegisterFile()
+    regs.define("A", 0x0, reset_value=7)
+    regs.write(0x0, 99)
+    regs.reset()
+    assert regs.read(0x0) == 7
+
+
+def test_registers_listing_and_stats():
+    regs = RegisterFile()
+    regs.define("B", 0x4)
+    regs.define("A", 0x0)
+    assert [name for name, _, _ in regs.registers()] == ["A", "B"]
+    regs.read(0x0)
+    regs.write(0x4, 1)
+    assert regs.reads == 1
+    assert regs.writes == 1

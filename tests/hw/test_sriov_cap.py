@@ -1,0 +1,91 @@
+"""Unit tests for the SR-IOV extended capability."""
+
+import pytest
+
+from repro.hw.pcie import ConfigSpace, SriovCapability
+from repro.hw.pcie.topology import make_rid
+
+
+def make_capability(total_vfs=8):
+    config = ConfigSpace(vendor_id=0x8086, device_id=0x10C9)
+    return SriovCapability(config, total_vfs=total_vfs, vf_device_id=0x10CA)
+
+
+def test_initial_state():
+    cap = make_capability()
+    assert cap.total_vfs == 8
+    assert cap.num_vfs == 0
+    assert not cap.vf_enabled
+    assert cap.vf_device_id == 0x10CA
+
+
+def test_enable_flow():
+    cap = make_capability()
+    cap.num_vfs = 7
+    cap.enable_vfs()
+    assert cap.vf_enabled
+    cap.disable_vfs()
+    assert not cap.vf_enabled
+
+
+def test_cannot_enable_zero_vfs():
+    cap = make_capability()
+    with pytest.raises(RuntimeError):
+        cap.enable_vfs()
+
+
+def test_num_vfs_locked_while_enabled():
+    cap = make_capability()
+    cap.num_vfs = 4
+    cap.enable_vfs()
+    with pytest.raises(RuntimeError):
+        cap.num_vfs = 2
+
+
+def test_num_vfs_bounded_by_total():
+    cap = make_capability(total_vfs=8)
+    with pytest.raises(ValueError):
+        cap.num_vfs = 9
+    with pytest.raises(ValueError):
+        cap.num_vfs = -1
+
+
+def test_vf_rid_arithmetic():
+    """VF i answers at PF_RID + offset + i*stride (SR-IOV spec)."""
+    cap = make_capability()
+    pf_rid = make_rid(bus=1, device=0, function=0)  # 0x0100
+    assert cap.vf_rid(pf_rid, 0) == 0x0100 + 0x80
+    assert cap.vf_rid(pf_rid, 1) == 0x0100 + 0x80 + 2
+    assert cap.vf_rid(pf_rid, 6) == 0x0100 + 0x80 + 12
+
+
+def test_vf_rids_unique_across_vfs():
+    cap = make_capability()
+    cap.num_vfs = 7
+    rids = cap.vf_rids(pf_rid=0x0100)
+    assert len(rids) == 7
+    assert len(set(rids)) == 7
+
+
+def test_vf_rid_index_bounds():
+    cap = make_capability(total_vfs=4)
+    with pytest.raises(IndexError):
+        cap.vf_rid(0x0100, 4)
+    with pytest.raises(IndexError):
+        cap.vf_rid(0x0100, -1)
+
+
+def test_constructor_validation():
+    config = ConfigSpace(0x8086, 0x10C9)
+    with pytest.raises(ValueError):
+        SriovCapability(config, total_vfs=0, vf_device_id=0x10CA)
+    config2 = ConfigSpace(0x8086, 0x10C9)
+    with pytest.raises(ValueError):
+        SriovCapability(config2, total_vfs=8, vf_device_id=0x10CA, vf_stride=0)
+
+
+def test_capability_discoverable_in_config_space():
+    config = ConfigSpace(0x8086, 0x10C9)
+    cap = SriovCapability(config, total_vfs=8, vf_device_id=0x10CA)
+    from repro.hw.pcie import EXT_CAP_ID_SRIOV
+    assert config.find_extended_capability(EXT_CAP_ID_SRIOV) == cap.offset

@@ -1,0 +1,141 @@
+"""Unit tests for PCIe topology, enumeration, and ACS routing."""
+
+import pytest
+
+from repro.hw import Iommu, IoPageTable
+from repro.hw.pcie import (
+    AcsViolation,
+    ConfigSpace,
+    PciFunction,
+    RootComplex,
+    Switch,
+    format_rid,
+    make_rid,
+)
+from repro.hw.pcie.config_space import INVALID_VENDOR_ID
+
+
+def make_function(name="fn", responds=True):
+    return PciFunction(ConfigSpace(0x8086, 0x10C9), responds_to_scan=responds,
+                       name=name)
+
+
+def test_rid_encoding_and_format():
+    rid = make_rid(bus=3, device=2, function=1)
+    assert rid == (3 << 8) | (2 << 3) | 1
+    assert format_rid(rid) == "03:02.1"
+    with pytest.raises(ValueError):
+        make_rid(256, 0, 0)
+    with pytest.raises(ValueError):
+        make_rid(0, 32, 0)
+    with pytest.raises(ValueError):
+        make_rid(0, 0, 8)
+
+
+def test_scan_finds_only_responding_functions():
+    """VFs do not answer vendor-ID probes (paper §4.1)."""
+    rc = RootComplex()
+    pf = make_function("pf", responds=True)
+    vf = make_function("vf", responds=False)
+    rc.attach(pf, bus=1, device=0)
+    rc.attach_at_rid(vf, 0x0180)
+    found = rc.scan()
+    assert found == [pf]
+    assert rc.probe(0x0180) == INVALID_VENDOR_ID
+
+
+def test_duplicate_rid_rejected():
+    rc = RootComplex()
+    rc.attach(make_function(), bus=1, device=0)
+    with pytest.raises(ValueError):
+        rc.attach(make_function(), bus=1, device=0)
+
+
+def test_hot_add_surfaces_vf():
+    rc = RootComplex()
+    vf = make_function("vf", responds=False)
+    rc.hot_add(vf, 0x0180)
+    assert rc.function_at(0x0180) is vf
+    assert rc.hot_added == [0x0180]
+
+
+def test_detach_frees_rid():
+    rc = RootComplex()
+    fn = make_function()
+    rc.attach(fn, bus=1, device=0)
+    rc.detach(fn)
+    assert fn.rid is None
+    rc.attach(make_function(), bus=1, device=0)  # RID reusable
+
+
+def build_p2p_scene(acs_on):
+    """Two VFs under one switch; attacker tries peer MMIO."""
+    iommu = Iommu()
+    rc = RootComplex(iommu)
+    switch = Switch(port_count=2)
+    rc.add_switch(switch)
+    attacker = make_function("vf-attacker", responds=False)
+    victim = make_function("vf-victim", responds=False)
+    rc.attach_at_rid(attacker, 0x0180)
+    rc.attach_at_rid(victim, 0x0182)
+    switch.ports[0].attach(attacker)
+    switch.ports[1].attach(victim)
+    victim.map_mmio(base=0xF0000000, size=0x4000)
+    # Attacker's VM has a legitimate DMA mapping of its own.
+    table = IoPageTable(domain_id=1)
+    table.map(0x1000, 0x80000)
+    iommu.attach(0x0180, table)
+    if acs_on:
+        switch.enable_acs_redirect()
+    return rc, attacker, victim
+
+
+def test_p2p_without_acs_is_the_security_hole():
+    rc, attacker, victim = build_p2p_scene(acs_on=False)
+    route = rc.memory_write(attacker, 0xF0001000)
+    assert route == "direct-p2p"
+    assert victim.mmio_writes_received == 1
+    assert rc.p2p_direct_routed == 1
+
+
+def test_acs_redirect_blocks_p2p():
+    """With ACS upstream redirect, the peer write is forced through the
+    root complex and rejected (paper §4.3)."""
+    rc, attacker, victim = build_p2p_scene(acs_on=True)
+    with pytest.raises(AcsViolation):
+        rc.memory_write(attacker, 0xF0001000)
+    assert victim.mmio_writes_received == 0
+    assert rc.p2p_redirected == 1
+
+
+def test_legitimate_dma_unaffected_by_acs():
+    rc, attacker, _ = build_p2p_scene(acs_on=True)
+    assert rc.memory_write(attacker, 0x1000) == "upstream"
+
+
+def test_dma_without_mapping_faults_through_iommu():
+    from repro.hw import IommuFault
+    rc, attacker, _ = build_p2p_scene(acs_on=True)
+    with pytest.raises(IommuFault):
+        rc.memory_write(attacker, 0xDEAD000)
+
+
+def test_unattached_source_rejected():
+    rc = RootComplex()
+    with pytest.raises(RuntimeError):
+        rc.memory_write(make_function(), 0x1000)
+
+
+def test_mmio_window_bounds():
+    fn = make_function()
+    fn.map_mmio(0x1000, 0x100)
+    assert fn.owns_address(0x1000)
+    assert fn.owns_address(0x10FF)
+    assert not fn.owns_address(0x1100)
+    with pytest.raises(ValueError):
+        fn.map_mmio(0x0, 0)
+
+
+def test_switch_requires_ports():
+    with pytest.raises(ValueError):
+        Switch(port_count=0)

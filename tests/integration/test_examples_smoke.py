@@ -1,0 +1,32 @@
+"""Smoke tests: the fast examples must run end to end.
+
+(The slower sweeps — scalability, coalescing, migration — are exercised
+by the benchmarks; here we only guard the quickstart-class scripts
+against bitrot.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Aggregate throughput" in out
+    assert "957" in out
+
+
+def test_vmm_portability(capsys):
+    out = run_example("vmm_portability.py", capsys)
+    assert "Xen" in out
+    assert "KVM" in out
+    assert "bare metal" in out

@@ -1,0 +1,125 @@
+"""Failure injection: the §4.2 physical events under live traffic."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.drivers.netfront import Netfront
+from repro.migration import DnisGuest
+from repro.net import Packet, udp_goodput_bps
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+
+
+def build(vm_count=2):
+    bed = Testbed(TestbedConfig(ports=1))
+    guests = [bed.add_sriov_guest(DomainKind.HVM) for _ in range(vm_count)]
+    return bed, guests
+
+
+def feed(bed, guest, n=5):
+    guest.port.wire_receive([Packet(src=REMOTE, dst=guest.vf.mac)
+                             for _ in range(n)])
+    bed.sim.run(until=bed.sim.now + 0.005)
+
+
+class TestGlobalReset:
+    def test_reset_notifies_every_vf_driver(self):
+        bed, guests = build()
+        bed.pf_drivers[0].global_reset()
+        for guest in guests:
+            assert "reset" in guest.driver.link_events
+            assert guest.driver.resets_handled == 1
+
+    def test_traffic_lost_during_reset_window(self):
+        bed, guests = build()
+        bed.pf_drivers[0].global_reset(duration=0.01)
+        feed(bed, guests[0], 5)  # inside the reset window... almost:
+        # feed() advances 5ms < 10ms window; packets were offered while
+        # the VF was quiesced.
+        assert guests[0].app.rx_packets == 0
+        assert guests[0].vf.rx_no_desc_drops == 5
+
+    def test_traffic_resumes_after_reinit(self):
+        bed, guests = build()
+        bed.pf_drivers[0].global_reset(duration=0.01)
+        bed.sim.run(until=bed.sim.now + 0.02)
+        feed(bed, guests[0], 5)
+        assert guests[0].app.rx_packets == 5
+
+    def test_pf_data_path_also_resets(self):
+        bed, guests = build()
+        pf_driver = bed.pf_drivers[0]
+        pf_driver.global_reset(duration=0.01)
+        assert not bed.ports[0].pf.enabled
+        bed.sim.run(until=bed.sim.now + 0.02)
+        assert bed.ports[0].pf.enabled
+
+    def test_stopped_driver_ignores_reinit(self):
+        bed, guests = build()
+        bed.pf_drivers[0].global_reset(duration=0.01)
+        guests[0].driver.stop()
+        bed.sim.run(until=bed.sim.now + 0.02)
+        assert not guests[0].vf.enabled
+
+
+class TestLinkChange:
+    def test_link_down_propagates_to_all_vf_drivers(self):
+        bed, guests = build()
+        bed.pf_drivers[0].notify_link_change(up=False)
+        for guest in guests:
+            assert not guest.driver.carrier
+
+    def test_carrier_callback_fires_once_per_transition(self):
+        bed, guests = build()
+        transitions = []
+        guests[0].driver.on_carrier_change = transitions.append
+        bed.pf_drivers[0].notify_link_change(up=False)
+        bed.pf_drivers[0].notify_link_change(up=False)  # no-op repeat
+        bed.pf_drivers[0].notify_link_change(up=True)
+        assert transitions == [False, True]
+
+    def test_link_down_fails_bond_over_to_pv(self):
+        """The DNIS bond reacts to the physical link, not just hot-plug:
+        a dead line on the VF side fails over to the PV NIC."""
+        bed, guests = build(1)
+        sriov = guests[0]
+        netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+        bed.netback.connect(netfront)
+        guest = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
+                          bed.hotplug)
+        sriov.driver.on_carrier_change = (
+            lambda up: guest.bond.carrier_changed("vf0"))
+        assert guest.active_path == "vf0"
+        bed.pf_drivers[0].notify_link_change(up=False)
+        assert guest.active_path == "eth0"
+        bed.pf_drivers[0].notify_link_change(up=True)
+        assert guest.bond.active_slave in ("eth0", "vf0")  # standby ok
+
+
+class TestDriverRemoval:
+    def test_removal_quiesces_vf_drivers(self):
+        bed, guests = build()
+        bed.pf_drivers[0].announce_removal()
+        for guest in guests:
+            assert not guest.driver.running
+            assert not guest.vf.enabled
+        assert not bed.pf_drivers[0].running
+
+
+class TestIommuFaultContainment:
+    def test_bad_descriptor_faults_only_that_vf(self):
+        """A guest programming a bogus DMA address harms nobody else."""
+        bed, guests = build()
+        victim, healthy = guests
+        # Poison the victim's ring with unmapped buffer addresses.
+        victim.vf.rx_ring.reset()
+        while not victim.vf.rx_ring.full:
+            victim.vf.rx_ring.post(0xBAD_0000_0000, 2048)
+        feed(bed, victim, 3)
+        assert victim.vf.rx_dma_faults == 3
+        assert victim.app.rx_packets == 0
+        # The healthy guest is unaffected.
+        feed(bed, healthy, 3)
+        assert healthy.app.rx_packets == 3

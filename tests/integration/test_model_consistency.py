@@ -1,0 +1,62 @@
+"""Model self-consistency: the accounting must stay physical."""
+
+import pytest
+
+from repro.core import ExperimentRunner
+from repro.drivers import FixedItr
+from repro.vmm import DomainKind
+
+RUNNER = ExperimentRunner(warmup=0.4, duration=0.4)
+
+
+def run_and_platform(fn):
+    """Run an experiment while keeping the testbed reachable."""
+    captured = {}
+    original = ExperimentRunner._measure
+
+    def spy(self, bed, apps, drivers):
+        captured["bed"] = bed
+        return original(self, bed, apps, drivers)
+
+    ExperimentRunner._measure = spy
+    try:
+        result = fn()
+    finally:
+        ExperimentRunner._measure = original
+    return result, captured["bed"]
+
+
+def test_no_core_exceeds_capacity_sriov():
+    """Every charge-based path must fit its core: the paper's whole
+    point is that per-VM costs are a few percent."""
+    result, bed = run_and_platform(
+        lambda: RUNNER.run_sriov(16, ports=8,
+                                 policy_factory=lambda: FixedItr(2000)))
+    assert bed.platform.machine.overcommitted_cores() == []
+
+
+def test_no_core_exceeds_capacity_pv():
+    result, bed = run_and_platform(
+        lambda: RUNNER.run_pv(10, kind=DomainKind.HVM))
+    assert bed.platform.machine.overcommitted_cores() == []
+
+
+def test_cpu_breakdown_sums_to_total():
+    result = RUNNER.run_sriov(4, ports=2,
+                              policy_factory=lambda: FixedItr(2000))
+    assert result.total_cpu_percent == pytest.approx(sum(result.cpu.values()))
+
+
+def test_throughput_never_exceeds_offered():
+    result = RUNNER.run_sriov(2, ports=1,
+                              policy_factory=lambda: FixedItr(2000))
+    from repro.net import udp_goodput_bps
+    assert result.throughput_bps <= udp_goodput_bps(1e9) * 1.01
+
+
+def test_determinism_across_runs():
+    a = RUNNER.run_sriov(3, ports=3, policy_factory=lambda: FixedItr(2000))
+    b = RUNNER.run_sriov(3, ports=3, policy_factory=lambda: FixedItr(2000))
+    assert a.throughput_bps == b.throughput_bps
+    assert a.cpu == b.cpu
+    assert a.latency_mean == b.latency_mean

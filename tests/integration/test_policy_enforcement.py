@@ -1,0 +1,94 @@
+"""§4.3 policy enforcement: bandwidth caps and interrupt-throttle
+floors imposed by the PF driver."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+
+
+def build():
+    bed = Testbed(TestbedConfig(ports=1))
+    guest = bed.add_sriov_guest(DomainKind.HVM)
+    return bed, guest, bed.pf_drivers[0]
+
+
+class TestRateLimit:
+    def offer_tx(self, bed, guest, duration=0.5, rate_pps=20000):
+        interval = 1.0 / rate_pps
+        t = bed.sim.now
+        end = t + duration
+        while t < end:
+            bed.sim.schedule_at(t, guest.driver.transmit,
+                                [Packet(src=guest.vf.mac, dst=REMOTE)])
+            t += interval
+        bed.sim.run(until=end)
+
+    def test_unlimited_by_default(self):
+        bed, guest, pf = build()
+        self.offer_tx(bed, guest, duration=0.1)
+        assert guest.vf.tx_rate_limited_drops == 0
+
+    def test_cap_enforced_by_token_bucket(self):
+        bed, guest, pf = build()
+        pf.set_vf_rate_limit(guest.vf.index, 100e6)  # 100 Mbps cap
+        before = guest.vf.tx_bytes
+        self.offer_tx(bed, guest, duration=1.0)  # offers ~240 Mbps
+        sent_bps = (guest.vf.tx_bytes - before) * 8 / 1.0
+        assert sent_bps <= 100e6 * 1.05
+        assert guest.vf.tx_rate_limited_drops > 0
+
+    def test_cap_removal_restores_full_rate(self):
+        bed, guest, pf = build()
+        pf.set_vf_rate_limit(guest.vf.index, 100e6)
+        pf.set_vf_rate_limit(guest.vf.index, 0)
+        before_drops = guest.vf.tx_rate_limited_drops
+        self.offer_tx(bed, guest, duration=0.1)
+        assert guest.vf.tx_rate_limited_drops == before_drops
+
+    def test_negative_rate_rejected(self):
+        bed, guest, pf = build()
+        with pytest.raises(ValueError):
+            pf.set_vf_rate_limit(guest.vf.index, -1)
+
+
+class TestItrFloor:
+    def test_guest_request_below_floor_clamped(self):
+        bed, guest, pf = build()
+        pf.set_vf_itr_floor(guest.vf.index, max_interrupt_hz=2000)
+        # Guest asks for 20 kHz; the floor clamps to 2 kHz.
+        guest.vf.regs.write_by_name("VTEITR0", 50)  # 50 us -> 20 kHz
+        assert guest.vf.throttle.interval == pytest.approx(500e-6)
+
+    def test_requests_above_floor_pass_through(self):
+        bed, guest, pf = build()
+        pf.set_vf_itr_floor(guest.vf.index, max_interrupt_hz=2000)
+        guest.vf.regs.write_by_name("VTEITR0", 1000)  # 1 ms -> 1 kHz
+        assert guest.vf.throttle.interval == pytest.approx(1e-3)
+
+    def test_floor_applies_immediately(self):
+        bed, guest, pf = build()
+        guest.vf.regs.write_by_name("VTEITR0", 50)  # 20 kHz, no floor yet
+        pf.set_vf_itr_floor(guest.vf.index, max_interrupt_hz=2000)
+        assert guest.vf.throttle.interval == pytest.approx(500e-6)
+
+    def test_interrupt_rate_actually_bounded(self):
+        bed, guest, pf = build()
+        pf.set_vf_itr_floor(guest.vf.index, max_interrupt_hz=1000)
+        guest.vf.regs.write_by_name("VTEITR0", 50)  # asks for 20 kHz
+        stream = bed.attach_client_to_sriov(guest, 500e6)
+        stream.start()
+        bed.sim.run(until=bed.sim.now + 0.5)
+        before = guest.driver.interrupts_handled
+        bed.sim.run(until=bed.sim.now + 0.5)
+        rate = (guest.driver.interrupts_handled - before) / 0.5
+        assert rate <= 1000 * 1.05
+
+    def test_invalid_ceiling_rejected(self):
+        bed, guest, pf = build()
+        with pytest.raises(ValueError):
+            pf.set_vf_itr_floor(guest.vf.index, 0)

@@ -1,0 +1,28 @@
+"""Integration tests for the transmit-side extension experiment."""
+
+import pytest
+
+from repro.core import ExperimentRunner
+from repro.net import udp_goodput_bps
+
+RUNNER = ExperimentRunner(warmup=0.3, duration=0.3)
+
+
+def test_tx_reaches_line_rate():
+    result = RUNNER.run_sriov_tx(2, ports=2)
+    assert result.throughput_bps == pytest.approx(2 * udp_goodput_bps(1e9),
+                                                  rel=0.03)
+    assert result.loss_rate < 0.01
+
+
+def test_tx_shares_port_line_rate():
+    """Four guests on two ports: aggregate still two ports' worth."""
+    result = RUNNER.run_sriov_tx(4, ports=2)
+    assert result.throughput_bps == pytest.approx(2 * udp_goodput_bps(1e9),
+                                                  rel=0.03)
+
+
+def test_tx_charges_guests_not_dom0():
+    result = RUNNER.run_sriov_tx(2, ports=2)
+    assert result.cpu["guest"] > 0
+    assert result.cpu["dom0"] <= 3.0  # device-model floor only

@@ -1,0 +1,68 @@
+"""Unit tests for migration abort."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.drivers.netfront import Netfront
+from repro.migration import DnisGuest, MigrationManager, PrecopyConfig
+from repro.vmm import DomainKind
+
+SLOW = PrecopyConfig(memory_bytes=512 * 1024 * 1024, dirty_ratio=0.3)
+
+
+def build_pv():
+    bed = Testbed(TestbedConfig(ports=1))
+    pv = bed.add_pv_guest(DomainKind.HVM)
+    manager = MigrationManager(bed.platform, bed.hotplug, SLOW)
+    process, report = manager.migrate_pv(pv.netfront, start_at=0.5)
+    return bed, pv, manager, process, report
+
+
+def test_abort_during_precopy_keeps_service_up():
+    bed, pv, manager, process, report = build_pv()
+    bed.sim.run(until=2.0)  # mid pre-copy
+    manager.abort(process, report, pv.netfront)
+    bed.sim.run(until=3.0)
+    assert not process.alive
+    assert pv.netfront.carrier_on
+    assert ("aborted" in [name for _, name in report.events])
+    # The blackout never happened.
+    assert report.blackout_start == 0.0
+
+
+def test_abort_after_commit_point_refused():
+    bed, pv, manager, process, report = build_pv()
+    blackout_at = 0.5 + manager.model.precopy_time
+    bed.sim.run(until=blackout_at + 0.1)
+    with pytest.raises(RuntimeError):
+        manager.abort(process, report, pv.netfront)
+    # Migration proceeds to completion.
+    bed.sim.run(until=blackout_at + manager.model.downtime + 1.0)
+    assert not process.alive
+    assert pv.netfront.carrier_on
+
+
+def test_abort_completed_migration_refused():
+    bed, pv, manager, process, report = build_pv()
+    bed.sim.run(until=60.0)
+    assert not process.alive
+    with pytest.raises(RuntimeError):
+        manager.abort(process, report, pv.netfront)
+
+
+def test_dnis_abort_restores_vf():
+    bed = Testbed(TestbedConfig(ports=1))
+    sriov = bed.add_sriov_guest(DomainKind.HVM)
+    netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+    bed.netback.connect(netfront)
+    guest = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
+                      bed.hotplug)
+    manager = MigrationManager(bed.platform, bed.hotplug, SLOW)
+    process, report = manager.migrate_dnis(guest, start_at=0.5)
+    bed.sim.run(until=3.0)  # VF already ejected, pre-copy underway
+    assert not guest.vf_driver.running
+    manager.abort(process, report, netfront, dnis_guest=guest)
+    bed.sim.run(until=4.0)
+    # Back on the VF at the source platform.
+    assert guest.vf_driver.running
+    assert guest.active_path == "vf0"

@@ -1,0 +1,132 @@
+"""End-to-end tests for DNIS and the migration manager."""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.migration import DnisGuest, MigrationManager, PrecopyConfig
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+
+FAST_CONFIG = PrecopyConfig(memory_bytes=64 * 1024 * 1024, dirty_ratio=0.25,
+                            min_round_bytes=8 * 1024 * 1024,
+                            restore_overhead=0.3)
+
+
+def build_dnis():
+    bed = Testbed(TestbedConfig(ports=1))
+    sriov = bed.add_sriov_guest(DomainKind.HVM)
+    netfront_guest_app = sriov.app  # shared app: same service either path
+    from repro.drivers.netfront import Netfront
+    netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+    bed.netback.connect(netfront)
+    guest = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
+                      bed.hotplug)
+    manager = MigrationManager(bed.platform, bed.hotplug, FAST_CONFIG)
+    return bed, sriov, guest, manager
+
+
+def feed(bed, guest, n=5):
+    burst = [Packet(src=REMOTE, dst=guest.vf_driver.vf.mac) for _ in range(n)]
+    guest.wire_sink(burst)
+
+
+class TestDnisGuest:
+    def test_vf_active_by_default(self):
+        bed, sriov, guest, _ = build_dnis()
+        assert guest.active_path == "vf0"
+        feed(bed, guest)
+        bed.sim.run(until=0.01)
+        assert sriov.app.rx_packets == 5
+
+    def test_hot_removal_switches_to_pv(self):
+        bed, sriov, guest, _ = build_dnis()
+        bed.hotplug.request_removal(sriov.domain, "vf")
+        bed.sim.run(until=1.0)
+        assert guest.active_path == "eth0"
+        assert not guest.vf_driver.running
+        feed(bed, guest)
+        bed.sim.run(until=1.1)
+        assert sriov.app.rx_packets == 5  # served via netback now
+
+    def test_switch_window_drops_packets(self):
+        bed, sriov, guest, _ = build_dnis()
+        bed.hotplug.request_removal(sriov.domain, "vf")
+        bed.sim.run(until=0.3)  # eject done at 0.2; outage until 0.8
+        feed(bed, guest, 7)
+        assert guest.dropped_at_switch == 7
+        bed.sim.run(until=1.0)
+        feed(bed, guest, 3)
+        assert guest.dropped_at_switch == 7  # window over
+
+    def test_hot_add_restores_vf_path(self):
+        bed, sriov, guest, _ = build_dnis()
+        bed.hotplug.request_removal(sriov.domain, "vf")
+        bed.sim.run(until=1.0)
+        bed.hotplug.hot_add(sriov.domain, "vf")
+        bed.sim.run(until=1.5)
+        assert guest.active_path == "vf0"
+        assert guest.vf_driver.running
+
+
+class TestMigrationManager:
+    def test_pv_migration_timeline(self):
+        bed = Testbed(TestbedConfig(ports=1))
+        pv = bed.add_pv_guest(DomainKind.HVM)
+        manager = MigrationManager(bed.platform, bed.hotplug, FAST_CONFIG)
+        process, report = manager.migrate_pv(pv.netfront, start_at=1.0)
+        bed.sim.run(until=20.0)
+        assert report.started_at == pytest.approx(1.0)
+        assert report.blackout_start == pytest.approx(
+            1.0 + manager.model.precopy_time, abs=0.01)
+        assert report.downtime == pytest.approx(manager.model.downtime,
+                                                abs=0.01)
+        assert report.completed_at == pytest.approx(
+            1.0 + manager.model.total_time, abs=0.01)
+        assert not process.alive
+
+    def test_carrier_off_during_blackout_only(self):
+        bed = Testbed(TestbedConfig(ports=1))
+        pv = bed.add_pv_guest(DomainKind.HVM)
+        manager = MigrationManager(bed.platform, bed.hotplug, FAST_CONFIG)
+        _, report = manager.migrate_pv(pv.netfront, start_at=0.5)
+        blackout_start = 0.5 + manager.model.precopy_time
+        bed.sim.run(until=blackout_start + 0.01)
+        assert not pv.netfront.carrier_on
+        bed.sim.run(until=30.0)
+        assert pv.netfront.carrier_on
+
+    def test_dom0_charged_for_copy(self):
+        bed = Testbed(TestbedConfig(ports=1))
+        pv = bed.add_pv_guest(DomainKind.HVM)
+        manager = MigrationManager(bed.platform, bed.hotplug, FAST_CONFIG)
+        bed.platform.start_measurement()
+        manager.migrate_pv(pv.netfront, start_at=0.0)
+        bed.sim.run(until=30.0)
+        assert bed.platform.machine.cycles("dom0") == pytest.approx(
+            manager.model.cpu_cycles(), rel=0.01)
+
+    def test_dnis_migration_full_choreography(self):
+        bed, sriov, guest, manager = build_dnis()
+        process, report = manager.migrate_dnis(guest, start_at=1.0)
+        bed.sim.run(until=30.0)
+        events = [name for _, name in report.events]
+        assert events[0] == "migration-start"
+        assert "interface-switched-to-pv" in events
+        assert "stop-and-copy" in events
+        assert events[-1] == "vf-restored-at-target"
+        # Ordering: switch completes before pre-copy; VF restored after.
+        assert report.switch_completed_at < report.blackout_start
+        assert report.completed_at > report.blackout_end
+        # The guest ends up back on the VF path.
+        assert guest.active_path == "vf0"
+        assert guest.vf_driver.running
+
+    def test_dnis_switch_takes_eject_plus_outage(self):
+        bed, sriov, guest, manager = build_dnis()
+        _, report = manager.migrate_dnis(guest, start_at=1.0)
+        bed.sim.run(until=30.0)
+        expected = 1.0 + bed.hotplug.eject_latency + guest.switch_outage
+        assert report.switch_completed_at == pytest.approx(expected, abs=0.01)

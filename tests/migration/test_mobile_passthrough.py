@@ -1,0 +1,81 @@
+"""§4.4's mobile pass-through: the target platform's VF may differ.
+
+"An additional advantage of mobile pass through is that the VF hardware
+in the target platform may or may not be identical to that in the
+source platform."
+"""
+
+import pytest
+
+from repro.core import Testbed, TestbedConfig
+from repro.drivers.netfront import Netfront
+from repro.migration import DnisGuest, MigrationManager, PrecopyConfig
+from repro.net import Packet
+from repro.net.mac import MacAddress
+from repro.vmm import DomainKind
+
+REMOTE = MacAddress.parse("02:00:00:00:99:99")
+FAST = PrecopyConfig(memory_bytes=64 * 1024 * 1024, dirty_ratio=0.2,
+                     min_round_bytes=16 * 1024 * 1024, restore_overhead=0.3)
+
+
+def build():
+    """Two ports stand in for source and target platforms."""
+    bed = Testbed(TestbedConfig(ports=2))
+    sriov = bed.add_sriov_guest(DomainKind.HVM)  # VF on port 0
+    netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+    bed.netback.connect(netfront)
+    guest = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
+                      bed.hotplug)
+    return bed, sriov, guest
+
+
+def hot_swap_to_target_vf(bed, sriov, guest):
+    """Remove the source VF, migrate, hot-add a *different* VF."""
+    target_port = bed.ports[1]
+    target_vf = target_port.vf(1)  # a VF the guest never touched
+    # Prepare the target VF as the IOVM would at the destination.
+    bed.pf_drivers[1].set_vf_mac(1, sriov.vf.mac)  # keep the guest's MAC
+    bed.platform.iommu.attach(target_vf.pci.rid, sriov.domain.io_page_table)
+    bed.hotplug.request_removal(sriov.domain, "vf")
+    bed.sim.run(until=bed.sim.now + 1.5)
+    bed.hotplug.hot_add(sriov.domain, target_vf)
+    bed.sim.run(until=bed.sim.now + 0.5)
+    return target_vf
+
+
+def test_guest_adopts_nonidentical_target_vf():
+    bed, sriov, guest = build()
+    original_driver = guest.vf_driver
+    target_vf = hot_swap_to_target_vf(bed, sriov, guest)
+    assert guest.vf_driver is not original_driver
+    assert guest.vf_driver.vf is target_vf
+    assert guest.vf_driver.running
+    assert guest.active_path == "vf0"
+
+
+def test_traffic_flows_through_target_vf():
+    bed, sriov, guest = build()
+    target_vf = hot_swap_to_target_vf(bed, sriov, guest)
+    before = sriov.app.rx_packets
+    # Traffic now arrives at the target platform's port.
+    target_vf.port.wire_receive(
+        [Packet(src=REMOTE, dst=sriov.vf.mac) for _ in range(5)])
+    bed.sim.run(until=bed.sim.now + 0.01)
+    assert sriov.app.rx_packets == before + 5
+    assert target_vf.rx_packets == 5
+
+
+def test_application_state_survives_the_swap():
+    """Same app object before and after: the swap is below the socket."""
+    bed, sriov, guest = build()
+    app_before = guest.vf_driver.app
+    hot_swap_to_target_vf(bed, sriov, guest)
+    assert guest.vf_driver.app is app_before
+
+
+def test_source_vf_left_quiesced():
+    bed, sriov, guest = build()
+    source_vf = sriov.vf
+    hot_swap_to_target_vf(bed, sriov, guest)
+    assert not source_vf.enabled

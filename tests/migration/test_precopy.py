@@ -1,0 +1,65 @@
+"""Unit tests for the pre-copy migration model."""
+
+import pytest
+
+from repro.migration import PrecopyConfig, PrecopyModel
+
+
+def test_round_bytes_geometric_decay():
+    model = PrecopyModel(PrecopyConfig(memory_bytes=100 * 1024 * 1024,
+                                       dirty_ratio=0.5,
+                                       min_round_bytes=10 * 1024 * 1024))
+    rounds = model.round_bytes()
+    assert rounds[0] == 100 * 1024 * 1024
+    for previous, current in zip(rounds, rounds[1:]):
+        assert current == pytest.approx(previous * 0.5, rel=0.01)
+
+
+def test_stops_at_min_round_bytes():
+    model = PrecopyModel(PrecopyConfig(dirty_ratio=0.3))
+    assert model.final_dirty_bytes() < PrecopyConfig().min_round_bytes
+
+
+def test_max_rounds_bounds_nonconverging_migration():
+    config = PrecopyConfig(dirty_ratio=0.99, min_round_bytes=1, max_rounds=5)
+    model = PrecopyModel(config)
+    assert len(model.round_bytes()) == 5
+
+
+def test_zero_dirty_ratio_single_round():
+    model = PrecopyModel(PrecopyConfig(dirty_ratio=0.0))
+    assert len(model.round_bytes()) == 1
+    assert model.final_dirty_bytes() == 0
+
+
+def test_paper_schedule_default_config():
+    """Defaults reproduce Fig. 20's schedule: ~6 s of live pre-copy and
+    ~1.4 s of blackout, so a 4.5 s start blacks out at ~10.4-11.8 s."""
+    model = PrecopyModel(PrecopyConfig())
+    assert model.precopy_time == pytest.approx(5.97, abs=0.3)
+    assert model.downtime == pytest.approx(1.41, abs=0.15)
+    start = 4.5
+    assert start + model.precopy_time == pytest.approx(10.4, abs=0.3)
+    assert start + model.total_time == pytest.approx(11.8, abs=0.4)
+
+
+def test_downtime_includes_restore_overhead():
+    config = PrecopyConfig(restore_overhead=2.0, dirty_ratio=0.0)
+    model = PrecopyModel(config)
+    assert model.downtime == pytest.approx(2.0)
+
+
+def test_total_bytes_and_cpu():
+    config = PrecopyConfig(dirty_ratio=0.0, cpu_cycles_per_byte=2.0)
+    model = PrecopyModel(config)
+    assert model.total_bytes() == config.memory_bytes
+    assert model.cpu_cycles() == config.memory_bytes * 2.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PrecopyConfig(memory_bytes=0).validate()
+    with pytest.raises(ValueError):
+        PrecopyConfig(dirty_ratio=1.0).validate()
+    with pytest.raises(ValueError):
+        PrecopyConfig(max_rounds=0).validate()

@@ -1,0 +1,87 @@
+"""Unit tests for samplers and downtime extraction."""
+
+import pytest
+
+from repro.migration import Sampler, downtime_windows
+from repro.sim import Series, Simulator
+
+
+class TestSampler:
+    def test_delta_sampling(self):
+        sim = Simulator()
+        counter = {"bytes": 0}
+        sampler = Sampler(sim, period=0.1)
+        sampler.track("rx", lambda: counter["bytes"])
+        sampler.start()
+
+        def bump():
+            counter["bytes"] += 100
+
+        # Offsets keep bumps strictly inside buckets (two per bucket).
+        for i in range(10):
+            sim.schedule_at(0.02 + i * 0.05, bump)
+        sim.run(until=0.55)
+        series = sampler.series("rx")
+        # Each 100 ms bucket saw two bumps of 100.
+        assert all(v == pytest.approx(200) for v in series.values)
+
+    def test_gauge_sampling(self):
+        sim = Simulator()
+        level = {"v": 5.0}
+        sampler = Sampler(sim, period=0.1)
+        sampler.track_gauge("depth", lambda: level["v"])
+        sampler.start()
+        sim.schedule_at(0.25, lambda: level.__setitem__("v", 9.0))
+        sim.run(until=0.45)
+        series = sampler.series("depth")
+        assert series.values[0] == 5.0
+        assert series.values[-1] == 9.0
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sampler = Sampler(sim, period=0.1)
+        sampler.track("x", lambda: 0.0)
+        sampler.start()
+        sim.run(until=0.35)
+        sampler.stop()
+        count = len(sampler.series("x"))
+        sim.run(until=1.0)
+        assert len(sampler.series("x")) == count
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), period=0.0)
+
+
+class TestDowntimeWindows:
+    def make_series(self, values, period=0.1):
+        series = Series()
+        for i, v in enumerate(values):
+            series.record((i + 1) * period, v)
+        return series
+
+    def test_single_outage(self):
+        series = self.make_series([10, 10, 0, 0, 0, 10, 10])
+        [(start, end)] = downtime_windows(series, threshold=1.0)
+        assert start == pytest.approx(0.2)
+        assert end == pytest.approx(0.5)
+
+    def test_outage_until_end(self):
+        series = self.make_series([10, 10, 0, 0])
+        [(start, end)] = downtime_windows(series, threshold=1.0)
+        assert start == pytest.approx(0.2)
+        assert end == pytest.approx(0.4)
+
+    def test_multiple_outages_and_min_duration(self):
+        series = self.make_series([10, 0, 10, 0, 0, 0, 10])
+        windows = downtime_windows(series, threshold=1.0)
+        assert len(windows) == 2
+        filtered = downtime_windows(series, threshold=1.0, min_duration=0.25)
+        assert len(filtered) == 1
+
+    def test_no_outage(self):
+        series = self.make_series([10, 10, 10])
+        assert downtime_windows(series, threshold=1.0) == []
+
+    def test_empty_series(self):
+        assert downtime_windows(Series(), threshold=1.0) == []

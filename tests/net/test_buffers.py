@@ -1,0 +1,80 @@
+"""Unit tests for bounded packet buffers."""
+
+import pytest
+
+from repro.net import Packet, PacketBuffer
+from repro.net.mac import MacAddress
+
+SRC = MacAddress(0x020000000001)
+DST = MacAddress(0x020000000002)
+
+
+def make_packets(n):
+    return [Packet(src=SRC, dst=DST) for _ in range(n)]
+
+
+def test_push_pop_fifo_order():
+    buffer = PacketBuffer(capacity=4)
+    packets = make_packets(3)
+    for packet in packets:
+        assert buffer.push(packet)
+    assert [buffer.pop() for _ in range(3)] == packets
+    assert buffer.pop() is None
+
+
+def test_tail_drop_when_full():
+    buffer = PacketBuffer(capacity=2)
+    accepted = buffer.push_burst(make_packets(5))
+    assert accepted == 2
+    assert buffer.stats.dropped == 3
+    assert buffer.stats.drop_rate == pytest.approx(0.6)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PacketBuffer(capacity=0)
+
+
+def test_pop_burst_budget():
+    buffer = PacketBuffer(capacity=100)
+    buffer.push_burst(make_packets(10))
+    burst = buffer.pop_burst(4)
+    assert len(burst) == 4
+    assert len(buffer) == 6
+    assert buffer.stats.dequeued == 4
+
+
+def test_pop_burst_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        PacketBuffer(capacity=1).pop_burst(-1)
+
+
+def test_drain_empties_buffer():
+    buffer = PacketBuffer(capacity=100)
+    buffer.push_burst(make_packets(7))
+    assert len(buffer.drain()) == 7
+    assert len(buffer) == 0
+
+
+def test_peak_depth_tracked():
+    buffer = PacketBuffer(capacity=100)
+    buffer.push_burst(make_packets(5))
+    buffer.drain()
+    buffer.push_burst(make_packets(2))
+    assert buffer.stats.peak_depth == 5
+
+
+def test_clear_does_not_count_drops():
+    buffer = PacketBuffer(capacity=10)
+    buffer.push_burst(make_packets(5))
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.stats.dropped == 0
+
+
+def test_free_and_full_reporting():
+    buffer = PacketBuffer(capacity=3)
+    assert buffer.free == 3
+    buffer.push_burst(make_packets(3))
+    assert buffer.full
+    assert buffer.free == 0

@@ -1,0 +1,74 @@
+"""Unit tests for MAC addresses and the allocator."""
+
+import pytest
+
+from repro.net import MacAddress, MacAllocator
+from repro.net.mac import BROADCAST, VLAN_NONE, validate_vlan
+
+
+def test_parse_and_format_roundtrip():
+    mac = MacAddress.parse("02:1a:2b:3c:4d:5e")
+    assert str(mac) == "02:1a:2b:3c:4d:5e"
+    assert MacAddress.parse(str(mac)) == mac
+
+
+def test_parse_rejects_malformed():
+    for bad in ["02:00:00:00:00", "02:00:00:00:00:00:00", "zz:00:00:00:00:00", ""]:
+        with pytest.raises(ValueError):
+            MacAddress.parse(bad)
+
+
+def test_value_range_enforced():
+    with pytest.raises(ValueError):
+        MacAddress(1 << 48)
+    with pytest.raises(ValueError):
+        MacAddress(-1)
+
+
+def test_equality_and_hash():
+    a = MacAddress(0x020000000001)
+    b = MacAddress(0x020000000001)
+    c = MacAddress(0x020000000002)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert len({a, b, c}) == 2
+
+
+def test_multicast_and_broadcast_bits():
+    assert BROADCAST.is_broadcast
+    assert BROADCAST.is_multicast
+    unicast = MacAddress.parse("02:00:00:00:00:01")
+    assert not unicast.is_multicast
+    multicast = MacAddress.parse("01:00:5e:00:00:01")
+    assert multicast.is_multicast
+    assert not multicast.is_broadcast
+
+
+def test_allocator_yields_unique_unicast_addresses():
+    allocator = MacAllocator(port_index=3)
+    macs = list(allocator.allocate_many(10))
+    assert len(set(macs)) == 10
+    assert all(not mac.is_multicast for mac in macs)
+
+
+def test_allocators_for_different_ports_do_not_collide():
+    a = set(MacAllocator(port_index=0).allocate_many(5))
+    b = set(MacAllocator(port_index=1).allocate_many(5))
+    assert not (a & b)
+
+
+def test_allocator_port_index_validated():
+    with pytest.raises(ValueError):
+        MacAllocator(port_index=-1)
+    with pytest.raises(ValueError):
+        MacAllocator(port_index=256)
+
+
+def test_validate_vlan():
+    assert validate_vlan(VLAN_NONE) == VLAN_NONE
+    assert validate_vlan(100) == 100
+    with pytest.raises(ValueError):
+        validate_vlan(4095)
+    with pytest.raises(ValueError):
+        validate_vlan(-1)

@@ -1,0 +1,102 @@
+"""Unit tests for the netperf-style workload generator."""
+
+import pytest
+
+from repro.net import NetperfStream, Protocol
+from repro.net.mac import MacAddress
+from repro.sim import Simulator
+
+SRC = MacAddress(0x020000000001)
+DST = MacAddress(0x020000000002)
+
+
+def collect_stream(throughput_bps, duration=0.1, **kwargs):
+    sim = Simulator()
+    received = []
+    stream = NetperfStream(
+        sim, lambda burst: received.extend(burst), SRC, DST,
+        throughput_bps=throughput_bps, **kwargs,
+    )
+    stream.start()
+    sim.run(until=duration)
+    result = stream.stop()
+    return sim, received, result
+
+
+def test_offered_rate_approximates_target():
+    _, received, result = collect_stream(957.1e6, duration=0.1)
+    # 1 Gbps UDP -> 81274 pps -> ~8127 packets in 100 ms.
+    assert len(received) == pytest.approx(8127, rel=0.02)
+    assert result.sent_packets == len(received)
+
+
+def test_fractional_packet_carry_preserves_rate():
+    """A rate that is not an integer multiple of the burst quota must not
+    lose the fractional remainder each tick."""
+    _, received, _ = collect_stream(10e6, duration=1.0)
+    # 10 Mbps / (1472*8) = 849 pps.
+    assert len(received) == pytest.approx(849, rel=0.02)
+
+
+def test_packets_carry_addressing_and_protocol():
+    _, received, _ = collect_stream(100e6, duration=0.01, protocol=Protocol.TCP,
+                                    vlan=5, flow_id=42)
+    packet = received[0]
+    assert packet.src == SRC
+    assert packet.dst == DST
+    assert packet.vlan == 5
+    assert packet.flow_id == 42
+    assert packet.protocol is Protocol.TCP
+
+
+def test_stop_halts_emission():
+    sim = Simulator()
+    received = []
+    stream = NetperfStream(sim, lambda burst: received.extend(burst), SRC, DST,
+                           throughput_bps=100e6)
+    stream.start()
+    sim.run(until=0.01)
+    stream.stop()
+    count = len(received)
+    sim.run(until=0.1)
+    assert len(received) == count
+
+
+def test_result_reports_duration_and_bps():
+    _, _, result = collect_stream(100e6, duration=0.1)
+    assert result.duration == pytest.approx(0.1)
+    assert result.offered_bps == pytest.approx(100e6 * 1500 / 1472, rel=0.03)
+
+
+def test_set_rate_changes_emission():
+    sim = Simulator()
+    received = []
+    stream = NetperfStream(sim, lambda burst: received.extend(burst), SRC, DST,
+                           throughput_bps=100e6)
+    stream.start()
+    sim.run(until=0.05)
+    low = len(received)
+    stream.set_rate(500e6)
+    sim.run(until=0.1)
+    high = len(received) - low
+    assert high > low * 3
+
+
+def test_double_start_is_noop():
+    sim = Simulator()
+    stream = NetperfStream(sim, lambda burst: None, SRC, DST, throughput_bps=1e6)
+    stream.start()
+    stream.start()
+    sim.run(until=0.01)
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NetperfStream(sim, lambda b: None, SRC, DST, throughput_bps=-1)
+    with pytest.raises(ValueError):
+        NetperfStream(sim, lambda b: None, SRC, DST, throughput_bps=1e6,
+                      burst_interval=0)
+    stream = NetperfStream(sim, lambda b: None, SRC, DST, throughput_bps=1e6)
+    with pytest.raises(ValueError):
+        stream.set_rate(-5)

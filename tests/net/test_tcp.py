@@ -1,0 +1,69 @@
+"""Unit tests for the TCP throughput model.
+
+The key property is the paper's Fig. 9 shape: flat at line goodput for
+short coalescing intervals, ~10% down at a 1 ms interval (1 kHz).
+"""
+
+import pytest
+
+from repro.net import TcpThroughputModel, tcp_goodput_bps
+
+GIGABIT = 1e9
+
+
+def test_line_limited_at_high_interrupt_rate():
+    model = TcpThroughputModel()
+    # 20 kHz -> 50 us interval: line limited.
+    assert model.throughput_bps(GIGABIT, 1 / 20000) == pytest.approx(
+        tcp_goodput_bps(GIGABIT)
+    )
+
+
+def test_2khz_still_line_limited():
+    model = TcpThroughputModel()
+    assert model.throughput_bps(GIGABIT, 1 / 2000) == pytest.approx(
+        tcp_goodput_bps(GIGABIT)
+    )
+
+
+def test_1khz_drops_roughly_ten_percent():
+    """Paper: 9.6% TCP throughput drop at 1 kHz coalescing."""
+    model = TcpThroughputModel()
+    full = model.throughput_bps(GIGABIT, 1 / 2000)
+    coalesced = model.throughput_bps(GIGABIT, 1 / 1000)
+    drop = 1 - coalesced / full
+    assert 0.05 < drop < 0.15
+
+
+def test_throughput_monotone_in_interval():
+    model = TcpThroughputModel()
+    intervals = [10e-6, 100e-6, 500e-6, 1e-3, 2e-3, 5e-3]
+    rates = [model.throughput_bps(GIGABIT, t) for t in intervals]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_crossover_interval_consistent():
+    model = TcpThroughputModel()
+    crossover = model.crossover_interval(GIGABIT)
+    at = model.throughput_bps(GIGABIT, crossover)
+    below = model.throughput_bps(GIGABIT, crossover * 0.5)
+    above = model.throughput_bps(GIGABIT, crossover * 2.0)
+    line = tcp_goodput_bps(GIGABIT)
+    assert at == pytest.approx(line, rel=1e-6)
+    assert below == pytest.approx(line)
+    assert above < line
+
+
+def test_effective_rtt_adds_half_interval():
+    """Mean ACK delay is half the coalescing interval (uniform arrival)."""
+    model = TcpThroughputModel(base_rtt=100e-6)
+    assert model.effective_rtt(1e-3) == pytest.approx(600e-6)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TcpThroughputModel(window_bytes=0)
+    with pytest.raises(ValueError):
+        TcpThroughputModel(base_rtt=0)
+    with pytest.raises(ValueError):
+        TcpThroughputModel().effective_rtt(-1)

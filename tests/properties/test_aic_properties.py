@@ -1,0 +1,62 @@
+"""Property-based tests for the AIC equations and coalescing policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.drivers import AdaptiveCoalescing, DynamicItr
+
+pps_values = st.floats(min_value=0.0, max_value=5e6, allow_nan=False)
+
+
+@given(pps_values)
+@settings(max_examples=200)
+def test_aic_never_allows_buffer_overflow(pps):
+    """§5.3's design goal as an invariant: at the chosen frequency,
+    packets per interrupt never exceed bufs/r — the buffer size with
+    the full redundancy margin left as headroom."""
+    costs = CostModel()
+    policy = AdaptiveCoalescing(costs)
+    hz = policy.frequency_for(pps)
+    assert hz >= costs.aic_lif_hz
+    packets_per_interrupt = pps / hz
+    assert packets_per_interrupt <= costs.aic_bufs / costs.aic_redundancy + 1e-6
+
+
+@given(pps_values, pps_values)
+@settings(max_examples=200)
+def test_aic_frequency_monotone_in_pps(a, b):
+    policy = AdaptiveCoalescing(CostModel())
+    low, high = min(a, b), max(a, b)
+    assert policy.frequency_for(low) <= policy.frequency_for(high)
+
+
+@given(st.integers(min_value=1, max_value=4096),
+       st.integers(min_value=1, max_value=4096),
+       st.floats(min_value=1.0, max_value=3.0, allow_nan=False))
+@settings(max_examples=100)
+def test_aic_bufs_is_min_of_both_buffers(ap, dd, r):
+    costs = CostModel(aic_ap_bufs=ap, aic_dd_bufs=dd, aic_redundancy=r)
+    assert costs.aic_bufs == min(ap, dd)
+    # The eq. (2) frequency evaluated directly.
+    pps = 100000.0
+    expected = max(pps * r / min(ap, dd), costs.aic_lif_hz)
+    assert costs.aic_interrupt_hz(pps) == pytest.approx(expected)
+
+
+@given(pps_values)
+@settings(max_examples=100)
+def test_dynamic_itr_bounded(pps):
+    policy = DynamicItr(target_packets_per_interrupt=9, max_hz=9000,
+                        min_hz=500)
+    hz = policy.frequency_for(pps)
+    assert 500 <= hz <= 9000
+
+
+@given(pps_values, pps_values)
+@settings(max_examples=100)
+def test_dynamic_itr_monotone(a, b):
+    policy = DynamicItr()
+    low, high = min(a, b), max(a, b)
+    assert policy.frequency_for(low) <= policy.frequency_for(high)

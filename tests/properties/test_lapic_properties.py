@@ -1,0 +1,56 @@
+"""Property-based tests for the LAPIC state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import Lapic, LapicError
+
+vectors = st.integers(min_value=32, max_value=255)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["fire", "ack", "eoi"]), vectors),
+                min_size=1, max_size=100))
+@settings(max_examples=200)
+def test_lapic_never_double_services_and_always_drains(script):
+    lapic = Lapic()
+    fired = set()
+    for op, vector in script:
+        if op == "fire":
+            lapic.fire(vector)
+            fired.add(vector)
+        elif op == "ack":
+            if lapic.interrupt_window_open:
+                accepted = lapic.ack()
+                # A vector can only be accepted if it was requested.
+                assert accepted in fired or lapic.isr_contains(accepted)
+        else:
+            lapic.eoi()
+        # Invariant: IRR/ISR only ever contain vectors that were fired.
+        # (A vector MAY be in both at once: the IRR latches the next
+        # occurrence while the first is still being serviced.)
+        for v in lapic.in_service_vectors() + lapic.pending_vectors():
+            assert v in fired
+    # Drain: acking+EOIing everything empties the APIC.
+    for _ in range(600):
+        if lapic.interrupt_window_open:
+            lapic.ack()
+        elif lapic.in_service is not None:
+            lapic.eoi()
+        elif lapic.highest_pending is None:
+            break
+    assert lapic.pending_vectors() == [] or lapic.highest_pending is None
+    assert lapic.in_service_vectors() == []
+
+
+@given(st.sets(vectors, min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_delivery_order_is_priority_order(pending):
+    lapic = Lapic()
+    for vector in pending:
+        lapic.fire(vector)
+    delivered = []
+    while lapic.highest_pending is not None:
+        delivered.append(lapic.ack())
+        lapic.eoi()
+    # Within each batch the APIC picks strictly descending vectors.
+    assert delivered == sorted(pending, reverse=True)

@@ -1,0 +1,65 @@
+"""Property-based tests for descriptor-ring invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import DescriptorRing, RingFullError
+
+
+@st.composite
+def ring_operations(draw):
+    """A ring size and a random post/consume/reap operation script."""
+    size = draw(st.sampled_from([2, 4, 8, 16, 64]))
+    ops = draw(st.lists(st.sampled_from(["post", "consume", "reap"]),
+                        min_size=1, max_size=200))
+    return size, ops
+
+
+@given(ring_operations())
+@settings(max_examples=200)
+def test_ring_invariants_hold_under_any_schedule(scenario):
+    size, ops = scenario
+    ring = DescriptorRing(size)
+    posted = consumed = reaped = 0
+    for op in ops:
+        if op == "post":
+            if ring.full:
+                try:
+                    ring.post(0x1000, 2048)
+                    assert False, "post on full ring must raise"
+                except RingFullError:
+                    pass
+            else:
+                ring.post(0x1000 * posted, 2048)
+                posted += 1
+        elif op == "consume":
+            slot = ring.consume()
+            if slot is not None:
+                consumed += 1
+        else:
+            reaped += len(ring.reap())
+        # Invariants after every step:
+        assert 0 <= ring.device_owned <= size - 1
+        assert ring.free + ring.device_owned == size - 1
+        assert consumed <= posted
+        assert reaped <= consumed
+    # Conservation: counters match our local bookkeeping.
+    assert ring.posted == posted
+    assert ring.completed == consumed
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=50)
+def test_reap_returns_exactly_what_was_consumed(n):
+    ring = DescriptorRing(64)
+    total_reaped = 0
+    remaining = n
+    while remaining > 0:
+        batch = min(remaining, 63)
+        for i in range(batch):
+            ring.post(0x1000 * i, 2048)
+        for _ in range(batch):
+            ring.consume()
+        total_reaped += len(ring.reap())
+        remaining -= batch
+    assert total_reaped == n

@@ -1,0 +1,163 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Condition, Interrupt, Process, Simulator, SimulationError
+
+
+def test_process_sleeps_for_yielded_delay():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield 1.5
+        trace.append(sim.now)
+        yield 2.5
+        trace.append(sim.now)
+
+    Process(sim, worker())
+    sim.run()
+    assert trace == [0.0, 1.5, 4.0]
+
+
+def test_process_result_and_done_condition():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return 42
+
+    process = Process(sim, worker())
+    sim.run()
+    assert process.alive is False
+    assert process.result == 42
+    assert process.done.triggered
+    assert process.done.value == 42
+
+
+def test_condition_wakes_waiter_with_value():
+    sim = Simulator()
+    received = []
+
+    def waiter(cond):
+        value = yield cond
+        received.append((sim.now, value))
+
+    cond = Condition(sim)
+    Process(sim, waiter(cond))
+    sim.schedule(3.0, cond.succeed, "payload")
+    sim.run()
+    assert received == [(3.0, "payload")]
+
+
+def test_condition_wakes_multiple_waiters_in_order():
+    sim = Simulator()
+    woken = []
+
+    def waiter(name, cond):
+        yield cond
+        woken.append(name)
+
+    cond = Condition(sim)
+    Process(sim, waiter("a", cond))
+    Process(sim, waiter("b", cond))
+    sim.schedule(1.0, cond.succeed)
+    sim.run()
+    assert woken == ["a", "b"]
+
+
+def test_waiting_on_already_triggered_condition_resumes_immediately():
+    sim = Simulator()
+    cond = Condition(sim)
+    cond.succeed("early")
+    got = []
+
+    def waiter():
+        value = yield cond
+        got.append(value)
+
+    Process(sim, waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_condition_cannot_trigger_twice():
+    sim = Simulator()
+    cond = Condition(sim)
+    cond.succeed()
+    with pytest.raises(SimulationError):
+        cond.succeed()
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield 2.0
+        order.append("child done")
+        return "from-child"
+
+    def parent(child_proc):
+        value = yield child_proc
+        order.append(f"parent got {value}")
+
+    child_proc = Process(sim, child())
+    Process(sim, parent(child_proc))
+    sim.run()
+    assert order == ["child done", "parent got from-child"]
+
+
+def test_interrupt_raises_inside_generator():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        try:
+            yield 100.0
+            trace.append("never")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", sim.now, interrupt.cause))
+        yield 1.0
+        trace.append(("resumed", sim.now))
+
+    process = Process(sim, worker())
+    sim.schedule(5.0, process.interrupt, "migration")
+    sim.run()
+    assert trace == [("interrupted", 5.0, "migration"), ("resumed", 6.0)]
+
+
+def test_unhandled_interrupt_kills_process_quietly():
+    sim = Simulator()
+
+    def worker():
+        yield 100.0
+
+    process = Process(sim, worker())
+    sim.schedule(1.0, process.interrupt)
+    sim.run()
+    assert process.alive is False
+
+
+def test_interrupting_dead_process_is_noop():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+
+    process = Process(sim, worker())
+    sim.run()
+    process.interrupt()
+    sim.run()
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "nonsense"
+
+    Process(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()

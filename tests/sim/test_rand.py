@@ -1,0 +1,45 @@
+"""Unit tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RandomStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_streams_are_deterministic_across_factories():
+    first = [RandomStreams(seed=7).get("nic").random() for _ in range(3)]
+    second = [RandomStreams(seed=7).get("nic").random() for _ in range(3)]
+    assert first == second
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.get("a")
+    b = streams.get("b")
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+
+def test_adding_consumer_does_not_perturb_existing_stream():
+    solo = RandomStreams(seed=3)
+    value_solo = solo.get("x").random()
+
+    crowded = RandomStreams(seed=3)
+    crowded.get("other").random()  # a new consumer drawing first
+    value_crowded = crowded.get("x").random()
+    assert value_solo == value_crowded
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).get("x").random()
+    b = RandomStreams(seed=2).get("x").random()
+    assert a != b
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = RandomStreams(seed=9)
+    fork1 = parent.fork("guest1")
+    fork2 = RandomStreams(seed=9).fork("guest1")
+    assert fork1.get("x").random() == fork2.get("x").random()
+    assert parent.fork("guest1").seed != parent.fork("guest2").seed

@@ -1,0 +1,138 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, RateMeter, Series, TimeWeighted
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("packets")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.add(10)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter()
+        meter.add(100)
+        assert meter.rate(now=2.0) == 50.0
+
+    def test_reset_starts_new_window(self):
+        meter = RateMeter()
+        meter.add(100)
+        meter.reset(now=1.0)
+        meter.add(30)
+        assert meter.rate(now=2.0) == 30.0
+
+    def test_empty_window_rate_zero(self):
+        meter = RateMeter()
+        assert meter.rate(now=0.0) == 0.0
+
+
+class TestTimeWeighted:
+    def test_mean_weighs_by_duration(self):
+        stat = TimeWeighted(initial=0.0)
+        stat.update(10.0, now=1.0)   # 0 for [0,1)
+        stat.update(0.0, now=3.0)    # 10 for [1,3)
+        # mean over [0,4) = (0*1 + 10*2 + 0*1)/4 = 5
+        assert stat.mean(now=4.0) == pytest.approx(5.0)
+
+    def test_extrema_tracked(self):
+        stat = TimeWeighted(initial=5.0)
+        stat.update(1.0, now=1.0)
+        stat.update(9.0, now=2.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 9.0
+        assert stat.current == 9.0
+
+    def test_time_backwards_rejected(self):
+        stat = TimeWeighted()
+        stat.update(1.0, now=5.0)
+        with pytest.raises(ValueError):
+            stat.update(2.0, now=4.0)
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        hist = Histogram(bin_width=1.0)
+        for value in [1.0, 2.0, 3.0]:
+            hist.add(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_percentile(self):
+        hist = Histogram(bin_width=1.0)
+        for value in range(100):
+            hist.add(float(value))
+        assert hist.percentile(50) == pytest.approx(49.0)
+        assert hist.percentile(100) == pytest.approx(99.0)
+
+    def test_percentile_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=1.0).percentile(101)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=0.0)
+
+    def test_stdev(self):
+        hist = Histogram(bin_width=0.1)
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            hist.add(value)
+        assert hist.stdev == pytest.approx(2.0)
+
+    def test_items_sorted(self):
+        hist = Histogram(bin_width=10.0)
+        hist.add(25.0)
+        hist.add(5.0)
+        hist.add(27.0)
+        assert hist.items() == [(0.0, 1), (20.0, 2)]
+
+
+class TestSeries:
+    def test_record_and_window_sum(self):
+        series = Series()
+        series.record(0.5, 10.0)
+        series.record(1.5, 20.0)
+        series.record(2.5, 30.0)
+        assert series.window_sum(0.0, 2.0) == 30.0
+        assert series.window_sum(2.0, 3.0) == 30.0
+
+    def test_timestamps_must_be_monotone(self):
+        series = Series()
+        series.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(1.0, 1.0)
+
+    def test_value_at_step_interpolation(self):
+        series = Series()
+        series.record(1.0, 100.0)
+        series.record(3.0, 200.0)
+        assert series.value_at(0.5, default=-1.0) == -1.0
+        assert series.value_at(1.0) == 100.0
+        assert series.value_at(2.9) == 100.0
+        assert series.value_at(3.0) == 200.0
+
+    def test_bucketize_covers_range(self):
+        series = Series()
+        for t in range(10):
+            series.record(float(t), 1.0)
+        buckets = series.bucketize(0.0, 10.0, 2.0)
+        assert len(buckets) == 5
+        assert all(total == 2.0 for _, total in buckets)
+
+    def test_bucketize_invalid_width(self):
+        with pytest.raises(ValueError):
+            Series().bucketize(0.0, 1.0, 0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for event channels."""
+
+import pytest
+
+from repro.vmm import EventChannelError, EventChannels
+
+
+def test_bind_and_notify():
+    channels = EventChannels()
+    upcalls = []
+    port = channels.bind(upcalls.append)
+    assert channels.notify(port) is True
+    assert upcalls == [port]
+
+
+def test_ports_are_unique():
+    channels = EventChannels()
+    ports = [channels.bind(lambda p: None) for _ in range(5)]
+    assert len(set(ports)) == 5
+    assert channels.bound_ports == 5
+
+
+def test_masked_port_latches_pending():
+    channels = EventChannels()
+    upcalls = []
+    port = channels.bind(upcalls.append)
+    channels.mask(port)
+    assert channels.notify(port) is False
+    assert channels.is_pending(port)
+    assert upcalls == []
+    channels.unmask(port)
+    assert upcalls == [port]
+    assert not channels.is_pending(port)
+
+
+def test_pending_collapses_notifications():
+    channels = EventChannels()
+    upcalls = []
+    port = channels.bind(upcalls.append)
+    channels.mask(port)
+    channels.notify(port)
+    channels.notify(port)
+    channels.notify(port)
+    channels.unmask(port)
+    assert len(upcalls) == 1
+    assert channels.notifications == 3
+
+
+def test_close_releases_port():
+    channels = EventChannels()
+    port = channels.bind(lambda p: None)
+    channels.close(port)
+    with pytest.raises(EventChannelError):
+        channels.notify(port)
+    with pytest.raises(EventChannelError):
+        channels.close(port)
+
+
+def test_operations_on_unbound_port_fail():
+    channels = EventChannels()
+    for operation in [channels.mask, channels.unmask, channels.clear_pending,
+                      channels.is_pending]:
+        with pytest.raises(EventChannelError):
+            operation(42)
+
+
+def test_clear_pending():
+    channels = EventChannels()
+    port = channels.bind(lambda p: None)
+    channels.mask(port)
+    channels.notify(port)
+    channels.clear_pending(port)
+    upcalls = []
+    channels.unmask(port)
+    assert not channels.is_pending(port)

@@ -1,0 +1,104 @@
+"""Unit tests for the SR-IOV manager (IOVM)."""
+
+import pytest
+
+from repro.devices import Igb82576Port
+from repro.hw.pcie.config_space import CAP_ID_MSIX, INVALID_VENDOR_ID
+from repro.sim import Simulator
+from repro.vmm import DomainKind, Iovm, IovmError, Xen
+
+
+def build():
+    sim = Simulator()
+    xen = Xen(sim)
+    port = Igb82576Port(sim, iommu=xen.iommu)
+    xen.root_complex.attach(port.pf.pci, bus=1, device=0)
+    port.interrupt_sink = xen.deliver_msi
+    port.enable_vfs(4)
+    iovm = Iovm(xen)
+    return sim, xen, port, iovm
+
+
+def test_surface_vfs_uses_hot_add():
+    _, xen, port, iovm = build()
+    assert xen.root_complex.scan() == [port.pf.pci]  # VFs invisible to scan
+    surfaced = iovm.surface_vfs(port)
+    assert len(surfaced) == 4
+    assert len(xen.root_complex.hot_added) == 4
+    for vf in surfaced:
+        assert xen.root_complex.function_at(vf.pci.rid) is vf.pci
+        # Still invisible to an ordinary probe even when hot-added.
+        assert xen.root_complex.probe(vf.pci.rid) == INVALID_VENDOR_ID
+
+
+def test_surface_is_idempotent():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    iovm.surface_vfs(port)
+    assert len(xen.root_complex.hot_added) == 4
+
+
+def test_synthesized_config_space_is_full():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    virtual = iovm.synthesize_config_space(port.vf(0))
+    # Guest sees the VF identity with PF-derived structure and MSI-X.
+    assert virtual.vendor_id == port.vf(0).pci.config.vendor_id
+    assert virtual.device_id == port.vf(0).pci.config.device_id
+    assert virtual.find_capability(CAP_ID_MSIX) is not None
+
+
+def test_assign_installs_iommu_context():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    guest = xen.create_guest("g", DomainKind.HVM)
+    assignment = iovm.assign(port.vf(0), guest)
+    assert xen.iommu.context_for(assignment.rid) is guest.io_page_table
+    assert iovm.assignment_for(guest) is assignment
+    assert iovm.active_assignments == 1
+
+
+def test_double_assignment_rejected():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    guest1 = xen.create_guest("g1")
+    guest2 = xen.create_guest("g2")
+    iovm.assign(port.vf(0), guest1)
+    with pytest.raises(IovmError):
+        iovm.assign(port.vf(0), guest2)
+
+
+def test_assign_unsurfaced_vf_rejected():
+    sim = Simulator()
+    xen = Xen(sim)
+    port = Igb82576Port(sim, iommu=xen.iommu)
+    xen.root_complex.attach(port.pf.pci, bus=1, device=0)
+    port.enable_vfs(1)
+    iovm = Iovm(xen)
+    vf = port.vf(0)
+    vf.pci.rid = None  # never surfaced
+    with pytest.raises(IovmError):
+        iovm.assign(vf, xen.create_guest("g"))
+
+
+def test_revoke_detaches_iommu():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    guest = xen.create_guest("g")
+    assignment = iovm.assign(port.vf(0), guest)
+    iovm.revoke(assignment)
+    assert xen.iommu.context_for(assignment.rid) is None
+    assert iovm.active_assignments == 0
+    with pytest.raises(IovmError):
+        iovm.revoke(assignment)
+
+
+def test_vf_reassignable_after_revoke():
+    _, xen, port, iovm = build()
+    iovm.surface_vfs(port)
+    guest1 = xen.create_guest("g1")
+    guest2 = xen.create_guest("g2")
+    assignment = iovm.assign(port.vf(0), guest1)
+    iovm.revoke(assignment)
+    iovm.assign(port.vf(0), guest2)
+    assert iovm.assignment_for(guest2) is not None

@@ -1,0 +1,148 @@
+"""Unit tests for hotplug, grant tables, pinning, vector allocation."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vmm import (
+    DomainKind,
+    GrantError,
+    GrantTable,
+    HotplugController,
+    PinningPolicy,
+    VectorAllocator,
+    VectorExhausted,
+    Xen,
+)
+
+
+class TestHotplug:
+    def build(self):
+        sim = Simulator()
+        xen = Xen(sim)
+        guest = xen.create_guest("g", DomainKind.HVM)
+        controller = HotplugController(sim)
+        return sim, guest, controller
+
+    def test_removal_delivers_after_eject_latency(self):
+        sim, guest, controller = self.build()
+        events = []
+        controller.register_guest(guest, lambda kind, dev: events.append((kind, sim.now)))
+        done = []
+        controller.request_removal(guest, "vf0", lambda: done.append(sim.now))
+        sim.run()
+        assert events == [("remove", pytest.approx(0.2))]
+        assert done == [pytest.approx(0.2)]
+
+    def test_hot_add_delivers(self):
+        sim, guest, controller = self.build()
+        events = []
+        controller.register_guest(guest, lambda kind, dev: events.append(kind))
+        controller.hot_add(guest, "vf1")
+        sim.run()
+        assert events == ["add"]
+
+    def test_unregistered_guest_rejected(self):
+        sim, guest, controller = self.build()
+        with pytest.raises(RuntimeError):
+            controller.request_removal(guest, "vf0")
+
+    def test_event_log(self):
+        sim, guest, controller = self.build()
+        controller.register_guest(guest, lambda kind, dev: None)
+        controller.request_removal(guest, "vf0")
+        sim.run()
+        assert controller.events == ["remove-requested:g", "remove-completed:g"]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            HotplugController(Simulator(), eject_latency=-1)
+
+
+class TestGrantTable:
+    def test_grant_and_copy(self):
+        table = GrantTable(domain_id=1)
+        ref = table.grant_access(grantee_domain=0, frame=0x1234)
+        table.grant_copy(ref, grantee_domain=0, size_bytes=1500)
+        assert table.copies == 1
+        assert table.copied_bytes == 1500
+
+    def test_wrong_grantee_rejected(self):
+        table = GrantTable(1)
+        ref = table.grant_access(0, 0x1)
+        with pytest.raises(GrantError):
+            table.grant_copy(ref, grantee_domain=9, size_bytes=100)
+        with pytest.raises(GrantError):
+            table.map_grant(ref, grantee_domain=9)
+
+    def test_readonly_grant_blocks_write_copy(self):
+        table = GrantTable(1)
+        ref = table.grant_access(0, 0x1, readonly=True)
+        with pytest.raises(GrantError):
+            table.grant_copy(ref, 0, 100, write=True)
+        table.grant_copy(ref, 0, 100, write=False)
+
+    def test_end_access_refused_while_mapped(self):
+        table = GrantTable(1)
+        ref = table.grant_access(0, 0x1)
+        table.map_grant(ref, 0)
+        with pytest.raises(GrantError):
+            table.end_access(ref)
+        table.unmap_grant(ref)
+        table.end_access(ref)
+        assert table.active_grants() == 0
+
+    def test_unknown_ref(self):
+        with pytest.raises(GrantError):
+            GrantTable(1).grant_copy(99, 0, 10)
+
+
+class TestPinning:
+    def test_dom0_and_guest_cores_partition(self):
+        policy = PinningPolicy(core_count=16, dom0_vcpus=8)
+        assert policy.dom0_cores() == list(range(8))
+        assert policy.guest_cores == list(range(8, 16))
+
+    def test_guests_round_robin(self):
+        policy = PinningPolicy(core_count=16, dom0_vcpus=8)
+        placements = [policy.place_guest() for _ in range(10)]
+        assert placements == [8, 9, 10, 11, 12, 13, 14, 15, 8, 9]
+
+    def test_oversubscription_metric(self):
+        policy = PinningPolicy(core_count=16, dom0_vcpus=8)
+        assert policy.guests_per_core(60) == 7.5
+
+    def test_dom0_cannot_take_all_threads(self):
+        with pytest.raises(ValueError):
+            PinningPolicy(core_count=8, dom0_vcpus=8)
+
+
+class TestVectorAllocator:
+    def test_unique_allocation_and_ownership(self):
+        allocator = VectorAllocator()
+        v1 = allocator.allocate(1, lambda v: None)
+        v2 = allocator.allocate(2, lambda v: None)
+        assert v1 != v2
+        assert allocator.owner(v1) == 1
+        assert allocator.owner(v2) == 2
+
+    def test_free_and_reuse(self):
+        allocator = VectorAllocator()
+        vector = allocator.allocate(1, lambda v: None)
+        allocator.free(vector)
+        assert allocator.owner(vector) is None
+        again = allocator.allocate(2, lambda v: None)
+        assert again == vector
+
+    def test_exhaustion(self):
+        allocator = VectorAllocator()
+        for _ in range(256 - VectorAllocator.FIRST_DYNAMIC):
+            allocator.allocate(1, lambda v: None)
+        with pytest.raises(VectorExhausted):
+            allocator.allocate(1, lambda v: None)
+
+    def test_handler_lookup(self):
+        allocator = VectorAllocator()
+        marker = lambda v: None
+        vector = allocator.allocate(1, marker)
+        assert allocator.handler(vector) is marker
+        assert allocator.handler(0xFF) is None

@@ -1,0 +1,95 @@
+"""Unit tests for virtual LAPIC emulation and EOI acceleration costs."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.optimizations import OptimizationConfig
+from repro.hw.cpu import Machine
+from repro.sim import Simulator
+from repro.vmm import Domain, DomainKind, VirtualLapic, VmExitKind, VmExitTracer
+
+
+def make_vlapic(opts=None, costs=None):
+    costs = costs or CostModel()
+    machine = Machine(Simulator(), core_count=16, clock_hz=costs.clock_hz)
+    domain = Domain(1, "g", DomainKind.HVM, machine, [8])
+    tracer = VmExitTracer()
+    vlapic = VirtualLapic(domain, costs, opts or OptimizationConfig.none(),
+                          tracer)
+    return vlapic, domain, tracer, machine, costs
+
+
+def test_requires_hvm_domain():
+    machine = Machine(Simulator(), core_count=16)
+    pvm = Domain(1, "p", DomainKind.PVM, machine, [8])
+    with pytest.raises(ValueError):
+        VirtualLapic(pvm, CostModel(), OptimizationConfig.none(), VmExitTracer())
+
+
+def test_inject_delivers_vector():
+    vlapic, domain, _, _, _ = make_vlapic()
+    vlapic.inject(0x40)
+    assert domain.lapic.isr_contains(0x40)
+
+
+def test_eoi_unaccelerated_cost():
+    vlapic, domain, tracer, machine, costs = make_vlapic()
+    vlapic.inject(0x40)
+    xen_before = machine.core(8).cycles("xen")
+    retired = vlapic.eoi_write()
+    assert retired == 0x40
+    assert tracer.cycles(VmExitKind.APIC_ACCESS_EOI) == costs.eoi_emulate_cycles
+    assert machine.core(8).cycles("xen") - xen_before == costs.eoi_emulate_cycles
+
+
+def test_eoi_accelerated_cost():
+    opts = OptimizationConfig(eoi_acceleration=True)
+    vlapic, _, tracer, _, costs = make_vlapic(opts)
+    vlapic.inject(0x40)
+    vlapic.eoi_write()
+    assert tracer.cycles(VmExitKind.APIC_ACCESS_EOI) == costs.eoi_accelerated_cycles
+
+
+def test_eoi_accelerated_with_instruction_check():
+    opts = OptimizationConfig(eoi_acceleration=True, eoi_instruction_check=True)
+    vlapic, _, tracer, _, costs = make_vlapic(opts)
+    vlapic.inject(0x40)
+    vlapic.eoi_write()
+    expected = costs.eoi_accelerated_cycles + costs.eoi_instruction_check_cycles
+    assert tracer.cycles(VmExitKind.APIC_ACCESS_EOI) == expected
+
+
+def test_acceleration_saves_the_papers_5900_cycles():
+    """8.4K -> 2.5K per EOI (§5.2)."""
+    costs = CostModel()
+    saving = costs.eoi_emulate_cycles - costs.eoi_accelerated_cycles
+    assert saving == pytest.approx(5900)
+
+
+def test_other_apic_accesses_average_per_interrupt():
+    """The 1.13 non-EOI accesses per interrupt accumulate via carry."""
+    vlapic, _, tracer, _, costs = make_vlapic()
+    for _ in range(100):
+        vlapic.inject(0x40)
+        vlapic.eoi_write()
+    other = tracer.count(VmExitKind.APIC_ACCESS_OTHER)
+    assert other == pytest.approx(113, abs=1)
+
+
+def test_eoi_share_of_apic_access_exits_near_47_percent():
+    """§5.2: 'Among APIC-access VM-exit, 47% of them are EOI write.'"""
+    vlapic, _, tracer, _, _ = make_vlapic()
+    for _ in range(1000):
+        vlapic.inject(0x40)
+        vlapic.eoi_write()
+    assert tracer.eoi_share_of_apic_accesses() == pytest.approx(0.47, abs=0.01)
+
+
+def test_pending_lower_priority_dispatched_after_eoi():
+    vlapic, domain, _, _, _ = make_vlapic()
+    vlapic.inject(0x80)
+    vlapic.inject(0x40)  # lower priority: stays in IRR
+    assert domain.lapic.isr_contains(0x80)
+    assert domain.lapic.irr_contains(0x40)
+    vlapic.eoi_write()
+    assert domain.lapic.isr_contains(0x40)

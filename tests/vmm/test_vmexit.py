@@ -1,0 +1,61 @@
+"""Unit tests for the VM-exit tracer."""
+
+import pytest
+
+from repro.vmm import VmExitKind, VmExitTracer
+
+
+def test_record_and_read_back():
+    tracer = VmExitTracer()
+    tracer.record(VmExitKind.APIC_ACCESS_EOI, 8400)
+    tracer.record(VmExitKind.APIC_ACCESS_EOI, 8400)
+    tracer.record(VmExitKind.EXTERNAL_INTERRUPT, 2400)
+    assert tracer.count(VmExitKind.APIC_ACCESS_EOI) == 2
+    assert tracer.cycles(VmExitKind.APIC_ACCESS_EOI) == 16800
+    assert tracer.total_count == 3
+    assert tracer.total_cycles == 19200
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        VmExitTracer().record(VmExitKind.OTHER, -1)
+
+
+def test_apic_access_aggregation():
+    tracer = VmExitTracer()
+    tracer.record(VmExitKind.APIC_ACCESS_EOI, 100)
+    tracer.record(VmExitKind.APIC_ACCESS_OTHER, 200)
+    tracer.record(VmExitKind.EXTERNAL_INTERRUPT, 999)
+    assert tracer.apic_access_cycles() == 300
+
+
+def test_eoi_share_matches_paper_convention():
+    """§5.2: 47% of APIC-access exits are EOI writes — the share is a
+    count ratio, not a cycle ratio."""
+    tracer = VmExitTracer()
+    for _ in range(47):
+        tracer.record(VmExitKind.APIC_ACCESS_EOI, 8400)
+    for _ in range(53):
+        tracer.record(VmExitKind.APIC_ACCESS_OTHER, 1)
+    assert tracer.eoi_share_of_apic_accesses() == pytest.approx(0.47)
+
+
+def test_eoi_share_empty_is_zero():
+    assert VmExitTracer().eoi_share_of_apic_accesses() == 0.0
+
+
+def test_cycles_per_second():
+    tracer = VmExitTracer()
+    tracer.record(VmExitKind.APIC_ACCESS_EOI, 1000)
+    rates = tracer.cycles_per_second(elapsed=2.0)
+    assert rates[VmExitKind.APIC_ACCESS_EOI] == 500
+    assert rates[VmExitKind.OTHER] == 0
+    assert all(v == 0 for v in tracer.cycles_per_second(0).values())
+
+
+def test_reset():
+    tracer = VmExitTracer()
+    tracer.record(VmExitKind.OTHER, 10)
+    tracer.reset()
+    assert tracer.total_count == 0
+    assert tracer.total_cycles == 0
