@@ -36,6 +36,31 @@ KERNEL_CHOICES = {"2.6.18": GuestKernel.LINUX_2_6_18,
 PROTOCOL_CHOICES = {"udp": Protocol.UDP, "tcp": Protocol.TCP}
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, valid after every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    timing = parent.add_argument_group("measurement window")
+    # SUPPRESS: only set when given after the subcommand, so the
+    # top-level --warmup/--duration defaults still apply otherwise.
+    timing.add_argument("--warmup", type=float, default=argparse.SUPPRESS,
+                        help="simulated warmup seconds before measuring")
+    timing.add_argument("--duration", type=float, default=argparse.SUPPRESS,
+                        help="simulated measurement window seconds")
+    group = parent.add_argument_group("observability")
+    group.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write the deterministic metrics snapshot "
+                            "(registry + cycle ledger + exit breakdown) "
+                            "as JSON")
+    group.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the event trace; .jsonl gets JSONL, "
+                            "anything else Chrome trace-event JSON "
+                            "(chrome://tracing / Perfetto)")
+    group.add_argument("--profile", action="store_true",
+                       help="print a host-side wall-clock profile of "
+                            "simulator callbacks after the run")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -47,30 +72,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--duration", type=float, default=0.5,
                         help="simulated measurement window seconds")
     commands = parser.add_subparsers(dest="command", required=True)
+    obs = [_telemetry_parent()]
 
-    sriov = commands.add_parser("sriov", help="SR-IOV receive experiment")
+    sriov = commands.add_parser("sriov", help="SR-IOV receive experiment",
+                                parents=obs)
     _add_guest_args(sriov)
     sriov.add_argument("--native", action="store_true",
                        help="run the drivers on bare metal (Fig. 12's "
                             "native baseline)")
 
-    pv = commands.add_parser("pv", help="PV split-driver experiment")
+    pv = commands.add_parser("pv", help="PV split-driver experiment",
+                             parents=obs)
     pv.add_argument("--vms", type=int, default=10)
     pv.add_argument("--ports", type=int, default=10)
     pv.add_argument("--kind", choices=KIND_CHOICES, default="hvm")
     pv.add_argument("--single-thread", action="store_true",
                     help="use the stock single-threaded netback")
 
-    vmdq = commands.add_parser("vmdq", help="VMDq experiment (Fig. 19)")
+    vmdq = commands.add_parser("vmdq", help="VMDq experiment (Fig. 19)",
+                               parents=obs)
     vmdq.add_argument("--vms", type=int, default=10)
 
     intervm = commands.add_parser("intervm",
-                                  help="inter-VM experiment (Figs. 13-14)")
+                                  help="inter-VM experiment (Figs. 13-14)",
+                                  parents=obs)
     intervm.add_argument("--mode", choices=["sriov", "pv"], default="sriov")
     intervm.add_argument("--message-bytes", type=int, default=1500)
 
     migrate = commands.add_parser("migrate",
-                                  help="live migration (Figs. 20-21)")
+                                  help="live migration (Figs. 20-21)",
+                                  parents=obs)
     migrate.add_argument("--mode", choices=["pv", "dnis"], default="dnis")
     migrate.add_argument("--start-at", type=float, default=4.5)
     return parser
@@ -108,9 +139,28 @@ def print_result(result: RunResult) -> None:
     print(format_run_result(result))
 
 
+def _wants_telemetry(args) -> bool:
+    return bool(args.metrics_json or args.trace_out)
+
+
+def _export_observability(args, telemetry, profiler, elapsed: float) -> None:
+    """Write --metrics-json / --trace-out and print --profile output."""
+    if args.metrics_json and telemetry is not None:
+        telemetry.write_metrics(args.metrics_json, elapsed)
+        print(f"metrics    : wrote {args.metrics_json}", file=sys.stderr)
+    if args.trace_out and telemetry is not None:
+        fmt = telemetry.write_trace(args.trace_out)
+        print(f"trace      : wrote {args.trace_out} ({fmt})",
+              file=sys.stderr)
+    if getattr(args, "profile", False) and profiler is not None:
+        print(profiler.table(), file=sys.stderr)
+
+
 def run_cli(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = ExperimentRunner(warmup=args.warmup, duration=args.duration)
+    runner = ExperimentRunner(warmup=args.warmup, duration=args.duration,
+                              telemetry=_wants_telemetry(args),
+                              profile=args.profile)
     if args.command == "sriov":
         opts = (OptimizationConfig.none() if args.no_opts
                 else OptimizationConfig.all())
@@ -136,6 +186,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print_result(result)
+    _export_observability(args, result.telemetry, result.profiler,
+                          result.duration)
     return 0
 
 
@@ -147,7 +199,8 @@ def _run_migration(args) -> int:
     from repro.net.netperf import NetperfStream
     from repro.net.packet import udp_goodput_bps
 
-    bed = Testbed(TestbedConfig(ports=1))
+    bed = Testbed(TestbedConfig(ports=1, telemetry=_wants_telemetry(args),
+                                profile=args.profile))
     manager_config = PrecopyConfig()
     line = udp_goodput_bps(1e9)
     if args.mode == "pv":
@@ -174,6 +227,7 @@ def _run_migration(args) -> int:
     print(f"downtime: {report.downtime:.2f}s "
           f"(blackout {report.blackout_start:.2f}s -> "
           f"{report.blackout_end:.2f}s)")
+    _export_observability(args, bed.telemetry, bed.profiler, bed.sim.now)
     return 0
 
 

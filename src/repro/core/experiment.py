@@ -27,7 +27,6 @@ from repro.net.packet import (
 )
 from repro.net.tcp import TcpThroughputModel
 from repro.vmm.domain import DomainKind, GuestKernel
-from repro.vmm.hypervisor import Xen
 
 #: Default measurement schedule: enough warmup for throttles and AIC
 #: sampling to settle, then a steady-state window.
@@ -59,6 +58,12 @@ class RunResult:
     #: axis.
     latency_mean: float = 0.0
     latency_p99: float = 0.0
+    #: The run's :class:`repro.obs.Telemetry` facade, when the runner
+    #: was built with ``telemetry=True`` (for --metrics-json /
+    #: --trace-out exports after the run).
+    telemetry: Optional[object] = field(default=None, repr=False, compare=False)
+    #: The run's :class:`repro.obs.EngineProfiler`, when ``profile=True``.
+    profiler: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def total_cpu_percent(self) -> float:
@@ -96,10 +101,22 @@ class ExperimentRunner:
 
     def __init__(self, costs: Optional[CostModel] = None,
                  warmup: float = DEFAULT_WARMUP,
-                 duration: float = DEFAULT_DURATION):
+                 duration: float = DEFAULT_DURATION,
+                 telemetry: bool = False,
+                 profile: bool = False):
         self.costs = (costs or CostModel()).validate()
         self.warmup = warmup
         self.duration = duration
+        self.telemetry = telemetry
+        self.profile = profile
+
+    def _config(self, **kwargs) -> TestbedConfig:
+        """A TestbedConfig carrying the runner's costs and telemetry
+        switches, with per-run overrides."""
+        kwargs.setdefault("costs", self.costs)
+        kwargs.setdefault("telemetry", self.telemetry)
+        kwargs.setdefault("profile", self.profile)
+        return TestbedConfig(**kwargs)
 
     # ------------------------------------------------------------------
     # SR-IOV receive-side runs (Figs. 6, 8, 9, 12, 15, 16 and native)
@@ -119,8 +136,8 @@ class ExperimentRunner:
         nic: str = "82576",
     ) -> RunResult:
         """netperf RX into ``vm_count`` SR-IOV guests (§6.1's setup)."""
-        config = TestbedConfig(
-            ports=ports, vfs_per_port=vfs_per_port, costs=self.costs,
+        config = self._config(
+            ports=ports, vfs_per_port=vfs_per_port,
             opts=opts if opts is not None else OptimizationConfig.all(),
             native=native, nic=nic,
         )
@@ -162,8 +179,7 @@ class ExperimentRunner:
         interrupts.
         """
         from repro.net.link import Link
-        config = TestbedConfig(ports=ports, costs=self.costs,
-                               opts=OptimizationConfig.all())
+        config = self._config(ports=ports, opts=OptimizationConfig.all())
         bed = Testbed(config)
         policy_factory = policy_factory or (lambda: FixedItr(2000))
         delivered = {"packets": 0, "payload_bytes": 0}
@@ -207,6 +223,8 @@ class ExperimentRunner:
             cpu=bed.platform.utilization_breakdown(),
             loss_rate=drops / offered if offered else 0.0,
             interrupt_hz=0.0,
+            telemetry=bed.telemetry,
+            profiler=bed.profiler,
         )
 
     def run_native(self, vm_count: int = 10,
@@ -227,8 +245,7 @@ class ExperimentRunner:
         protocol: Protocol = Protocol.UDP,
         ports: int = 10,
     ) -> RunResult:
-        config = TestbedConfig(ports=ports, costs=self.costs,
-                               opts=OptimizationConfig.all())
+        config = self._config(ports=ports, opts=OptimizationConfig.all())
         bed = Testbed(config)
         if single_thread_backend:
             bed.use_single_thread_netback()
@@ -243,8 +260,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_vmdq(self, vm_count: int,
                  kind: DomainKind = DomainKind.PVM) -> RunResult:
-        config = TestbedConfig(ports=1, costs=self.costs,
-                               opts=OptimizationConfig.all())
+        config = self._config(ports=1, opts=OptimizationConfig.all())
         bed = Testbed(config)
         guests = [bed.add_vmdq_guest(kind) for _ in range(vm_count)]
         # One 10 GbE port shared by everyone.
@@ -270,8 +286,7 @@ class ExperimentRunner:
         """
         if sender not in ("guest", "dom0"):
             raise ValueError(f"sender must be 'guest' or 'dom0', not {sender!r}")
-        config = TestbedConfig(ports=1, costs=self.costs,
-                               opts=OptimizationConfig.all())
+        config = self._config(ports=1, opts=OptimizationConfig.all())
         bed = Testbed(config)
         # Inter-VM rates exceed the line rate, so the driver must scale
         # its interrupt frequency with them — AIC by default (§5.3's
@@ -300,8 +315,7 @@ class ExperimentRunner:
                        offered_bps: float = 8e9,
                        kind: DomainKind = DomainKind.PVM) -> RunResult:
         """dom0 CPU-copies packets between two PV guests (§6.3)."""
-        config = TestbedConfig(ports=1, costs=self.costs,
-                               opts=OptimizationConfig.all())
+        config = self._config(ports=1, opts=OptimizationConfig.all())
         bed = Testbed(config)
         receiver = bed.add_pv_guest(kind)
         # Inter-VM PV traffic is a single flow: it rides one backend
@@ -374,14 +388,19 @@ class ExperimentRunner:
             deltas = [d.interrupts_handled - before
                       for d, before in zip(drivers, interrupts_before)]
             interrupt_hz = sum(deltas) / len(deltas) / elapsed
+        # Fig. 7's exit breakdown, read from the cycle ledger (which
+        # reconciles exactly with the VmExitTracer — see
+        # tests/obs/test_reconcile.py).  NativeHost has a ledger too,
+        # with no exit.* entries, so the native baseline reports empty.
         exit_rates: Dict[str, float] = {}
         exit_counts: Dict[str, int] = {}
-        if isinstance(bed.platform, Xen):
-            rates = bed.platform.tracer.cycles_per_second(elapsed)
-            exit_rates = {kind.value: rate for kind, rate in rates.items()
-                          if rate > 0}
-            exit_counts = {kind.value: bed.platform.tracer.count(kind)
-                           for kind in rates if bed.platform.tracer.count(kind)}
+        if elapsed > 0:
+            for kind, (count, cycles) in \
+                    bed.platform.ledger.exit_breakdown().items():
+                if cycles > 0:
+                    exit_rates[kind] = cycles / elapsed
+                if count:
+                    exit_counts[kind] = count
         total_latency_samples = sum(app.latency.count for app in apps)
         latency_mean = (sum(app.latency.mean * app.latency.count
                             for app in apps) / total_latency_samples
@@ -400,4 +419,6 @@ class ExperimentRunner:
             exit_counts=exit_counts,
             latency_mean=latency_mean,
             latency_p99=latency_p99,
+            telemetry=bed.telemetry,
+            profiler=bed.profiler,
         )

@@ -82,4 +82,15 @@ def format_run_result(result: RunResult) -> str:
     for account, percent in sorted(result.cpu.items()):
         lines.append(f"  {account:8s}: {percent:7.2f} %")
     lines.append(f"  {'total':8s}: {result.total_cpu_percent:7.2f} %")
+    if result.exit_cycles_per_second:
+        lines.append("VM exits (Fig. 7 convention, cycles/s by kind):")
+        total = 0.0
+        for kind in sorted(result.exit_cycles_per_second,
+                           key=lambda k: -result.exit_cycles_per_second[k]):
+            rate = result.exit_cycles_per_second[kind]
+            total += rate
+            count = result.exit_counts.get(kind, 0)
+            lines.append(f"  {kind:22s}: {rate:14.0f} cyc/s"
+                         f"  ({count} exits)")
+        lines.append(f"  {'total':22s}: {total:14.0f} cyc/s")
     return "\n".join(lines)

@@ -53,6 +53,13 @@ class TestbedConfig:
     #: "82599" (the 10 GbE part that shipped after the paper — the
     #: what-if its §6.1 footnote anticipates).
     nic: str = "82576"
+    #: Install the :class:`repro.obs.Telemetry` facade (a live tracer
+    #: and metrics registry across the platform, ports and drivers).
+    #: Off by default: the null tracer/registry path costs nothing.
+    telemetry: bool = False
+    #: Install the host-side :class:`repro.obs.EngineProfiler`
+    #: (wall-clock per simulator callback; never in the metrics JSON).
+    profile: bool = False
 
 
 @dataclass
@@ -89,6 +96,16 @@ class Testbed:
             self.platform = NativeHost(self.sim, self.config.costs)
         else:
             self.platform = Xen(self.sim, self.config.costs, self.config.opts)
+        self.telemetry = None
+        if self.config.telemetry:
+            from repro.obs.telemetry import Telemetry
+            self.telemetry = Telemetry(self.sim)
+            self.telemetry.attach_platform(self.platform)
+        self.profiler = None
+        if self.config.profile:
+            from repro.obs.profiler import EngineProfiler
+            self.profiler = EngineProfiler(self.sim)
+            self.profiler.install()
         self.hotplug = HotplugController(self.sim)
         self.iovm = Iovm(self.platform)
         self.ports: List[Igb82576Port] = []
@@ -129,6 +146,8 @@ class Testbed:
             self.iovm.surface_vfs(port)
             self.ports.append(port)
             self.pf_drivers.append(pf_driver)
+            if self.telemetry is not None:
+                self.telemetry.attach_port(port)
 
     # ------------------------------------------------------------------
     # SR-IOV guests
@@ -207,6 +226,8 @@ class Testbed:
             self._vmdq_port = Ixgbe82598Port(self.sim)
             self._vmdq_service = VmdqService(self.platform, self._dom0,
                                              self._vmdq_port)
+            if self.telemetry is not None:
+                self.telemetry.attach_port(self._vmdq_port)
         return self._vmdq_service
 
     def add_vmdq_guest(self, kind: DomainKind = DomainKind.PVM,

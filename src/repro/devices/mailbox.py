@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.sim.trace import NULL_TRACER
+
 #: The 82576 mailbox memory is 16 dwords per VF.
 MAILBOX_DWORDS = 16
 
@@ -74,6 +76,9 @@ class Mailbox:
     def __init__(self, vf_index: int = 0):
         self.vf_index = vf_index
         self._ends: Dict[str, _Endpoint] = {self.PF: _Endpoint(), self.VF: _Endpoint()}
+        #: Installed by the telemetry layer; spans one doorbell round
+        #: trip from ``send`` to ``acknowledge``.
+        self.trace = NULL_TRACER
 
     # ------------------------------------------------------------------
     def connect(self, side: str, on_doorbell: Callable[[MailboxMessage], None]) -> None:
@@ -93,6 +98,8 @@ class Mailbox:
         self._end(sender).sent += 1
         if peer.on_doorbell is None:
             raise MailboxError(f"{receiver} side has no doorbell handler connected")
+        self.trace.begin("mbx", f"vf{self.vf_index}", sender=sender,
+                         kind=message.kind)
         peer.on_doorbell(message)
 
     def read(self, side: str) -> MailboxMessage:
@@ -111,6 +118,7 @@ class Mailbox:
         end.control |= BIT_ACK
         end.control &= ~BIT_BUSY
         end.buffer = None
+        self.trace.end("mbx", f"vf{self.vf_index}", receiver=side)
 
     # ------------------------------------------------------------------
     def pending(self, side: str) -> bool:

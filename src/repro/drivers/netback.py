@@ -49,6 +49,17 @@ class Netback:
         self.delivered_packets = 0
         self.dropped_bursts = 0
         self.dropped_packets = 0
+        # Per-thread registry instruments (no-ops when telemetry is off).
+        self._thread_batches = []
+        self._thread_packets = []
+        for i in range(thread_count):
+            scope = platform.metrics.scope(f"netback.thread{i}")
+            self._thread_batches.append(scope.counter("batches"))
+            self._thread_packets.append(scope.counter("packets"))
+        nb_scope = platform.metrics.scope("netback")
+        nb_scope.gauge("delivered_pkts", lambda: self.delivered_packets)
+        nb_scope.gauge("dropped_pkts", lambda: self.dropped_packets)
+        nb_scope.gauge("dropped_bursts", lambda: self.dropped_bursts)
 
     # ------------------------------------------------------------------
     def connect(self, netfront) -> None:
@@ -91,8 +102,14 @@ class Netback:
             raise RuntimeError("frontend not connected to this netback")
         if not burst:
             return True
-        executor = self.executors[netfront.frontend_id % len(self.executors)]
+        thread = netfront.frontend_id % len(self.executors)
+        executor = self.executors[thread]
         cycles = self.cycles_per_packet(netfront.domain) * len(burst)
+        self._thread_batches[thread].add()
+        self._thread_packets[thread].add(len(burst))
+        self.platform.trace.emit("netback", "batch", thread=thread,
+                                 domain=netfront.domain.id,
+                                 packets=len(burst))
 
         def complete() -> None:
             for packet in burst:
@@ -107,6 +124,9 @@ class Netback:
         if not accepted:
             self.dropped_bursts += 1
             self.dropped_packets += len(burst)
+            self.platform.trace.emit("netback", "drop", thread=thread,
+                                     domain=netfront.domain.id,
+                                     packets=len(burst))
         return accepted
 
     # ------------------------------------------------------------------

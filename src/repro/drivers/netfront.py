@@ -60,6 +60,8 @@ class Netfront:
         accepted, _ = self.app.deliver(burst, self.sim.now, capped=False)
         self.domain.charge_guest(cycles * accepted)
         self.rx_packets += accepted
+        self.platform.trace.emit("netfront", "rx", domain=self.domain.id,
+                                 packets=accepted)
 
     def _upcall(self, port: int) -> None:
         self.notifications += 1

@@ -151,6 +151,8 @@ class PfDriver:
         per VF before being applied.
         """
         self.vf_requests.setdefault(vf.index, []).append(message.kind)
+        self.platform.trace.emit("mbx", "pf_service", port=self.port.index,
+                                 vf=vf.index, kind=message.kind)
         if message.kind == "set_vlan":
             self.set_vf_vlan(vf.index, int(message.body))
         elif message.kind == "set_multicast":
@@ -169,6 +171,8 @@ class PfDriver:
         """Forward a physical event to every VF driver: "impending
         global device reset, link status change, and impending driver
         removal" (§4.2)."""
+        self.platform.trace.emit("mbx", "pf_broadcast", port=self.port.index,
+                                 kind=kind)
         for vf in self.port.vfs:
             if vf.enabled:
                 vf.mailbox.send(Mailbox.PF, MailboxMessage(kind, body=body))

@@ -80,6 +80,11 @@ class VfDriver:
         self.resets_handled = 0
         self.link_events: List[str] = []
         self._sample_handle: Optional[EventHandle] = None
+        # Registry instruments (no-ops when telemetry is off).
+        scope = platform.metrics.scope(f"guest.{domain.name}")
+        self._m_interrupts = scope.counter("interrupts")
+        self._m_rx_pkts = scope.counter("rx_pkts")
+        self._m_batch = scope.histogram("rx_batch", bin_width=1.0)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -141,6 +146,10 @@ class VfDriver:
     # ------------------------------------------------------------------
     def _isr(self, vector: int) -> None:
         self.interrupts_handled += 1
+        self._m_interrupts.add()
+        trace = self.platform.trace
+        trace.begin("irq", "vf_isr", domain=self.domain.id,
+                    driver=self.name)
         hvm_under_xen = self.domain.is_hvm and not self.platform.is_native
         masks_msi = (hvm_under_xen
                      and self.domain.kernel.masks_msi_per_interrupt)
@@ -153,6 +162,8 @@ class VfDriver:
         self._refill_rx_ring()
         if packets:
             self.rx_meter.add(len(packets))
+            self._m_rx_pkts.add(len(packets))
+            self._m_batch.add(len(packets))
             accepted, _dropped = self.app.deliver(packets, self.sim.now)
             cycles = self.costs.guest_cycles_per_packet
             if self.domain.is_pvm:
@@ -162,6 +173,8 @@ class VfDriver:
             self.platform.vlapic(self.domain).eoi_write()
         if masks_msi:
             self.platform.device_model(self.domain).emulate_msix_mask_write(False)
+        trace.end("irq", "vf_isr", domain=self.domain.id,
+                  packets=len(packets))
 
     def _mailbox_isr(self, vector: int) -> None:
         """Doorbell from the PF arrived; message already consumed by

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER
 
 #: Effective one-way DMA payload bandwidth of the NIC's PCIe link.
 DEFAULT_EFFECTIVE_BPS = 5.6e9
@@ -36,6 +37,9 @@ class PcieDataPath:
         self._busy_until: float = 0.0
         self.transferred_bytes = Counter(f"{name}.bytes")
         self.transfers = Counter(f"{name}.transfers")
+        #: Installed by the telemetry layer; emits one event per DMA
+        #: booking (queue time visible as start - ts).
+        self.trace = NULL_TRACER
 
     def transfer_time(self, size_bytes: int) -> float:
         """Serialized time for a payload of ``size_bytes``."""
@@ -55,6 +59,8 @@ class PcieDataPath:
         self._busy_until = finish
         self.transferred_bytes.add(size_bytes)
         self.transfers.add()
+        self.trace.emit("dma", self.name, bytes=size_bytes,
+                        start=start, finish=finish)
         if on_done is not None:
             self.sim.schedule_at(finish, on_done)
         return finish

@@ -110,18 +110,24 @@ class MigrationManager:
         yield max(0.0, start_at - self.sim.now)
         report.started_at = self.sim.now
         report.mark(self.sim.now, "migration-start")
+        trace = self.platform.trace
+        trace.begin("migration", "pv", domain=netfront.domain.id)
         yield from self._precopy_rounds(report)
         yield from self._blackout(report, netfront)
         report.completed_at = self.sim.now
         report.mark(self.sim.now, "migration-complete")
+        trace.end("migration", "pv", domain=netfront.domain.id)
 
     def _dnis_flow(self, guest: DnisGuest, start_at: float,
                    report: MigrationReport):
         yield max(0.0, start_at - self.sim.now)
         report.started_at = self.sim.now
         report.mark(self.sim.now, "migration-start")
+        trace = self.platform.trace
+        trace.begin("migration", "dnis", domain=guest.domain.id)
         # Step 1: virtual hot removal of the VF; the bond fails over to
         # the PV NIC (the guest handles the ACPI event).
+        trace.begin("migration", "interface-switch", domain=guest.domain.id)
         removed = Condition(self.sim)
         self.hotplug.request_removal(guest.domain, "vf", removed.succeed)
         yield removed
@@ -130,23 +136,30 @@ class MigrationManager:
         yield guest.switch_outage
         report.switch_completed_at = self.sim.now
         report.mark(self.sim.now, "interface-switched-to-pv")
+        trace.end("migration", "interface-switch", domain=guest.domain.id)
         # Step 2: the real migration, as if there were never a VF.
         yield from self._precopy_rounds(report)
         yield from self._blackout(report, guest.netfront)
         # Step 3: virtual hot add at the target restores the VF path.
+        trace.begin("migration", "hot-add", domain=guest.domain.id)
         added = Condition(self.sim)
         self.hotplug.hot_add(guest.domain, "vf", added.succeed)
         yield added
         report.completed_at = self.sim.now
         report.mark(self.sim.now, "vf-restored-at-target")
+        trace.end("migration", "hot-add", domain=guest.domain.id)
+        trace.end("migration", "dnis", domain=guest.domain.id)
 
     # ------------------------------------------------------------------
     def _precopy_rounds(self, report: MigrationReport):
         """Live rounds: service stays up; dom0 pays the copy CPU."""
+        trace = self.platform.trace
         for round_index, (duration, bytes_) in enumerate(
                 zip(self.model.round_durations(), self.model.round_bytes())):
             report.round_durations.append(duration)
             report.mark(self.sim.now, f"precopy-round-{round_index}")
+            trace.begin("migration", "precopy", round=round_index,
+                        bytes=bytes_)
             cycles_total = bytes_ * self.config.cpu_cycles_per_byte
             remaining = duration
             while remaining > 0:
@@ -154,11 +167,15 @@ class MigrationManager:
                 self._charge_dom0(cycles_total * slice_ / duration)
                 yield slice_
                 remaining -= slice_
+            trace.end("migration", "precopy", round=round_index)
 
     def _blackout(self, report: MigrationReport, netfront: Netfront):
         """Stop-and-copy: the VM is paused; service is down."""
         report.blackout_start = self.sim.now
         report.mark(self.sim.now, "stop-and-copy")
+        trace = self.platform.trace
+        trace.begin("migration", "stop-and-copy",
+                    domain=netfront.domain.id)
         netfront.set_carrier(False)
         final_cycles = (self.model.final_dirty_bytes()
                         * self.config.cpu_cycles_per_byte)
@@ -167,6 +184,7 @@ class MigrationManager:
         netfront.set_carrier(True)
         report.blackout_end = self.sim.now
         report.mark(self.sim.now, "service-restored")
+        trace.end("migration", "stop-and-copy", domain=netfront.domain.id)
 
     def _charge_dom0(self, cycles: float) -> None:
         dom0 = getattr(self.platform, "dom0", None)

@@ -1,0 +1,107 @@
+"""Trace export: Tracer events to Chrome trace-event JSON or JSONL.
+
+The Chrome trace-event format (loadable in ``chrome://tracing`` and
+https://ui.perfetto.dev) is a JSON array of objects with ``ph`` (phase),
+``ts`` (microseconds), ``name``, ``cat``, ``pid`` and ``tid`` keys.  We
+map:
+
+* simulated seconds -> microsecond timestamps (``ts``);
+* each trace *category* -> one named thread track (``tid``), announced
+  with ``M``-phase ``thread_name`` metadata events;
+* instant events -> ``ph: "i"`` (thread-scoped), span begin/end ->
+  ``ph: "B"`` / ``ph: "E"``;
+* event detail -> ``args``.
+
+Everything is derived from simulated state only, so exports from
+identical runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.sim.trace import PHASE_INSTANT, TraceEvent
+
+#: The single process id all tracks live under.
+PID = 0
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    return str(value)
+
+
+def chrome_trace_events(events: Iterable[TraceEvent]) -> List[dict]:
+    """Render captured events as Chrome trace-event dicts.
+
+    Thread ids are assigned per category in first-seen order (stable
+    for a deterministic event stream) and named via metadata events so
+    the viewer shows one labelled track per category.
+    """
+    tids: Dict[str, int] = {}
+    body: List[dict] = []
+    for event in events:
+        tid = tids.get(event.category)
+        if tid is None:
+            tid = tids[event.category] = len(tids)
+        entry = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": round(event.time * 1e6, 3),
+            "pid": PID,
+            "tid": tid,
+        }
+        if event.phase == PHASE_INSTANT:
+            entry["s"] = "t"  # thread-scoped instant
+        if event.detail:
+            entry["args"] = {k: _json_safe(v) for k, v in event.detail}
+        body.append(entry)
+    meta = [
+        {"name": "thread_name", "ph": "M", "pid": PID, "tid": tid,
+         "args": {"name": category}}
+        for category, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return meta + body
+
+
+def trace_to_chrome_json(events: Iterable[TraceEvent]) -> str:
+    """The full export as a JSON array string."""
+    return json.dumps(chrome_trace_events(events), indent=1, sort_keys=True)
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """One event as a plain JSON-ready dict (the JSONL row format)."""
+    row = {
+        "time": event.time,
+        "category": event.category,
+        "name": event.name,
+        "phase": event.phase,
+    }
+    if event.detail:
+        row["detail"] = {k: _json_safe(v) for k, v in event.detail}
+    return row
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per line, in capture order."""
+    return "\n".join(json.dumps(event_to_dict(e), sort_keys=True)
+                     for e in events) + "\n"
+
+
+def write_trace(path: str, events: Iterable[TraceEvent]) -> str:
+    """Write a trace file, choosing the format by extension.
+
+    ``.jsonl`` writes one event per line; anything else writes the
+    Chrome trace-event JSON array.  Returns the format written.
+    """
+    events = list(events)
+    if path.endswith(".jsonl"):
+        payload, fmt = trace_to_jsonl(events), "jsonl"
+    else:
+        payload, fmt = trace_to_chrome_json(events), "chrome"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    return fmt

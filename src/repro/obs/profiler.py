@@ -1,0 +1,102 @@
+"""The host-side engine profiler: where does *wall-clock* time go?
+
+The cycle ledger attributes **simulated** cycles; this attributes the
+**host** CPU running the simulation itself — which event callbacks the
+:class:`~repro.sim.engine.Simulator` dispatches most, and how much real
+time each costs.  It is the tool for making the simulator faster (the
+ROADMAP's hardware-speed goal), not for reproducing the paper's
+numbers, and is strictly opt-in (``--profile``): installed, it hooks
+the engine's dispatch seam; uninstalled, the engine pays one attribute
+check per event.
+
+Wall-clock readings are inherently nondeterministic, so profiler output
+is never part of the metrics JSON document — it is printed as a
+separate top-N table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+def _callback_name(callback: Callable[..., Any]) -> str:
+    name = getattr(callback, "__qualname__", None)
+    if name:
+        return name
+    # functools.partial and bound builders: fall back to the wrapped
+    # function, then to the type.
+    inner = getattr(callback, "func", None)
+    if inner is not None:
+        return _callback_name(inner)
+    return type(callback).__name__
+
+
+class EngineProfiler:
+    """Per-callback-qualname wall-clock and event-count accounting."""
+
+    def __init__(self, sim: Simulator, clock: Callable[[], float] = time.perf_counter):
+        self.sim = sim
+        self._clock = clock
+        # qualname -> [count, wall_seconds]
+        self._records: Dict[str, List[float]] = {}
+        self._installed = False
+        self._started_at = 0.0
+        self.total_wall = 0.0
+
+    # ------------------------------------------------------------------
+    def install(self) -> "EngineProfiler":
+        if not self._installed:
+            self.sim.set_step_observer(self._observe)
+            self._installed = True
+            self._started_at = self._clock()
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.sim.set_step_observer(None)
+            self._installed = False
+
+    def _observe(self, handle: EventHandle) -> None:
+        name = _callback_name(handle.callback)
+        start = self._clock()
+        try:
+            handle.callback(*handle.args)
+        finally:
+            elapsed = self._clock() - start
+            record = self._records.get(name)
+            if record is None:
+                record = self._records[name] = [0, 0.0]
+            record[0] += 1
+            record[1] += elapsed
+            self.total_wall += elapsed
+
+    # ------------------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        return int(sum(r[0] for r in self._records.values()))
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """(qualname, count, wall seconds), heaviest first."""
+        return sorted(((name, int(r[0]), r[1])
+                       for name, r in self._records.items()),
+                      key=lambda row: (-row[2], row[0]))
+
+    def table(self, top: int = 15) -> str:
+        """The printed top-N report."""
+        rows = self.rows()
+        lines = ["engine profile (host wall-clock per event callback):",
+                 f"{'CALLBACK':<48}{'EVENTS':>10}{'WALL ms':>12}{'us/EV':>9}"]
+        for name, count, wall in rows[:top]:
+            per_event = wall / count * 1e6 if count else 0.0
+            shown = name if len(name) <= 47 else name[:44] + "..."
+            lines.append(f"{shown:<48}{count:>10}{wall * 1e3:>12.2f}"
+                         f"{per_event:>9.1f}")
+        hidden = len(rows) - top
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more callbacks")
+        lines.append(f"{'TOTAL':<48}{self.total_events:>10}"
+                     f"{self.total_wall * 1e3:>12.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""The metrics registry: every instrument, one namespace, one snapshot.
+
+Components register :class:`~repro.sim.stats.Counter`/:class:`Histogram`
+/:class:`TimeWeighted`/:class:`Series` instruments under dotted names
+(``nic.port0.rx_pkts``, ``netback.thread3.batches``,
+``guest.vm1.interrupts``) and the registry renders them all into one
+deterministic JSON document.  Existing ad-hoc component counters (plain
+integer attributes all over the device and driver models) are exported
+without touching their hot paths via callback *gauges*.
+
+The default platform registry is :data:`NULL_REGISTRY`: registration
+returns a shared no-op instrument and snapshots are empty, so
+instrumented hot paths cost one no-op method call when telemetry is
+off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.stats import Counter, Histogram, Series, TimeWeighted
+
+
+class MetricsError(ValueError):
+    """Registration conflict: same name, different instrument type."""
+
+
+class MetricsRegistry:
+    """A flat namespace of instruments with hierarchical dotted names."""
+
+    def __init__(self) -> None:
+        # name -> (kind, instrument-or-callback)
+        self._instruments: Dict[str, Tuple[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # registration (idempotent per name; conflicting kinds raise)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._register(name, "counter", lambda: Counter(name))
+
+    def histogram(self, name: str, bin_width: float = 1e-5) -> Histogram:
+        return self._register(name, "histogram",
+                              lambda: Histogram(bin_width, name))
+
+    def time_weighted(self, name: str, initial: float = 0.0,
+                      start_time: float = 0.0) -> TimeWeighted:
+        return self._register(name, "time_weighted",
+                              lambda: TimeWeighted(initial, start_time))
+
+    def series(self, name: str) -> Series:
+        return self._register(name, "series", lambda: Series(name))
+
+    def gauge(self, name: str, read: Callable[[], Any]) -> None:
+        """Register a read-at-snapshot callback for an existing counter
+        kept elsewhere (e.g. ``lambda: vf.rx_packets``)."""
+        existing = self._instruments.get(name)
+        if existing is not None and existing[0] != "gauge":
+            raise MetricsError(f"metric {name!r} already registered "
+                               f"as {existing[0]}")
+        self._instruments[name] = ("gauge", read)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view registering everything under ``prefix.``."""
+        return MetricsScope(self, prefix)
+
+    def _register(self, name: str, kind: str, factory: Callable[[], Any]):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing[0] != kind:
+                raise MetricsError(f"metric {name!r} already registered "
+                                   f"as {existing[0]}, not {kind}")
+            return existing[1]
+        instrument = factory()
+        self._instruments[name] = (kind, instrument)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> Optional[Any]:
+        entry = self._instruments.get(name)
+        return entry[1] if entry else None
+
+    def names(self) -> list:
+        return sorted(self._instruments)
+
+    def snapshot(self, now: float = 0.0) -> Dict[str, dict]:
+        """``{name: {"type": ..., ...values...}}``, sorted by name.
+
+        ``now`` is the simulated time the snapshot represents, used to
+        close out time-weighted means.  The result contains only
+        deterministic simulation quantities — never host wall-clock —
+        so identical runs snapshot byte-identically.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            kind, instrument = self._instruments[name]
+            out[name] = self._render(kind, instrument, now)
+        return out
+
+    def to_json(self, now: float = 0.0) -> str:
+        return json.dumps(self.snapshot(now), indent=2, sort_keys=True)
+
+    @staticmethod
+    def _render(kind: str, instrument: Any, now: float) -> dict:
+        if kind == "counter":
+            return {"type": "counter", "value": instrument.value}
+        if kind == "gauge":
+            value = instrument()
+            if not isinstance(value, (int, float, str, bool, type(None))):
+                value = str(value)
+            return {"type": "gauge", "value": value}
+        if kind == "histogram":
+            doc = {"type": "histogram", "count": instrument.count,
+                   "mean": instrument.mean, "stdev": instrument.stdev}
+            if instrument.count:
+                doc["p50"] = instrument.percentile(50)
+                doc["p99"] = instrument.percentile(99)
+            return doc
+        if kind == "time_weighted":
+            return {"type": "time_weighted",
+                    "current": instrument.current,
+                    "min": instrument.minimum,
+                    "max": instrument.maximum,
+                    "mean": instrument.mean(now)}
+        if kind == "series":
+            doc = {"type": "series", "count": len(instrument),
+                   "sum": sum(instrument.values)}
+            if len(instrument):
+                doc["first_time"] = instrument.times[0]
+                doc["last_time"] = instrument.times[-1]
+                doc["last_value"] = instrument.values[-1]
+            return doc
+        raise MetricsError(f"unknown instrument kind {kind!r}")
+
+
+class MetricsScope:
+    """A prefix-applying view over a registry (or another scope)."""
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._name(name))
+
+    def histogram(self, name: str, bin_width: float = 1e-5) -> Histogram:
+        return self._registry.histogram(self._name(name), bin_width)
+
+    def time_weighted(self, name: str, initial: float = 0.0,
+                      start_time: float = 0.0) -> TimeWeighted:
+        return self._registry.time_weighted(self._name(name), initial,
+                                            start_time)
+
+    def series(self, name: str) -> Series:
+        return self._registry.series(self._name(name))
+
+    def gauge(self, name: str, read: Callable[[], Any]) -> None:
+        self._registry.gauge(self._name(name), read)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, self._name(prefix))
+
+
+class _NullInstrument:
+    """Accepts any instrument method call and does nothing."""
+
+    __slots__ = ()
+
+    def add(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def record(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def reset(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The no-op registry: the disabled-telemetry fast path."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bin_width: float = 1e-5) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def time_weighted(self, name: str, initial: float = 0.0,
+                      start_time: float = 0.0) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def series(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, read: Callable[[], Any]) -> None:
+        pass
+
+    def scope(self, prefix: str) -> "NullRegistry":
+        return self
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> list:
+        return []
+
+    def snapshot(self, now: float = 0.0) -> dict:
+        return {}
+
+    def to_json(self, now: float = 0.0) -> str:
+        return "{}"
+
+
+#: Shared default instance (stateless, so sharing is safe).
+NULL_REGISTRY = NullRegistry()

@@ -67,6 +67,7 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._events_executed: int = 0
+        self._step_observer: Optional[Callable[[EventHandle], None]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -108,8 +109,25 @@ class Simulator:
         handle = heapq.heappop(self._queue)
         self.now = handle.time
         self._events_executed += 1
-        handle.callback(*handle.args)
+        observer = self._step_observer
+        if observer is None:
+            handle.callback(*handle.args)
+        else:
+            observer(handle)
         return True
+
+    def set_step_observer(
+            self, observer: Optional[Callable[[EventHandle], None]]) -> None:
+        """Install a dispatch hook (``None`` to remove it).
+
+        When set, the observer is invoked *instead of* the event's
+        callback and becomes responsible for calling
+        ``handle.callback(*handle.args)`` itself.  This is the seam the
+        opt-in host profiler (:class:`repro.obs.EngineProfiler`) uses to
+        measure wall-clock per callback; the default path stays a single
+        attribute check.
+        """
+        self._step_observer = observer
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or to the ``until`` horizon.

@@ -217,9 +217,17 @@ class Series:
         """
         if width <= 0:
             raise ValueError("bucket width must be positive")
+        # Bucket edges are computed as start + i * width rather than by
+        # repeated addition: over the thousands of buckets a long
+        # migration timeline produces, accumulating ``t += width``
+        # drifts by many ULPs and misassigns edge samples.
         buckets: List[Tuple[float, float]] = []
-        t = start
-        while t < end:
-            buckets.append((t, self.window_sum(t, min(t + width, end))))
-            t += width
+        index = 0
+        while True:
+            lo = start + index * width
+            if lo >= end:
+                break
+            hi = min(start + (index + 1) * width, end)
+            buckets.append((lo, self.window_sum(lo, hi)))
+            index += 1
         return buckets

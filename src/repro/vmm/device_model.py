@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
+from repro.obs.ledger import NULL_LEDGER
+from repro.sim.trace import NULL_TRACER
 from repro.vmm.domain import Domain
 from repro.vmm.vmexit import VmExitKind, VmExitTracer
 
@@ -28,16 +30,28 @@ class DeviceModel:
     """The qemu-dm instance backing one HVM guest."""
 
     def __init__(self, guest: Domain, dom0: Domain, costs: CostModel,
-                 opts: OptimizationConfig, tracer: VmExitTracer):
+                 opts: OptimizationConfig, tracer: VmExitTracer,
+                 host=None):
         self.guest = guest
         self.dom0 = dom0
         self.costs = costs
         self.opts = opts
         self.tracer = tracer
+        #: The owning hypervisor; when set, its live ``trace``/``ledger``
+        #: are used so telemetry installed after guest creation works.
+        self.host = host
         #: How many HVM guests share dom0 (set by the hypervisor; the
         #: per-trap cost inflates with contention, Fig. 6's 17%->30%).
         self.contending_vms = 1
         self.msi_mask_traps = 0
+
+    @property
+    def trace(self):
+        return self.host.trace if self.host is not None else NULL_TRACER
+
+    @property
+    def ledger(self):
+        return self.host.ledger if self.host is not None else NULL_LEDGER
 
     def emulate_msix_mask_write(self, is_mask: bool) -> None:
         """The guest wrote an MSI-X mask or unmask register.
@@ -47,22 +61,31 @@ class DeviceModel:
         """
         kind = VmExitKind.MSIX_MASK if is_mask else VmExitKind.MSIX_UNMASK
         self.msi_mask_traps += 1
+        ledger = self.ledger
+        self.trace.emit("dm", "msix_mask" if is_mask else "msix_unmask",
+                        domain=self.guest.id,
+                        accelerated=self.opts.msi_acceleration)
         if self.opts.msi_acceleration:
             cost = self.costs.xen_msi_accelerated_cycles
             self.tracer.record(kind, cost)
+            ledger.charge(self.guest.name, "exit." + kind.value, cost)
             self.guest.charge_hypervisor(cost)
             return
         # Unoptimized: Xen forwards to the device model in dom0.
         xen_cost = self.costs.xen_msi_forward_cycles
         self.tracer.record(kind, xen_cost)
+        ledger.charge(self.guest.name, "exit." + kind.value, xen_cost)
         self.guest.charge_hypervisor(xen_cost)
         # dom0 side: wake qemu, emulate, reply.  The per-trap cost
         # inflates as more device models contend for dom0's VCPUs.
         inflation = 1.0 + self.costs.dm_msi_contention_per_vm * (self.contending_vms - 1)
         dom0_cost = self.costs.dm_msi_roundtrip_cycles * inflation
+        ledger.charge(self.dom0.name, "dm.msix-roundtrip", dom0_cost)
         self._charge_dom0(dom0_cost)
         # Guest-side stall: TLB/cache pollution from the double context
         # switch (the 16% guest share of Fig. 12's MSI savings).
+        ledger.charge(self.guest.name, "guest.msi-stall",
+                      self.costs.guest_msi_stall_cycles)
         self.guest.charge_guest(self.costs.guest_msi_stall_cycles)
 
     def housekeeping_cycles(self, elapsed: float) -> float:

@@ -25,6 +25,8 @@ from repro.hw.intr_remap import InterruptRemapFault, InterruptRemapper
 from repro.hw.iommu import Iommu
 from repro.hw.msi import MsiMessage
 from repro.hw.pcie.topology import RootComplex
+from repro.obs.ledger import CycleLedger
+from repro.obs.registry import NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACER
 from repro.vmm.device_model import DeviceModel
@@ -60,6 +62,14 @@ class Xen:
         #: Install a :class:`repro.sim.trace.Tracer` here to capture the
         #: interrupt path; the default null tracer costs nothing.
         self.trace = NULL_TRACER
+        #: Per-(domain, category) cycle attribution.  Always live: the
+        #: Fig. 7 exit breakdown and Fig. 12 CPU bars are read from it,
+        #: so it is part of the accounting, not optional telemetry.
+        self.ledger = CycleLedger()
+        #: Install a :class:`repro.obs.MetricsRegistry` here (usually
+        #: via :class:`repro.obs.Telemetry`) to export instruments; the
+        #: default null registry hands out no-op instruments.
+        self.metrics = NULL_REGISTRY
         self.pinning = PinningPolicy(self.costs.core_count, self.costs.dom0_vcpus)
         self.dom0 = Domain(0, "dom0", DomainKind.DOM0, self.machine,
                            self.pinning.dom0_cores())
@@ -84,9 +94,11 @@ class Xen:
         self.domains[domain_id] = domain
         if kind is DomainKind.HVM:
             self._vlapics[domain_id] = VirtualLapic(domain, self.costs,
-                                                    self.opts, self.tracer)
+                                                    self.opts, self.tracer,
+                                                    host=self)
             self._device_models[domain_id] = DeviceModel(
-                domain, self.dom0, self.costs, self.opts, self.tracer)
+                domain, self.dom0, self.costs, self.opts, self.tracer,
+                host=self)
             self._update_dm_contention()
         return domain
 
@@ -164,10 +176,12 @@ class Xen:
             self.trace.emit("irq", "orphan", vector=vector)
             return  # interrupt for a torn-down domain: dropped at Xen
         domain = self.domains[owner_id]
-        self.trace.emit("irq", "deliver", vector=vector, domain=owner_id)
+        self.trace.begin("irq", "deliver", vector=vector, domain=owner_id)
         # The external-interrupt VM exit + virtual interrupt bookkeeping.
         cost = self.costs.external_interrupt_exit_cycles
         self.tracer.record(VmExitKind.EXTERNAL_INTERRUPT, cost)
+        self.ledger.charge(domain.name,
+                           "exit." + VmExitKind.EXTERNAL_INTERRUPT.value, cost)
         domain.charge_hypervisor(cost)
         if domain.is_hvm:
             self._vlapics[domain.id].inject(vector)
@@ -176,10 +190,13 @@ class Xen:
             # interrupt; cheaper (§6.4).
             notify = self.costs.event_channel_notify_cycles
             self.tracer.record(VmExitKind.HYPERCALL, notify)
+            self.ledger.charge(domain.name,
+                               "exit." + VmExitKind.HYPERCALL.value, notify)
             domain.charge_hypervisor(notify)
         handler = self.vectors.handler(vector)
         if handler is not None:
             handler(vector)
+        self.trace.end("irq", "deliver", vector=vector)
 
     # ------------------------------------------------------------------
     # measurement
@@ -188,6 +205,7 @@ class Xen:
         """Zero all accounts; utilization reads cover from here on."""
         self.machine.start_measurement()
         self.tracer.reset()
+        self.ledger.reset()
         for domain in self.domains.values():
             domain.reset_accounting()
         self._measurement_epoch = self.sim.now
@@ -224,6 +242,12 @@ class NativeHost:
         self.iommu = Iommu()
         self.root_complex = RootComplex(self.iommu)
         self.vectors = VectorAllocator()
+        # The same observability surface as Xen, so drivers can trace
+        # and count identically on bare metal (no exits ever land in
+        # the ledger's ``exit.*`` categories here).
+        self.trace = NULL_TRACER
+        self.ledger = CycleLedger()
+        self.metrics = NULL_REGISTRY
         self._next_domain_id = 1
         self._measurement_epoch = sim.now
 
@@ -259,6 +283,7 @@ class NativeHost:
 
     def start_measurement(self) -> None:
         self.machine.start_measurement()
+        self.ledger.reset()
         self._measurement_epoch = self.sim.now
 
     def end_measurement(self) -> float:

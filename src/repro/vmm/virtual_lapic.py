@@ -21,6 +21,8 @@ from typing import Optional
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
+from repro.obs.ledger import NULL_LEDGER
+from repro.sim.trace import NULL_TRACER
 from repro.vmm.domain import Domain
 from repro.vmm.vmexit import VmExitKind, VmExitTracer
 
@@ -29,14 +31,26 @@ class VirtualLapic:
     """Emulates one HVM guest's local APIC."""
 
     def __init__(self, domain: Domain, costs: CostModel,
-                 opts: OptimizationConfig, tracer: VmExitTracer):
+                 opts: OptimizationConfig, tracer: VmExitTracer,
+                 host=None):
         if domain.lapic is None:
             raise ValueError(f"domain {domain.name} has no LAPIC (not HVM?)")
         self.domain = domain
         self.costs = costs
         self.opts = opts
         self.tracer = tracer
+        #: The owning hypervisor; when set, its live ``trace``/``ledger``
+        #: are used so telemetry installed after guest creation works.
+        self.host = host
         self._carry: float = 0.0  # fractional other-APIC accesses
+
+    @property
+    def trace(self):
+        return self.host.trace if self.host is not None else NULL_TRACER
+
+    @property
+    def ledger(self):
+        return self.host.ledger if self.host is not None else NULL_LEDGER
 
     # ------------------------------------------------------------------
     # hypervisor side: injection
@@ -58,9 +72,15 @@ class VirtualLapic:
         self._carry += self.costs.other_apic_accesses_per_interrupt
         accesses = int(self._carry)
         self._carry -= accesses
+        if accesses:
+            self.trace.emit("apic", "inject", vector=vector,
+                            domain=self.domain.id, accesses=accesses)
+        ledger = self.ledger
         for _ in range(accesses):
             cost = self.costs.other_apic_access_cycles
             self.tracer.record(VmExitKind.APIC_ACCESS_OTHER, cost)
+            ledger.charge(self.domain.name,
+                          "exit." + VmExitKind.APIC_ACCESS_OTHER.value, cost)
             self.domain.charge_hypervisor(cost)
 
     # ------------------------------------------------------------------
@@ -79,6 +99,10 @@ class VirtualLapic:
         else:
             cost = self.costs.eoi_emulate_cycles
         self.tracer.record(VmExitKind.APIC_ACCESS_EOI, cost)
+        self.ledger.charge(self.domain.name,
+                           "exit." + VmExitKind.APIC_ACCESS_EOI.value, cost)
+        self.trace.emit("apic", "eoi", domain=self.domain.id,
+                        accelerated=self.opts.eoi_acceleration)
         self.domain.charge_hypervisor(cost)
         lapic = self.domain.lapic
         assert lapic is not None

@@ -1,0 +1,79 @@
+"""Trace export tests, including the checked-in Chrome golden file."""
+
+import json
+import pathlib
+
+from repro.obs.export import (
+    chrome_trace_events,
+    trace_to_chrome_json,
+    trace_to_jsonl,
+    write_trace,
+)
+from repro.sim.trace import PHASE_BEGIN, PHASE_END, TraceEvent
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_chrome_trace.json"
+
+
+def synthetic_events():
+    """A fixed stream exercising instants, spans and detail args."""
+    return [
+        TraceEvent(0.000010, "irq", "deliver", (("vector", 64),
+                                                ("domain", 1)), PHASE_BEGIN),
+        TraceEvent(0.000012, "apic", "eoi", (("domain", 1),
+                                             ("accelerated", True))),
+        TraceEvent(0.000015, "irq", "deliver", (("vector", 64),), PHASE_END),
+        TraceEvent(0.000020, "dma", "igb0.dma", (("bytes", 1500),)),
+        TraceEvent(0.000025, "mbx", "vf0", (("sender", "vf"),
+                                            ("kind", "set_vlan")), PHASE_BEGIN),
+        TraceEvent(0.000031, "mbx", "vf0", (("receiver", "pf"),), PHASE_END),
+    ]
+
+
+def test_chrome_export_matches_golden():
+    rendered = trace_to_chrome_json(synthetic_events())
+    assert rendered == GOLDEN.read_text()
+
+
+def test_chrome_export_is_valid_trace_json():
+    entries = json.loads(trace_to_chrome_json(synthetic_events()))
+    assert isinstance(entries, list)
+    for entry in entries:
+        assert "ph" in entry and "name" in entry
+        assert entry["pid"] == 0
+        if entry["ph"] != "M":
+            assert isinstance(entry["ts"], float)
+    # One thread_name metadata entry per category, listed first.
+    metas = [e for e in entries if e["ph"] == "M"]
+    assert [m["args"]["name"] for m in metas] == ["irq", "apic", "dma", "mbx"]
+    assert entries[: len(metas)] == metas
+
+
+def test_timestamps_are_microseconds():
+    [_, body] = chrome_trace_events([TraceEvent(1.5, "c", "x")])
+    assert body["ts"] == 1.5e6
+    assert body["s"] == "t"  # instants are thread-scoped
+
+
+def test_span_phases_preserved():
+    entries = chrome_trace_events(synthetic_events())
+    phases = [e["ph"] for e in entries if e["ph"] != "M"]
+    assert phases == ["B", "i", "E", "i", "B", "E"]
+
+
+def test_jsonl_roundtrip():
+    text = trace_to_jsonl(synthetic_events())
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert len(rows) == 6
+    assert rows[0]["category"] == "irq"
+    assert rows[0]["phase"] == "B"
+    assert rows[0]["detail"]["vector"] == 64
+
+
+def test_write_trace_picks_format_by_extension(tmp_path):
+    events = synthetic_events()
+    chrome = tmp_path / "t.json"
+    jsonl = tmp_path / "t.jsonl"
+    assert write_trace(str(chrome), events) == "chrome"
+    assert write_trace(str(jsonl), events) == "jsonl"
+    assert isinstance(json.loads(chrome.read_text()), list)
+    assert len(jsonl.read_text().splitlines()) == 6

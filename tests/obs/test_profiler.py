@@ -1,0 +1,50 @@
+"""Unit tests for the host-side engine profiler."""
+
+from repro.obs.profiler import EngineProfiler
+from repro.sim.engine import Simulator
+
+
+def test_profiler_counts_and_times_callbacks():
+    sim = Simulator()
+    ticks = {"n": 0}
+
+    def tick():
+        ticks["n"] += 1
+        if ticks["n"] < 5:
+            sim.schedule(0.1, tick)
+
+    clock = iter(float(i) for i in range(1000))
+    profiler = EngineProfiler(sim, clock=lambda: next(clock))
+    profiler.install()
+    sim.schedule(0.1, tick)
+    sim.run(until=10.0)
+    assert ticks["n"] == 5
+    rows = profiler.rows()
+    assert len(rows) == 1
+    name, count, wall = rows[0]
+    assert "tick" in name
+    assert count == 5
+    assert wall > 0
+
+
+def test_uninstall_restores_direct_dispatch():
+    sim = Simulator()
+    profiler = EngineProfiler(sim)
+    profiler.install()
+    profiler.uninstall()
+    fired = []
+    sim.schedule(0.1, lambda: fired.append(1))
+    sim.run(until=1.0)
+    assert fired == [1]
+    assert profiler.rows() == []
+
+
+def test_table_renders_total_row():
+    sim = Simulator()
+    profiler = EngineProfiler(sim)
+    profiler.install()
+    sim.schedule(0.1, lambda: None)
+    sim.run(until=1.0)
+    table = profiler.table()
+    assert "engine profile" in table
+    assert "TOTAL" in table

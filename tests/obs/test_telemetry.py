@@ -1,0 +1,85 @@
+"""Telemetry facade integration: wiring, determinism, CLI flags."""
+
+import json
+
+from repro.cli import run_cli
+from repro.core.experiment import ExperimentRunner
+from repro.core.testbed import Testbed, TestbedConfig
+
+
+def run_once():
+    runner = ExperimentRunner(warmup=0.1, duration=0.1, telemetry=True)
+    return runner.run_sriov(2, ports=1)
+
+
+def test_identical_runs_snapshot_byte_identically():
+    a = run_once()
+    b = run_once()
+    assert a.telemetry is not None
+    json_a = a.telemetry.metrics_json(a.duration)
+    json_b = b.telemetry.metrics_json(b.duration)
+    assert json_a == json_b
+
+
+def test_metrics_document_shape_and_exit_attribution():
+    result = run_once()
+    doc = result.telemetry.metrics_document(result.duration)
+    assert doc["schema"] == "repro-obs/1"
+    # Per-domain cycle attribution is present for every guest.
+    domains = doc["cycles"]["domains"]
+    assert any(name.startswith("vm") for name in domains)
+    # The exit breakdown in the document matches the RunResult's
+    # printed Fig. 7 numbers exactly.
+    for kind, entry in doc["exits"].items():
+        assert entry["cycles_per_second"] == \
+            result.exit_cycles_per_second[kind]
+        assert entry["count"] == result.exit_counts[kind]
+    # Registered instruments cover the NIC and guest namespaces.
+    names = doc["metrics"]
+    assert any(n.startswith("nic.port0.") for n in names)
+    assert any(n.startswith("guest.vm0.") for n in names)
+
+
+def test_trace_captures_spans_across_layers():
+    bed_result = run_once()
+    tracer = bed_result.telemetry.tracer
+    categories = {e.category for e in tracer.events()}
+    assert "irq" in categories
+    assert "apic" in categories
+    assert "dma" in categories
+
+
+def test_telemetry_off_keeps_null_objects():
+    bed = Testbed(TestbedConfig(ports=1))
+    from repro.obs.registry import NULL_REGISTRY
+    from repro.sim.trace import NULL_TRACER
+    assert bed.telemetry is None
+    assert bed.profiler is None
+    assert bed.platform.trace is NULL_TRACER
+    assert bed.platform.metrics is NULL_REGISTRY
+    assert bed.ports[0].datapath.trace is NULL_TRACER
+
+
+def test_cli_flags_write_files(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    trace = tmp_path / "t.json"
+    code = run_cli(["--warmup", "0.1", "sriov", "--vms", "1", "--ports", "1",
+                    "--duration", "0.1",
+                    "--metrics-json", str(metrics),
+                    "--trace-out", str(trace)])
+    assert code == 0
+    doc = json.loads(metrics.read_text())
+    assert doc["schema"] == "repro-obs/1"
+    entries = json.loads(trace.read_text())
+    assert isinstance(entries, list) and entries
+    assert all("ph" in e for e in entries)
+    out = capsys.readouterr().out
+    assert "VM exits" in out
+
+
+def test_cli_profile_flag(capsys):
+    code = run_cli(["--warmup", "0.1", "pv", "--vms", "1", "--ports", "1",
+                    "--duration", "0.1", "--profile"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "engine profile" in err

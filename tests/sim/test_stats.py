@@ -136,3 +136,23 @@ class TestSeries:
     def test_bucketize_invalid_width(self):
         with pytest.raises(ValueError):
             Series().bucketize(0.0, 1.0, 0.0)
+
+    def test_bucketize_edges_do_not_drift(self):
+        """Edges are computed as start + i*width, not by repeated
+        addition — so a width like 0.1 yields exactly the expected
+        bucket count with exact final coverage."""
+        series = Series()
+        buckets = series.bucketize(0.0, 1.0, 0.1)
+        assert len(buckets) == 10
+        starts = [start for start, _ in buckets]
+        assert starts == pytest.approx([i * 0.1 for i in range(10)])
+        # Repeated float addition of 0.1 drifts (10 * 0.1 != 1.0 in
+        # binary); multiplication keeps the last edge exact.
+        assert starts[-1] == 9 * 0.1
+
+    def test_bucketize_partial_last_bucket(self):
+        series = Series()
+        series.record(2.4, 5.0)
+        buckets = series.bucketize(0.0, 2.5, 1.0)
+        assert len(buckets) == 3
+        assert buckets[-1] == (2.0, 5.0)

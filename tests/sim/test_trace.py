@@ -91,7 +91,66 @@ def test_clear():
 
 def test_null_tracer_is_inert():
     NULL_TRACER.emit("anything", "goes", huge=list(range(10)))
+    NULL_TRACER.begin("anything", "span")
+    NULL_TRACER.end("anything", "span")
     assert not NULL_TRACER.is_enabled("anything")
+
+
+def test_span_begin_end_phases():
+    sim, tracer = make_tracer()
+    tracer.enable_all()
+    tracer.begin("irq", "deliver", vector=1)
+    tracer.emit("apic", "eoi")
+    tracer.end("irq", "deliver")
+    phases = [e.phase for e in tracer.events()]
+    assert phases == ["B", "i", "E"]
+    begin = tracer.events()[0]
+    assert begin.get("vector") == 1
+    assert str(begin).startswith("[0.000000] B irq:deliver")
+
+
+def test_spans_respect_category_filter():
+    sim, tracer = make_tracer()
+    tracer.enable("irq")
+    tracer.begin("mbx", "vf0")
+    tracer.end("mbx", "vf0")
+    assert len(tracer) == 0
+
+
+def test_evicted_means_pushed_out_and_invariant_holds():
+    sim, tracer = make_tracer(capacity=4)
+    tracer.enable_all()
+    for i in range(10):
+        tracer.emit("c", f"e{i}")
+    assert tracer.evicted == 6
+    assert tracer.dropped == tracer.evicted  # backwards-compat alias
+    assert len(tracer) == tracer.emitted - tracer.evicted
+
+
+def test_counts_by_name_tracks_evictions():
+    sim, tracer = make_tracer(capacity=3)
+    tracer.enable_all()
+    tracer.emit("c", "old")
+    for _ in range(3):
+        tracer.emit("c", "new")  # third emit evicts "old"
+    assert tracer.counts_by_name("c") == {"new": 3}
+    # Counts always mirror a fresh walk of the buffer.
+    walked = {}
+    for event in tracer.events():
+        walked[event.name] = walked.get(event.name, 0) + 1
+    assert tracer.counts_by_name("c") == walked
+
+
+def test_clear_resets_running_counts():
+    sim, tracer = make_tracer(capacity=2)
+    tracer.enable_all()
+    for i in range(5):
+        tracer.emit("c", "x")
+    tracer.clear()
+    assert tracer.counts_by_name() == {}
+    assert tracer.evicted == 0
+    tracer.emit("c", "y")
+    assert tracer.counts_by_name() == {"y": 1}
 
 
 def test_event_str_rendering():
