@@ -10,7 +10,6 @@ import pytest
 
 from benchmarks.figutils import print_table, run_once
 from repro import CostModel, ExperimentRunner
-from repro.drivers import AdaptiveCoalescing
 
 R_VALUES = [1.0, 1.1, 1.2, 1.5]
 
@@ -22,9 +21,8 @@ def generate():
         runner = ExperimentRunner(costs=costs, warmup=2.2, duration=0.5)
         # Wire RX: arrivals are bursty (unlike the PCIe-smoothed
         # inter-VM path), so headroom is what absorbs batch jitter.
-        results[r] = runner.run_sriov(
-            1, ports=1,
-            policy_factory=lambda costs=costs: AdaptiveCoalescing(costs))
+        results[r] = runner.run_sriov(1, ports=1,
+                                      policy={"kind": "aic"})
     return results
 
 

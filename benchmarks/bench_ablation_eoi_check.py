@@ -12,7 +12,6 @@ import pytest
 
 from benchmarks.figutils import print_table, run_once
 from repro import ExperimentRunner, OptimizationConfig
-from repro.drivers import DynamicItr
 
 CONFIGS = [
     ("emulate (8.4K)", OptimizationConfig.none()),
@@ -25,7 +24,7 @@ CONFIGS = [
 def generate():
     runner = ExperimentRunner(warmup=1.2, duration=0.5)
     return {label: runner.run_sriov(1, ports=1, opts=opts,
-                                    policy_factory=lambda: DynamicItr())
+                                    policy={"kind": "dynamic_itr"})
             for label, opts in CONFIGS}
 
 

@@ -12,19 +12,18 @@ import pytest
 
 from benchmarks.figutils import print_table, run_once
 from repro import DomainKind, ExperimentRunner
-from repro.drivers import FixedItr
 
 
 def generate():
     runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    policy = lambda: FixedItr(2000)
+    policy = {"kind": "fixed_itr", "hz": 2000}
     results = {}
     for vms in [10, 60]:
         results[f"10x82576 {vms}VM"] = runner.run_sriov(
-            vms, ports=10, policy_factory=policy)
+            vms, ports=10, policy=policy)
         results[f"1x82599 {vms}VM"] = runner.run_sriov(
             vms, ports=1, vfs_per_port=64, nic="82599",
-            policy_factory=policy)
+            policy=policy)
     return results
 
 

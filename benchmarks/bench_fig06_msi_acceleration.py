@@ -7,46 +7,37 @@ throughput stays at the line rate.  Moving the emulation into the
 hypervisor (§5.1) collapses dom0 to ~3% at every VM count.
 """
 
-from benchmarks.figutils import assert_flat, assert_increasing, print_table, run_once
-from repro import ExperimentRunner, OptimizationConfig
-from repro.drivers import DynamicItr
-from repro.vmm import GuestKernel
+from benchmarks.figutils import (
+    assert_flat,
+    assert_increasing,
+    print_figure,
+    run_once,
+)
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [1, 3, 5, 7]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=1.2, duration=0.4)
-    rows = []
-    for vm_count in VM_COUNTS:
-        for opts, label in [(OptimizationConfig.none(), f"{vm_count}-VM"),
-                            (OptimizationConfig(msi_acceleration=True),
-                             f"{vm_count}-VM-opt")]:
-            result = runner.run_sriov(
-                vm_count, ports=1, kernel=GuestKernel.LINUX_2_6_18,
-                opts=opts, policy_factory=lambda: DynamicItr())
-            rows.append((label, result.throughput_bps / 1e6,
-                         result.cpu["dom0"], result.cpu["guest"],
-                         result.cpu["xen"]))
-    return rows
+    return run_figure("fig06")
 
 
 def test_fig06_msi_acceleration(benchmark):
-    rows = run_once(benchmark, generate)
-    print_table("Fig. 6: SR-IOV with 2.6.18 HVM guests, single 1 GbE port",
-                ["config", "Mbps", "dom0%", "guest%", "xen%"], rows)
-    baseline = [r for r in rows if not r[0].endswith("opt")]
-    optimized = [r for r in rows if r[0].endswith("opt")]
+    results = run_once(benchmark, generate)
+    print_figure("fig06", results)
+    baseline = [results[f"{n}-VM"] for n in VM_COUNTS]
+    optimized = [results[f"{n}-VM-opt"] for n in VM_COUNTS]
     # Throughput flat at line rate in every configuration.
-    assert_flat([r[1] for r in rows], tolerance=0.03)
+    assert_flat([r.throughput_bps for r in results.values()],
+                tolerance=0.03)
     # Unoptimized dom0 cost is large and grows with VM count
     # (paper: 17% -> 30%).
-    base_dom0 = [r[2] for r in baseline]
+    base_dom0 = [r.cpu["dom0"] for r in baseline]
     assert base_dom0[0] > 10
     assert_increasing(base_dom0)
     # Growing with VM count (paper: 17% -> 30%; measured ~22% -> ~28%).
     assert base_dom0[-1] > base_dom0[0] * 1.2
     # Optimized dom0 sits at the ~3% housekeeping floor, flat in VM#.
-    opt_dom0 = [r[2] for r in optimized]
+    opt_dom0 = [r.cpu["dom0"] for r in optimized]
     assert all(v < 5 for v in opt_dom0)
     assert max(opt_dom0) - min(opt_dom0) < 1.5

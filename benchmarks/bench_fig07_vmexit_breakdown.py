@@ -9,32 +9,17 @@ cycles/second (-28%).
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner, OptimizationConfig
-from repro.drivers import DynamicItr
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 
 def generate():
-    runner = ExperimentRunner(warmup=1.2, duration=0.5)
-    results = {}
-    for label, opts in [("baseline", OptimizationConfig.none()),
-                        ("eoi-accelerated",
-                         OptimizationConfig(eoi_acceleration=True))]:
-        results[label] = runner.run_sriov(
-            1, ports=1, opts=opts, policy_factory=lambda: DynamicItr())
-    return results
+    return run_figure("fig07")
 
 
 def test_fig07_vmexit_breakdown(benchmark):
     results = run_once(benchmark, generate)
-    rows = []
-    for label, result in results.items():
-        for kind, rate in sorted(result.exit_cycles_per_second.items(),
-                                 key=lambda kv: -kv[1]):
-            rows.append((label, kind, rate / 1e6,
-                         result.exit_counts.get(kind, 0)))
-    print_table("Fig. 7: VM-exit cycles/second (millions)",
-                ["config", "exit kind", "Mcycles/s", "exits"], rows)
+    print_figure("fig07", results)
 
     base, accel = results["baseline"], results["eoi-accelerated"]
     base_total = sum(base.exit_cycles_per_second.values())

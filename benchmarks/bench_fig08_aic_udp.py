@@ -6,34 +6,17 @@ Paper: throughput holds 957 Mbps at 20 kHz, 2 kHz and AIC; CPU falls
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner
-from repro.drivers import AdaptiveCoalescing, FixedItr
-
-POLICIES = [("20kHz", lambda: FixedItr(20000)),
-            ("2kHz", lambda: FixedItr(2000)),
-            ("AIC", lambda: AdaptiveCoalescing()),
-            ("1kHz", lambda: FixedItr(1000))]
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 
 def generate():
-    runner = ExperimentRunner(warmup=2.2, duration=0.5)
-    rows = {}
-    for label, factory in POLICIES:
-        result = runner.run_sriov(1, ports=1, policy_factory=factory)
-        rows[label] = result
-    return rows
+    return run_figure("fig08")
 
 
 def test_fig08_aic_udp(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 8: UDP_STREAM vs interrupt-coalescing policy",
-        ["policy", "Mbps", "CPU%", "loss%", "intr Hz", "lat us"],
-        [(label, r.throughput_bps / 1e6, r.total_cpu_percent,
-          r.loss_rate * 100, r.interrupt_hz, r.latency_mean * 1e6)
-         for label, r in results.items()],
-    )
+    print_figure("fig08", results)
     # The latency side of the tradeoff (§5.3 discusses it; the figure
     # does not plot it): lower frequency -> higher delivery latency.
     assert (results["20kHz"].latency_mean < results["2kHz"].latency_mean

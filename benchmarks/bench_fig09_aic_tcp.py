@@ -8,32 +8,17 @@ to 2 kHz.
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner
-from repro.drivers import AdaptiveCoalescing, FixedItr
-from repro.net.packet import Protocol
-
-POLICIES = [("20kHz", lambda: FixedItr(20000)),
-            ("2kHz", lambda: FixedItr(2000)),
-            ("AIC", lambda: AdaptiveCoalescing()),
-            ("1kHz", lambda: FixedItr(1000))]
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 
 def generate():
-    runner = ExperimentRunner(warmup=2.2, duration=0.5)
-    return {label: runner.run_sriov(1, ports=1, protocol=Protocol.TCP,
-                                    policy_factory=factory)
-            for label, factory in POLICIES}
+    return run_figure("fig09")
 
 
 def test_fig09_aic_tcp(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 9: TCP_STREAM vs interrupt-coalescing policy",
-        ["policy", "Mbps", "CPU%", "intr Hz"],
-        [(label, r.throughput_bps / 1e6, r.total_cpu_percent,
-          r.interrupt_hz) for label, r in results.items()],
-    )
+    print_figure("fig09", results)
     # Full TCP goodput for 20 kHz, 2 kHz and AIC (paper: 940 Mbps).
     for label in ["20kHz", "2kHz", "AIC"]:
         assert results[label].throughput_bps == pytest.approx(941.5e6,

@@ -8,36 +8,17 @@ frequency with the measured packet rate and keeps RX = TX.  20 kHz also
 avoids loss but at excessive CPU.
 """
 
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner
-from repro.drivers import AdaptiveCoalescing, FixedItr
-
-POLICIES = [("20kHz", lambda: FixedItr(20000)),
-            ("AIC", lambda: AdaptiveCoalescing()),
-            ("2kHz", lambda: FixedItr(2000)),
-            ("1kHz", lambda: FixedItr(1000))]
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 
 def generate():
-    runner = ExperimentRunner(warmup=2.2, duration=0.5)
-    # The paper's Fig. 10 direction: "domain 0 sends packets to the
-    # guest" through the PF's own queues and the internal switch.
-    return {label: runner.run_intervm_sriov(policy_factory=factory,
-                                            sender="dom0")
-            for label, factory in POLICIES}
+    return run_figure("fig10")
 
 
 def test_fig10_aic_intervm(benchmark):
     results = run_once(benchmark, generate)
-    rows = []
-    for label, r in results.items():
-        tx_gbps = r.throughput_gbps / max(1e-9, 1 - r.loss_rate)
-        rows.append((label, tx_gbps, r.throughput_gbps,
-                     r.loss_rate * 100, r.interrupt_hz,
-                     r.total_cpu_percent))
-    print_table("Fig. 10: inter-VM RX under coalescing policies",
-                ["policy", "TX Gbps", "RX Gbps", "loss%", "intr Hz",
-                 "CPU%"], rows)
+    print_figure("fig10", results)
     # Fixed low frequencies lose packets (RX < TX)...
     assert results["2kHz"].loss_rate > 0.10
     assert results["1kHz"].loss_rate > 0.30

@@ -12,50 +12,17 @@ Paper, 10 VMs across ten 1 GbE ports, all at the 9.57 Gbps line rate:
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner, OptimizationConfig
-from repro.drivers import AdaptiveCoalescing, DynamicItr
-from repro.vmm import GuestKernel
-
-VMS = 10
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 
 def generate():
-    runner = ExperimentRunner(warmup=1.2, duration=0.4)
-    aic_runner = ExperimentRunner(warmup=2.2, duration=0.4)
-    dynamic = lambda: DynamicItr()
-    bars = {}
-    bars["2.6.18 baseline"] = runner.run_sriov(
-        VMS, kernel=GuestKernel.LINUX_2_6_18,
-        opts=OptimizationConfig.none(), policy_factory=dynamic)
-    bars["2.6.18 +msi"] = runner.run_sriov(
-        VMS, kernel=GuestKernel.LINUX_2_6_18,
-        opts=OptimizationConfig(msi_acceleration=True),
-        policy_factory=dynamic)
-    bars["2.6.28 baseline"] = runner.run_sriov(
-        VMS, opts=OptimizationConfig.none(), policy_factory=dynamic)
-    bars["2.6.28 +eoi"] = runner.run_sriov(
-        VMS, opts=OptimizationConfig(eoi_acceleration=True),
-        policy_factory=dynamic)
-    bars["2.6.28 +eoi+aic"] = aic_runner.run_sriov(
-        VMS, opts=OptimizationConfig(eoi_acceleration=True,
-                                     adaptive_coalescing=True))
-    # The native baseline runs the same adaptively-coalesced driver
-    # (the paper's native igb also moderates interrupts).
-    bars["native"] = aic_runner.run_native(VMS)
-    return bars
+    return run_figure("fig12")
 
 
 def test_fig12_optimization_impact(benchmark):
     bars = run_once(benchmark, generate)
-    print_table(
-        "Fig. 12: optimizations at aggregate 10 GbE (10 VMs)",
-        ["config", "Gbps", "dom0%", "guest%", "xen%", "total%"],
-        [(label, r.throughput_gbps, r.cpu.get("dom0", 0.0),
-          r.cpu.get("guest", r.cpu.get("native", 0.0)),
-          r.cpu.get("xen", 0.0), r.total_cpu_percent)
-         for label, r in bars.items()],
-    )
+    print_figure("fig12", bars)
     # Line rate everywhere (paper: "SR-IOV achieves a 10 Gbps line rate
     # in all situations").
     for result in bars.values():

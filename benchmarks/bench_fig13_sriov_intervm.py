@@ -6,30 +6,21 @@ each packet crosses the PCIe bus twice (TX DMA read to the FIFO, RX DMA
 write to the target), capping throughput at ~2.8 Gbps on a single port.
 """
 
-import pytest
-
-from benchmarks.figutils import print_table, run_once
-from repro import ExperimentRunner
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 SIZES = [1500, 2000, 2500, 3000, 4000]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=2.2, duration=0.5)
-    return {size: runner.run_intervm_sriov(message_bytes=size)
-            for size in SIZES}
+    return run_figure("fig13")
 
 
 def test_fig13_sriov_intervm(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 13: SR-IOV inter-VM throughput vs message size",
-        ["msg bytes", "Gbps", "CPU%", "Gbps/CPU%"],
-        [(size, r.throughput_gbps, r.total_cpu_percent,
-          r.throughput_gbps / r.total_cpu_percent)
-         for size, r in results.items()],
-    )
-    for size, result in results.items():
+    print_figure("fig13", results)
+    for size in SIZES:
+        result = results[str(size)]
         # Above the physical line rate...
         assert result.throughput_gbps > 1.0
         # ...but capped by the double PCIe crossing (paper: "up to 2.8").

@@ -7,31 +7,21 @@ but burning more CPU: "in terms of throughput per CPU utilization,
 SR-IOV is better."
 """
 
-import pytest
-
-from benchmarks.figutils import assert_increasing, print_table, run_once
-from repro import ExperimentRunner
+from benchmarks.figutils import assert_increasing, print_figure, run_once
+from repro.sweep.figures import run_figure
 
 SIZES = [1500, 2000, 2500, 3000, 4000]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=0.8, duration=0.5)
-    pv = {size: runner.run_intervm_pv(message_bytes=size) for size in SIZES}
-    sriov_runner = ExperimentRunner(warmup=2.2, duration=0.5)
-    sriov_1500 = sriov_runner.run_intervm_sriov(message_bytes=1500)
-    return pv, sriov_1500
+    return run_figure("fig14")
 
 
 def test_fig14_pvnic_intervm(benchmark):
-    pv, sriov = run_once(benchmark, generate)
-    print_table(
-        "Fig. 14: PV inter-VM throughput vs message size",
-        ["msg bytes", "Gbps", "CPU%", "Gbps/CPU%"],
-        [(size, r.throughput_gbps, r.total_cpu_percent,
-          r.throughput_gbps / r.total_cpu_percent)
-         for size, r in pv.items()],
-    )
+    results = run_once(benchmark, generate)
+    print_figure("fig14", results)
+    pv = {size: results[f"pv-{size}"] for size in SIZES}
+    sriov = results["sriov-1500"]
     # Bandwidth grows with message size (paper: "as the message size
     # goes up ... higher bandwidth").
     assert_increasing([pv[size].throughput_gbps for size in SIZES])

@@ -7,41 +7,34 @@ on every interrupt).
 
 import pytest
 
-from benchmarks.figutils import assert_flat, assert_increasing, print_table, run_once
-from repro import DomainKind, ExperimentRunner
-from repro.drivers import FixedItr
+from benchmarks.figutils import (
+    assert_flat,
+    assert_increasing,
+    print_figure,
+    run_once,
+)
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [10, 20, 40, 60]
 
 
 def generate():
-    # The VF driver's default 2 kHz ITR: the paper's per-VM slopes
-    # (2.8% HVM / 1.76% PVM) imply ~2 kHz steady interrupt rates per
-    # guest, below which AIC's lif floor would deflate the comparison.
-    runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    return {n: runner.run_sriov(n, kind=DomainKind.HVM,
-                                policy_factory=lambda: FixedItr(2000))
-            for n in VM_COUNTS}
+    return run_figure("fig15")
 
 
 def test_fig15_sriov_hvm_scaling(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 15: SR-IOV scalability, HVM guests, aggregate 10 GbE",
-        ["VMs", "Gbps", "dom0%", "guest%", "xen%", "total%"],
-        [(n, r.throughput_gbps, r.cpu["dom0"], r.cpu["guest"],
-          r.cpu["xen"], r.total_cpu_percent)
-         for n, r in results.items()],
-    )
-    totals = [results[n].total_cpu_percent for n in VM_COUNTS]
+    print_figure("fig15", results)
+    totals = [results[str(n)].total_cpu_percent for n in VM_COUNTS]
     slope = (totals[-1] - totals[0]) / (VM_COUNTS[-1] - VM_COUNTS[0])
     print(f"\nmarginal CPU per added HVM guest: {slope:.2f}% "
           "(paper: 2.8%)")
     # Line rate at every VM count.
-    assert_flat([results[n].throughput_gbps for n in VM_COUNTS],
+    assert_flat([results[str(n)].throughput_gbps for n in VM_COUNTS],
                 tolerance=0.02)
     for n in VM_COUNTS:
-        assert results[n].throughput_gbps == pytest.approx(9.57, rel=0.02)
+        assert results[str(n)].throughput_gbps == pytest.approx(9.57,
+                                                                rel=0.02)
     # CPU grows with VM count, modestly.
     assert_increasing(totals)
     assert 0.2 < slope < 4.0

@@ -7,35 +7,26 @@ than HVM, because each x86-64 PV guest syscall crosses the hypervisor
 to switch page tables.
 """
 
-import pytest
-
-from benchmarks.figutils import assert_flat, assert_increasing, print_table, run_once
-from repro import DomainKind, ExperimentRunner
-from repro.drivers import FixedItr
+from benchmarks.figutils import (
+    assert_flat,
+    assert_increasing,
+    print_figure,
+    run_once,
+)
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [10, 20, 40, 60]
 
 
 def generate():
-    # 2 kHz default ITR, matching Fig. 15's configuration.
-    runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    policy = lambda: FixedItr(2000)
-    pvm = {n: runner.run_sriov(n, kind=DomainKind.PVM,
-                               policy_factory=policy) for n in VM_COUNTS}
-    hvm_10 = runner.run_sriov(10, kind=DomainKind.HVM, policy_factory=policy)
-    hvm_60 = runner.run_sriov(60, kind=DomainKind.HVM, policy_factory=policy)
-    return pvm, hvm_10, hvm_60
+    return run_figure("fig16")
 
 
 def test_fig16_sriov_pvm_scaling(benchmark):
-    pvm, hvm_10, hvm_60 = run_once(benchmark, generate)
-    print_table(
-        "Fig. 16: SR-IOV scalability, PVM guests, aggregate 10 GbE",
-        ["VMs", "Gbps", "dom0%", "guest%", "xen%", "total%"],
-        [(n, r.throughput_gbps, r.cpu.get("dom0", 0.0), r.cpu["guest"],
-          r.cpu["xen"], r.total_cpu_percent)
-         for n, r in pvm.items()],
-    )
+    results = run_once(benchmark, generate)
+    print_figure("fig16", results)
+    pvm = {n: results[f"pvm-{n}"] for n in VM_COUNTS}
+    hvm_10, hvm_60 = results["hvm-10"], results["hvm-60"]
     totals = [pvm[n].total_cpu_percent for n in VM_COUNTS]
     pvm_slope = (totals[-1] - totals[0]) / 50
     hvm_slope = (hvm_60.total_cpu_percent - hvm_10.total_cpu_percent) / 50

@@ -8,28 +8,23 @@ copy path's per-packet cost grows with the working set of rings.
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import DomainKind, ExperimentRunner
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [10, 20, 40, 60]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    return {n: runner.run_pv(n, kind=DomainKind.HVM) for n in VM_COUNTS}
+    return run_figure("fig17")
 
 
 def test_fig17_pvnic_hvm_scaling(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 17: PV NIC scalability, HVM guests",
-        ["VMs", "Gbps", "dom0%", "guest%", "loss%"],
-        [(n, r.throughput_gbps, r.cpu["dom0"], r.cpu["guest"],
-          r.loss_rate * 100) for n, r in results.items()],
-    )
+    print_figure("fig17", results)
     # Full line rate at 10 VMs, with heavy dom0 (paper: 431%).
-    assert results[10].throughput_gbps == pytest.approx(9.57, rel=0.03)
-    assert results[10].cpu["dom0"] == pytest.approx(431, rel=0.15)
+    assert results["10"].throughput_gbps == pytest.approx(9.57, rel=0.03)
+    assert results["10"].cpu["dom0"] == pytest.approx(431, rel=0.15)
     # Throughput decays as VM count rises (the Fig. 17 shape).
-    assert results[60].throughput_gbps < results[10].throughput_gbps * 0.95
-    assert results[60].loss_rate > 0.05
+    assert (results["60"].throughput_gbps
+            < results["10"].throughput_gbps * 0.95)
+    assert results["60"].loss_rate > 0.05

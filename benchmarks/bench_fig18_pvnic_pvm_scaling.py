@@ -7,27 +7,21 @@ page-table switch), and throughput still decays with VM count.
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import DomainKind, ExperimentRunner
+from benchmarks.figutils import print_figure, run_once
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [10, 20, 40, 60]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    pvm = {n: runner.run_pv(n, kind=DomainKind.PVM) for n in VM_COUNTS}
-    hvm_10 = runner.run_pv(10, kind=DomainKind.HVM)
-    return pvm, hvm_10
+    return run_figure("fig18")
 
 
 def test_fig18_pvnic_pvm_scaling(benchmark):
-    pvm, hvm_10 = run_once(benchmark, generate)
-    print_table(
-        "Fig. 18: PV NIC scalability, PVM guests",
-        ["VMs", "Gbps", "dom0%", "guest%", "loss%"],
-        [(n, r.throughput_gbps, r.cpu["dom0"], r.cpu["guest"],
-          r.loss_rate * 100) for n, r in pvm.items()],
-    )
+    results = run_once(benchmark, generate)
+    print_figure("fig18", results)
+    pvm = {n: results[f"pvm-{n}"] for n in VM_COUNTS}
+    hvm_10 = results["hvm-10"]
     # dom0 at 10 VMs near the paper's 324%, and below the HVM case's.
     assert pvm[10].cpu["dom0"] == pytest.approx(324, rel=0.15)
     assert pvm[10].cpu["dom0"] < hvm_10.cpu["dom0"]

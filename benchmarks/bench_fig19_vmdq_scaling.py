@@ -11,28 +11,20 @@ attributed it to "a program defect in the tree"; we do not reproduce
 the defect.)
 """
 
-import pytest
-
-from benchmarks.figutils import assert_decreasing, print_table, run_once
-from repro import ExperimentRunner
+from benchmarks.figutils import assert_decreasing, print_figure, run_once
+from repro.sweep.figures import run_figure
 
 VM_COUNTS = [10, 20, 40, 60]
 
 
 def generate():
-    runner = ExperimentRunner(warmup=0.6, duration=0.4)
-    return {n: runner.run_vmdq(n) for n in VM_COUNTS}
+    return run_figure("fig19")
 
 
 def test_fig19_vmdq_scaling(benchmark):
     results = run_once(benchmark, generate)
-    print_table(
-        "Fig. 19: VMDq scalability (82598, 8 queue pairs)",
-        ["VMs", "Gbps", "dom0%", "loss%"],
-        [(n, r.throughput_gbps, r.cpu["dom0"], r.loss_rate * 100)
-         for n, r in results.items()],
-    )
-    throughputs = [results[n].throughput_gbps for n in VM_COUNTS]
+    print_figure("fig19", results)
+    throughputs = [results[str(n)].throughput_gbps for n in VM_COUNTS]
     # Peak at 10 VMs (7 dedicated queues cover most guests)...
     assert throughputs[0] > 8.5
     # ...then progressive decay as more guests share the default queue.

@@ -7,62 +7,41 @@ stop-and-copy, and is restored at 11.8 s on the target.
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import DomainKind, Testbed, TestbedConfig
-from repro.migration import (
-    MigrationManager,
-    PrecopyConfig,
-    Sampler,
-    downtime_windows,
-)
+from benchmarks.figutils import print_figure, run_once
+from repro.core.costs import CostModel
+from repro.migration import downtime_windows, series_from_timeline
 from repro.net import udp_goodput_bps
+from repro.sweep.figures import run_figure
 
-START = 4.5
 LINE = udp_goodput_bps(1e9)
 
 
 def generate():
-    bed = Testbed(TestbedConfig(ports=1))
-    pv = bed.add_pv_guest(DomainKind.HVM)
-    bed.attach_client_to_pv(pv, LINE).start()
-    manager = MigrationManager(bed.platform, bed.hotplug, PrecopyConfig())
-    sampler = Sampler(bed.sim, period=0.1)
-    sampler.track("rx_bytes", lambda: pv.app.rx_bytes)
-    machine = bed.platform.machine
-    sampler.track("dom0_cycles", lambda: machine.cycles("dom0"))
-    sampler.start()
-    _, report = manager.migrate_pv(pv.netfront, start_at=START)
-    horizon = START + manager.model.total_time + 2.0
-    bed.sim.run(until=horizon)
-    return sampler, report, manager
+    return run_figure("fig20")
 
 
 def test_fig20_migration_pv(benchmark):
-    sampler, report, manager = run_once(benchmark, generate)
-    series = sampler.series("rx_bytes")
-    dom0 = sampler.series("dom0_cycles")
-    rows = []
-    t = 0.5
-    while t <= 13.5:
-        mbps = series.window_sum(t - 0.5, t) * 8 / 0.5 / 1e6
-        dom0_pct = dom0.window_sum(t - 0.5, t) / 0.5 / 2.8e9 * 100
-        rows.append((f"{t:.1f}", mbps, dom0_pct))
-        t += 0.5
-    print_table("Fig. 20: PV migration timeline (0.5 s buckets)",
-                ["t (s)", "Mbps", "dom0%"], rows)
-    print(f"\nblackout {report.blackout_start:.2f}s -> "
-          f"{report.blackout_end:.2f}s (paper: 10.4s -> 11.8s)")
+    results = run_once(benchmark, generate)
+    result = results["timeline"]
+    print_figure("fig20", results)
+    report = result.extras["migration"]
+    series = series_from_timeline(result.extras["timeline"], "rx_bytes")
+    dom0 = series_from_timeline(result.extras["timeline"], "dom0_cycles")
+    clock_hz = CostModel().clock_hz
+    print(f"\nblackout {report['blackout_start']:.2f}s -> "
+          f"{report['blackout_end']:.2f}s (paper: 10.4s -> 11.8s)")
     # The paper's schedule: blackout starts ~10.4 s, ends ~11.8 s.
-    assert report.blackout_start == pytest.approx(10.4, abs=0.4)
-    assert report.blackout_end == pytest.approx(11.8, abs=0.4)
+    assert report["blackout_start"] == pytest.approx(10.4, abs=0.4)
+    assert report["blackout_end"] == pytest.approx(11.8, abs=0.4)
     # Exactly one service outage, aligned with the blackout.
     steady = LINE / 8 * 0.1
     windows = downtime_windows(series, steady * 0.5, min_duration=0.15)
     assert len(windows) == 1
     # dom0 was busy during pre-copy: significant PV service cost plus
     # the migration copy itself.
-    mid_precopy = (report.started_at + report.blackout_start) / 2
-    pre = dom0.window_sum(mid_precopy - 0.5, mid_precopy) / 0.5 / 2.8e9 * 100
-    before = dom0.window_sum(2.0, 2.5) / 0.5 / 2.8e9 * 100
+    mid_precopy = (report["started_at"] + report["blackout_start"]) / 2
+    pre = (dom0.window_sum(mid_precopy - 0.5, mid_precopy)
+           / 0.5 / clock_hz * 100)
+    before = dom0.window_sum(2.0, 2.5) / 0.5 / clock_hz * 100
     assert before > 20   # PV service cost (netback) before migration
     assert pre > before  # plus migration copy load

@@ -9,65 +9,30 @@ PV network driver" — and the VF is hot-added back at the target.
 
 import pytest
 
-from benchmarks.figutils import print_table, run_once
-from repro import DomainKind, Testbed, TestbedConfig
-from repro.drivers.netfront import Netfront
-from repro.migration import (
-    DnisGuest,
-    MigrationManager,
-    PrecopyConfig,
-    Sampler,
-    downtime_windows,
-)
-from repro.net import NetperfStream, udp_goodput_bps
-from repro.net.mac import MacAddress
+from benchmarks.figutils import print_figure, run_once
+from repro.core.costs import CostModel
+from repro.migration import downtime_windows, series_from_timeline
+from repro.net import udp_goodput_bps
+from repro.sweep.figures import run_figure
 
-START = 4.5
 LINE = udp_goodput_bps(1e9)
-CLIENT = MacAddress.parse("02:00:00:00:99:99")
-
-#: During pre-copy the service rides the slower PV path, dirtying fewer
-#: pages; 0.15 calibrates the blackout to the paper's 10.3 s start.
-DNIS_PRECOPY = PrecopyConfig(dirty_ratio=0.15)
 
 
 def generate():
-    bed = Testbed(TestbedConfig(ports=1))
-    sriov = bed.add_sriov_guest(DomainKind.HVM)
-    netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
-    bed.netback.connect(netfront)
-    guest = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
-                      bed.hotplug)
-    NetperfStream(bed.sim, guest.wire_sink, CLIENT, sriov.vf.mac,
-                  LINE, name="client").start()
-    manager = MigrationManager(bed.platform, bed.hotplug, DNIS_PRECOPY)
-    sampler = Sampler(bed.sim, period=0.1)
-    sampler.track("rx_bytes", lambda: sriov.app.rx_bytes)
-    machine = bed.platform.machine
-    sampler.track("dom0_cycles", lambda: machine.cycles("dom0"))
-    sampler.start()
-    _, report = manager.migrate_dnis(guest, start_at=START)
-    horizon = START + 1.0 + manager.model.total_time + 2.0
-    bed.sim.run(until=horizon)
-    return sampler, report, guest
+    return run_figure("fig21")
 
 
 def test_fig21_migration_dnis(benchmark):
-    sampler, report, guest = run_once(benchmark, generate)
-    series = sampler.series("rx_bytes")
-    dom0 = sampler.series("dom0_cycles")
-    rows = []
-    t = 0.5
-    while t <= 14.0:
-        mbps = series.window_sum(t - 0.5, t) * 8 / 0.5 / 1e6
-        dom0_pct = dom0.window_sum(t - 0.5, t) / 0.5 / 2.8e9 * 100
-        rows.append((f"{t:.1f}", mbps, dom0_pct))
-        t += 0.5
-    print_table("Fig. 21: DNIS migration timeline (0.5 s buckets)",
-                ["t (s)", "Mbps", "dom0%"], rows)
-    print(f"\nswitch outage ends {report.switch_completed_at:.2f}s; "
-          f"blackout {report.blackout_start:.2f}s -> "
-          f"{report.blackout_end:.2f}s (paper: ~0.6s outage; "
+    results = run_once(benchmark, generate)
+    result = results["timeline"]
+    print_figure("fig21", results)
+    report = result.extras["migration"]
+    series = series_from_timeline(result.extras["timeline"], "rx_bytes")
+    dom0 = series_from_timeline(result.extras["timeline"], "dom0_cycles")
+    clock_hz = CostModel().clock_hz
+    print(f"\nswitch outage ends {report['switch_completed_at']:.2f}s; "
+          f"blackout {report['blackout_start']:.2f}s -> "
+          f"{report['blackout_end']:.2f}s (paper: ~0.6s outage; "
           "10.3s -> 11.8s)")
     # Two outages: the ~0.6 s interface switch, then the blackout.
     steady = LINE / 8 * 0.1
@@ -75,15 +40,15 @@ def test_fig21_migration_dnis(benchmark):
     assert len(windows) == 2
     switch, blackout = windows
     assert 0.4 < switch[1] - switch[0] < 1.2   # paper: 0.6 s
-    assert report.blackout_start == pytest.approx(10.3, abs=0.5)
-    assert report.blackout_end == pytest.approx(11.8, abs=0.5)
+    assert report["blackout_start"] == pytest.approx(10.3, abs=0.5)
+    assert report["blackout_end"] == pytest.approx(11.8, abs=0.5)
     # Before migration, SR-IOV keeps dom0 idle (paper: "completely
     # eliminates CPU utilization in domain 0").
-    before = dom0.window_sum(2.0, 2.5) / 0.5 / 2.8e9 * 100
+    before = dom0.window_sum(2.0, 2.5) / 0.5 / clock_hz * 100
     assert before < 5
     # During pre-copy the service rides PV: dom0 is busy.
-    mid = (report.switch_completed_at + report.blackout_start) / 2
-    during = dom0.window_sum(mid - 0.5, mid) / 0.5 / 2.8e9 * 100
+    mid = (report["switch_completed_at"] + report["blackout_start"]) / 2
+    during = dom0.window_sum(mid - 0.5, mid) / 0.5 / clock_hz * 100
     assert during > 20
     # The VF is restored at the target.
-    assert guest.active_path == "vf0"
+    assert report["active_path"] == "vf0"

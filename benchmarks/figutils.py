@@ -1,15 +1,20 @@
 """Shared helpers for the per-figure benchmarks.
 
 Every benchmark follows the same pattern: generate the figure's series
-once (under pytest-benchmark's timer), print the same rows the paper
-plots, and assert the paper's qualitative shape — who wins, by roughly
-what factor, where the crossovers fall.  Absolute numbers are recorded
-in EXPERIMENTS.md against the paper's.
+once (under pytest-benchmark's timer) via the shared campaign registry
+in :mod:`repro.sweep.figures`, print the same rows the paper plots, and
+assert the paper's qualitative shape — who wins, by roughly what
+factor, where the crossovers fall.  Absolute numbers are recorded in
+EXPERIMENTS.md against the paper's.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, Sequence
+
+from repro.core.experiment import RunResult
+from repro.core.report import format_table
+from repro.sweep.figures import FIGURES
 
 
 def run_once(benchmark, fn: Callable[[], object]):
@@ -24,17 +29,14 @@ def run_once(benchmark, fn: Callable[[], object]):
 def print_table(title: str, header: Sequence[str],
                 rows: Iterable[Sequence[object]]) -> None:
     """Print one figure's data the way the paper's plot reads."""
-    print(f"\n=== {title} ===")
-    widths = [max(10, len(h) + 2) for h in header]
-    print("".join(f"{h:>{w}}" for h, w in zip(header, widths)))
-    for row in rows:
-        cells = []
-        for value, width in zip(row, widths):
-            if isinstance(value, float):
-                cells.append(f"{value:>{width}.2f}")
-            else:
-                cells.append(f"{str(value):>{width}}")
-        print("".join(cells))
+    print(format_table(title, header, rows))
+
+
+def print_figure(name: str, results: Dict[str, RunResult]) -> None:
+    """Print a registered figure's table from its results."""
+    figure = FIGURES[name]
+    columns, rows = figure.rows(results)
+    print_table(f"{figure.title}", columns, rows)
 
 
 def assert_flat(values: Sequence[float], tolerance: float = 0.05) -> None:

@@ -11,14 +11,13 @@ Run:  python examples/adaptive_coalescing.py
 """
 
 from repro import ExperimentRunner
-from repro.drivers import AdaptiveCoalescing, FixedItr
 from repro.net.packet import Protocol
 
 POLICIES = [
-    ("20 kHz", lambda: FixedItr(20000)),
-    ("2 kHz", lambda: FixedItr(2000)),
-    ("AIC", lambda: AdaptiveCoalescing()),
-    ("1 kHz", lambda: FixedItr(1000)),
+    ("20 kHz", {"kind": "fixed_itr", "hz": 20000}),
+    ("2 kHz", {"kind": "fixed_itr", "hz": 2000}),
+    ("AIC", {"kind": "aic"}),
+    ("1 kHz", {"kind": "fixed_itr", "hz": 1000}),
 ]
 
 
@@ -30,9 +29,9 @@ def main() -> None:
         print(f"\n--- {label} ---")
         print(f"{'policy':>8} {'Mbps':>8} {'CPU%':>7} {'loss%':>7} "
               f"{'intr Hz':>9} {'lat us':>8}")
-        for name, factory in POLICIES:
+        for name, policy in POLICIES:
             result = runner.run_sriov(1, ports=1, protocol=protocol,
-                                      policy_factory=factory)
+                                      policy=policy)
             print(f"{name:>8} {result.throughput_bps / 1e6:>8.1f} "
                   f"{result.total_cpu_percent:>7.2f} "
                   f"{result.loss_rate * 100:>7.2f} "
@@ -47,8 +46,8 @@ def main() -> None:
     print("\n--- Inter-VM (dom0 -> guest via the NIC switch, "
           "cf. Fig. 10) ---")
     print(f"{'policy':>8} {'RX Gbps':>9} {'loss%':>7} {'intr Hz':>9}")
-    for name, factory in POLICIES:
-        result = runner.run_intervm_sriov(policy_factory=factory)
+    for name, policy in POLICIES:
+        result = runner.run_intervm_sriov(policy=policy)
         print(f"{name:>8} {result.throughput_gbps:>9.2f} "
               f"{result.loss_rate * 100:>7.2f} "
               f"{result.interrupt_hz:>9.0f}")

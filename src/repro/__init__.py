@@ -10,17 +10,19 @@ regenerates every figure of the paper's evaluation.
 
 Quick start::
 
-    from repro import ExperimentRunner, OptimizationConfig
+    from repro import Scenario, run
 
-    runner = ExperimentRunner()
-    result = runner.run_sriov(vm_count=10, opts=OptimizationConfig.all())
+    result = run(Scenario(mode="sriov", vm_count=10))
     print(f"{result.throughput_gbps:.2f} Gbps at "
           f"{result.total_cpu_percent:.0f}% CPU")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for
-paper-vs-measured results per figure.
+Campaigns (sweeps over many scenarios, with a process pool and a
+content-addressed result cache) live in :mod:`repro.sweep`; see
+docs/campaigns.md.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results per figure.
 """
 
+from repro.api import Scenario, run
 from repro.core import (
     CostModel,
     ExperimentRunner,
@@ -31,7 +33,7 @@ from repro.core import (
 )
 from repro.vmm import DomainKind, GuestKernel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostModel",
@@ -40,7 +42,9 @@ __all__ = [
     "GuestKernel",
     "OptimizationConfig",
     "RunResult",
+    "Scenario",
     "Testbed",
     "TestbedConfig",
     "__version__",
+    "run",
 ]

@@ -1,0 +1,211 @@
+"""The declarative experiment API: one value type, one entrypoint.
+
+Every experiment the paper's evaluation runs — and every point of every
+figure — is a :class:`Scenario`: a frozen bundle of JSON-able fields
+naming *what* to simulate, with no live objects inside.  :func:`run`
+executes one.  Because a Scenario is plain data it round-trips through
+``to_dict``/``from_dict``, pickles into the sweep engine's process
+pool, hashes into the result cache's content key, and diffs cleanly in
+a JSON sweep spec.
+
+Quick start::
+
+    from repro.api import Scenario, run
+
+    result = run(Scenario(mode="sriov", vm_count=10,
+                          policy={"kind": "fixed_itr", "hz": 2000}))
+    print(f"{result.throughput_gbps:.2f} Gbps")
+
+The older imperative surface (:class:`repro.core.experiment
+.ExperimentRunner` and its ``run_*`` methods) remains the execution
+layer underneath; this module is the stable, serializable face in
+front of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.costs import CostModel
+from repro.core.experiment import (
+    DEFAULT_DURATION,
+    DEFAULT_WARMUP,
+    ExperimentRunner,
+    RunResult,
+)
+from repro.core.optimizations import OptimizationConfig
+from repro.net.packet import Protocol
+from repro.vmm.domain import DomainKind, GuestKernel
+
+#: Experiment families (which measurement loop runs).
+MODES = ("sriov", "sriov_tx", "native", "pv", "vmdq", "intervm", "migrate")
+
+#: Modes that take a ``variant`` refinement, and its allowed values
+#: (first entry is the default).
+VARIANTS = {"intervm": ("sriov", "pv"), "migrate": ("dnis", "pv")}
+
+_KINDS = {"hvm": DomainKind.HVM, "pvm": DomainKind.PVM}
+_KERNELS = {k.value: k for k in GuestKernel}
+_PROTOCOLS = {p.value: p for p in Protocol}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, serializable description of one experiment run.
+
+    Enum-like fields are stored as their string values (``kind="hvm"``,
+    not ``DomainKind.HVM``) so ``to_dict()`` is the identity on every
+    field and the dict form *is* the canonical form the sweep cache
+    hashes.  ``policy`` and ``opts`` are plain dicts for the same
+    reason — see :func:`repro.drivers.coalescing.policy_from_spec` for
+    the policy spec vocabulary.
+    """
+
+    #: Which measurement loop: one of :data:`MODES`.
+    mode: str = "sriov"
+    #: Refinement for intervm ("sriov"/"pv") and migrate ("dnis"/"pv");
+    #: must be omitted for every other mode (it is filled with the
+    #: mode's default at construction).
+    variant: Optional[str] = None
+    vm_count: int = 10
+    #: Guest flavour: "hvm" or "pvm".
+    kind: str = "hvm"
+    #: Guest kernel: "2.6.18" (masks MSI per interrupt) or "2.6.28".
+    kernel: str = "2.6.28"
+    #: SR-IOV NIC family: "82576" or "82599".
+    nic: str = "82576"
+    protocol: str = "udp"
+    #: netperf message size for the inter-VM experiments.
+    message_bytes: int = 1500
+    ports: int = 10
+    vfs_per_port: int = 7
+    #: PV mode: use the stock single-threaded netback.
+    single_thread_backend: bool = False
+    #: intervm/sriov: transmitting side, "guest" or "dom0".
+    sender: str = "guest"
+    #: Offered load override (bps): per-VM for sriov/native, total for
+    #: intervm.  None picks each experiment's calibrated default.
+    offered_bps: Optional[float] = None
+    #: Declarative coalescing-policy spec, e.g.
+    #: ``{"kind": "fixed_itr", "hz": 2000}``; None picks the
+    #: experiment's default policy.
+    policy: Optional[Mapping] = None
+    #: §5 optimization switches as a dict of
+    #: :class:`~repro.core.optimizations.OptimizationConfig` fields;
+    #: None means the experiment default (everything on).
+    opts: Optional[Mapping] = None
+    #: migrate: when the migration is requested (simulated seconds).
+    start_at: float = 4.5
+    #: Seed for the testbed's random streams.  Part of the cache key:
+    #: sweeping it is how you get independent replicas of a scenario.
+    seed: int = 42
+    warmup: float = DEFAULT_WARMUP
+    duration: float = DEFAULT_DURATION
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}: "
+                             f"use one of {', '.join(MODES)}")
+        allowed = VARIANTS.get(self.mode)
+        if allowed is None:
+            if self.variant is not None:
+                raise ValueError(f"mode {self.mode!r} takes no variant")
+        else:
+            variant = self.variant if self.variant is not None else allowed[0]
+            if variant not in allowed:
+                raise ValueError(f"mode {self.mode!r} variant must be one "
+                                 f"of {allowed}, not {variant!r}")
+            object.__setattr__(self, "variant", variant)
+        for fname, choices in [("kind", _KINDS), ("kernel", _KERNELS),
+                               ("protocol", _PROTOCOLS)]:
+            if getattr(self, fname) not in choices:
+                raise ValueError(f"{fname} must be one of "
+                                 f"{sorted(choices)}, not "
+                                 f"{getattr(self, fname)!r}")
+        if self.sender not in ("guest", "dom0"):
+            raise ValueError(f"sender must be 'guest' or 'dom0', "
+                             f"not {self.sender!r}")
+        # Normalize the mapping fields to plain dicts so equality,
+        # pickling and JSON hashing see one representation.
+        for fname in ("policy", "opts"):
+            value = getattr(self, fname)
+            if value is not None:
+                object.__setattr__(self, fname, dict(value))
+        if self.opts is not None:
+            # Fail at construction, not at run time in a pool worker.
+            OptimizationConfig(**self.opts)
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy with the given fields changed (sweep-axis helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """All fields, as the canonical JSON-able dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown keys are an error (a
+        typo'd sweep axis must not silently no-op)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
+        telemetry: bool = False, profile: bool = False) -> RunResult:
+    """Execute one scenario and return its :class:`RunResult`.
+
+    ``costs`` overrides the calibrated :class:`CostModel`; it is the
+    only run input outside the Scenario itself, which is why the sweep
+    cache keys on exactly (scenario dict, cost-model dict, schema
+    version).  ``telemetry``/``profile`` attach observers without
+    changing the simulation (they never enter the cache key).
+    """
+    runner = ExperimentRunner(costs=costs, warmup=scenario.warmup,
+                              duration=scenario.duration,
+                              telemetry=telemetry, profile=profile,
+                              seed=scenario.seed)
+    kind = _KINDS[scenario.kind]
+    opts = (OptimizationConfig(**scenario.opts)
+            if scenario.opts is not None else None)
+    if scenario.mode in ("sriov", "native"):
+        return runner.run_sriov(
+            scenario.vm_count, kind=kind,
+            kernel=_KERNELS[scenario.kernel], opts=opts,
+            policy=scenario.policy,
+            protocol=_PROTOCOLS[scenario.protocol],
+            ports=scenario.ports, vfs_per_port=scenario.vfs_per_port,
+            native=scenario.mode == "native",
+            offered_bps_per_vm=scenario.offered_bps, nic=scenario.nic)
+    if scenario.mode == "sriov_tx":
+        return runner.run_sriov_tx(scenario.vm_count, kind=kind,
+                                   policy=scenario.policy,
+                                   ports=scenario.ports)
+    if scenario.mode == "pv":
+        return runner.run_pv(
+            scenario.vm_count, kind=kind,
+            single_thread_backend=scenario.single_thread_backend,
+            protocol=_PROTOCOLS[scenario.protocol], ports=scenario.ports)
+    if scenario.mode == "vmdq":
+        return runner.run_vmdq(scenario.vm_count, kind=kind)
+    if scenario.mode == "intervm":
+        if scenario.variant == "pv":
+            return runner.run_intervm_pv(
+                scenario.message_bytes,
+                offered_bps=(scenario.offered_bps
+                             if scenario.offered_bps is not None else 8e9),
+                kind=kind)
+        return runner.run_intervm_sriov(
+            scenario.message_bytes,
+            offered_bps=(scenario.offered_bps
+                         if scenario.offered_bps is not None else 5e9),
+            policy=scenario.policy, kind=kind, sender=scenario.sender)
+    if scenario.mode == "migrate":
+        return runner.run_migrate(scenario.variant, kind=kind,
+                                  start_at=scenario.start_at)
+    raise AssertionError(f"unhandled mode {scenario.mode!r}")

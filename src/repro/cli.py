@@ -8,32 +8,29 @@ Examples::
     python -m repro vmdq --vms 40
     python -m repro intervm --mode sriov --message-bytes 4000
     python -m repro migrate --mode dnis
+    python -m repro figures --only fig15 --jobs 4
+    python -m repro sweep campaign.json --jobs 8 --out results.json
 
-Each subcommand builds the §6.1 testbed, runs the measurement loop, and
-prints the same quantities the paper plots.
+The single-experiment subcommands build one :class:`repro.api.Scenario`
+and run it; ``figures`` and ``sweep`` drive whole campaigns through the
+:mod:`repro.sweep` engine — parallel across a process pool, and served
+from the content-addressed result cache on reruns.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.core.experiment import ExperimentRunner, RunResult
-from repro.core.optimizations import OptimizationConfig
-from repro.drivers.coalescing import (
-    AdaptiveCoalescing,
-    CoalescingPolicy,
-    DynamicItr,
-    FixedItr,
-)
-from repro.net.packet import Protocol
-from repro.vmm.domain import DomainKind, GuestKernel
+from repro.api import Scenario, run
+from repro.core.experiment import RunResult
+from repro.drivers.coalescing import CoalescingPolicy, policy_from_spec
 
-KIND_CHOICES = {"hvm": DomainKind.HVM, "pvm": DomainKind.PVM}
-KERNEL_CHOICES = {"2.6.18": GuestKernel.LINUX_2_6_18,
-                  "2.6.28": GuestKernel.LINUX_2_6_28}
-PROTOCOL_CHOICES = {"udp": Protocol.UDP, "tcp": Protocol.TCP}
+KIND_CHOICES = ("hvm", "pvm")
+KERNEL_CHOICES = ("2.6.18", "2.6.28")
+PROTOCOL_CHOICES = ("udp", "tcp")
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
@@ -58,6 +55,24 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     group.add_argument("--profile", action="store_true",
                        help="print a host-side wall-clock profile of "
                             "simulator callbacks after the run")
+    return parent
+
+
+def _campaign_parent() -> argparse.ArgumentParser:
+    """Shared campaign-engine flags (figures / sweep)."""
+    from repro.sweep.cache import DEFAULT_CACHE_DIR
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("campaign engine")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="process-pool width (1 = run in-process; "
+                            "results are byte-identical either way)")
+    group.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       metavar="DIR",
+                       help="content-addressed result cache directory "
+                            "(default: %(default)s, or $REPRO_CACHE_DIR)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="simulate everything; neither read nor "
+                            "write the cache")
     return parent
 
 
@@ -104,6 +119,32 @@ def build_parser() -> argparse.ArgumentParser:
                                   parents=obs)
     migrate.add_argument("--mode", choices=["pv", "dnis"], default="dnis")
     migrate.add_argument("--start-at", type=float, default=4.5)
+
+    campaign = [_campaign_parent()]
+    figures = commands.add_parser(
+        "figures", parents=campaign,
+        help="regenerate the paper figures' series as JSON artifacts")
+    figures.add_argument("--only", action="append", default=None,
+                         metavar="FIGN",
+                         help="figure selection, e.g. --only fig15 or "
+                              "--only fig08,fig09 (repeatable; "
+                              "default: all)")
+    figures.add_argument("--out-dir", default="figures", metavar="DIR",
+                         help="artifact directory (default: %(default)s)")
+    figures.add_argument("--quick", action="store_true",
+                         help="smoke-scale campaign: same code paths, "
+                              "NOT the paper's numbers")
+
+    sweep = commands.add_parser(
+        "sweep", parents=campaign,
+        help="run a declarative sweep spec (base/grid/list JSON)")
+    sweep.add_argument("spec", metavar="SPEC.json",
+                       help="sweep spec file, or '-' for stdin")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="write expanded scenarios + results as JSON")
+    sweep.add_argument("--metrics-dir", default=None, metavar="DIR",
+                       help="enable telemetry in every executed job and "
+                            "write one <key>.metrics.json per job")
     return parser
 
 
@@ -120,18 +161,26 @@ def _add_guest_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--itr", default="aic",
                      help="coalescing policy: 'aic', 'dynamic', or a "
                           "fixed frequency in Hz (e.g. 2000)")
+    sub.add_argument("--seed", type=int, default=42,
+                     help="testbed random-stream seed")
 
 
-def parse_policy(spec: str) -> CoalescingPolicy:
+def parse_policy_spec(spec: str) -> Dict[str, object]:
+    """``--itr`` shorthand -> the declarative policy spec dict."""
     if spec == "aic":
-        return AdaptiveCoalescing()
+        return {"kind": "aic"}
     if spec == "dynamic":
-        return DynamicItr()
+        return {"kind": "dynamic_itr"}
     try:
-        return FixedItr(float(spec))
+        return {"kind": "fixed_itr", "hz": float(spec)}
     except ValueError:
         raise SystemExit(f"unknown ITR policy {spec!r}: use 'aic', "
                          "'dynamic', or a frequency in Hz")
+
+
+def parse_policy(spec: str) -> CoalescingPolicy:
+    """``--itr`` shorthand -> a live policy object."""
+    return policy_from_spec(parse_policy_spec(spec))
 
 
 def print_result(result: RunResult) -> None:
@@ -156,78 +205,136 @@ def _export_observability(args, telemetry, profiler, elapsed: float) -> None:
         print(profiler.table(), file=sys.stderr)
 
 
+def _scenario_for(args) -> Scenario:
+    """The Scenario a single-experiment subcommand describes."""
+    common = dict(warmup=args.warmup, duration=args.duration)
+    if args.command == "sriov":
+        return Scenario(
+            mode="native" if args.native else "sriov",
+            vm_count=args.vms, kind=args.kind, kernel=args.kernel,
+            protocol=args.protocol, ports=args.ports,
+            opts={} if args.no_opts else None,
+            policy=parse_policy_spec(args.itr), seed=args.seed, **common)
+    if args.command == "pv":
+        return Scenario(mode="pv", vm_count=args.vms, kind=args.kind,
+                        single_thread_backend=args.single_thread,
+                        ports=args.ports, **common)
+    if args.command == "vmdq":
+        return Scenario(mode="vmdq", vm_count=args.vms, kind="pvm",
+                        **common)
+    if args.command == "intervm":
+        # PV inter-VM rides dom0's copy path; the paper measures it
+        # with PVM guests (HVM adds the interrupt-conversion layer).
+        return Scenario(mode="intervm", variant=args.mode,
+                        kind="pvm" if args.mode == "pv" else "hvm",
+                        message_bytes=args.message_bytes, **common)
+    if args.command == "migrate":
+        return Scenario(mode="migrate", variant=args.mode,
+                        start_at=args.start_at)
+    raise AssertionError(f"no scenario for {args.command!r}")
+
+
+def _print_migration(result: RunResult, variant: str) -> None:
+    migration = result.extras["migration"]
+    print(f"migration events ({variant}):")
+    for time, name in migration["events"]:
+        print(f"  {time:7.2f}s  {name}")
+    print(f"downtime: {migration['downtime']:.2f}s "
+          f"(blackout {migration['blackout_start']:.2f}s -> "
+          f"{migration['blackout_end']:.2f}s)")
+
+
 def run_cli(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = ExperimentRunner(warmup=args.warmup, duration=args.duration,
-                              telemetry=_wants_telemetry(args),
-                              profile=args.profile)
-    if args.command == "sriov":
-        opts = (OptimizationConfig.none() if args.no_opts
-                else OptimizationConfig.all())
-        result = runner.run_sriov(
-            args.vms, kind=KIND_CHOICES[args.kind],
-            kernel=KERNEL_CHOICES[args.kernel], opts=opts,
-            policy_factory=lambda: parse_policy(args.itr),
-            protocol=PROTOCOL_CHOICES[args.protocol],
-            ports=args.ports, native=args.native)
-    elif args.command == "pv":
-        result = runner.run_pv(args.vms, kind=KIND_CHOICES[args.kind],
-                               single_thread_backend=args.single_thread,
-                               ports=args.ports)
-    elif args.command == "vmdq":
-        result = runner.run_vmdq(args.vms)
-    elif args.command == "intervm":
-        if args.mode == "sriov":
-            result = runner.run_intervm_sriov(args.message_bytes)
-        else:
-            result = runner.run_intervm_pv(args.message_bytes)
-    elif args.command == "migrate":
-        return _run_migration(args)
-    else:  # pragma: no cover - argparse enforces choices
-        return 2
-    print_result(result)
+    if args.command == "figures":
+        return _run_figures(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
+                 profile=args.profile)
+    if args.command == "migrate":
+        _print_migration(result, args.mode)
+    else:
+        print_result(result)
     _export_observability(args, result.telemetry, result.profiler,
                           result.duration)
     return 0
 
 
-def _run_migration(args) -> int:
-    from repro.core.testbed import Testbed, TestbedConfig
-    from repro.drivers.netfront import Netfront
-    from repro.migration import DnisGuest, MigrationManager, PrecopyConfig
-    from repro.net.mac import MacAddress
-    from repro.net.netperf import NetperfStream
-    from repro.net.packet import udp_goodput_bps
+def _cache_for(args):
+    from repro.sweep.cache import ResultCache
+    return None if args.no_cache else ResultCache(args.cache_dir)
 
-    bed = Testbed(TestbedConfig(ports=1, telemetry=_wants_telemetry(args),
-                                profile=args.profile))
-    manager_config = PrecopyConfig()
-    line = udp_goodput_bps(1e9)
-    if args.mode == "pv":
-        guest = bed.add_pv_guest(DomainKind.HVM)
-        bed.attach_client_to_pv(guest, line).start()
-        manager = MigrationManager(bed.platform, bed.hotplug, manager_config)
-        _, report = manager.migrate_pv(guest.netfront, args.start_at)
+
+def _say(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _run_figures(args) -> int:
+    from repro.core.report import format_table
+    from repro.sweep.figures import generate_figures, resolve_names
+
+    only: Optional[List[str]] = None
+    if args.only:
+        only = [name for chunk in args.only
+                for name in chunk.split(",") if name]
+    try:
+        names = resolve_names(only)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    artifacts, stats = generate_figures(
+        names, quick=args.quick, jobs=args.jobs, cache=_cache_for(args),
+        out_dir=args.out_dir, progress=_say)
+    for name in names:
+        artifact = artifacts[name]
+        print(format_table(f"{name}: {artifact['title']}",
+                           artifact["columns"], artifact["rows"]))
+    print(f"\nwrote {len(names)} artifacts to {args.out_dir}/",
+          file=sys.stderr)
+    print(stats.summary())
+    return 0
+
+
+def _run_sweep(args) -> int:
+    from repro.core.report import format_table
+    from repro.sweep.runner import run_sweep
+    from repro.sweep.spec import SweepSpec
+
+    if args.spec == "-":
+        document = json.load(sys.stdin)
     else:
-        sriov = bed.add_sriov_guest(DomainKind.HVM)
-        netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
-        bed.netback.connect(netfront)
-        dnis = DnisGuest(bed.platform, sriov.domain, sriov.driver, netfront,
-                         bed.hotplug)
-        NetperfStream(bed.sim, dnis.wire_sink,
-                      MacAddress.parse("02:00:00:00:99:99"), sriov.vf.mac,
-                      line, name="client").start()
-        manager = MigrationManager(bed.platform, bed.hotplug,
-                                   PrecopyConfig(dirty_ratio=0.15))
-        _, report = manager.migrate_dnis(dnis, args.start_at)
-    bed.sim.run(until=args.start_at + manager.model.total_time + 3.0)
-    print(f"migration events ({args.mode}):")
-    for time, name in report.events:
-        print(f"  {time:7.2f}s  {name}")
-    print(f"downtime: {report.downtime:.2f}s "
-          f"(blackout {report.blackout_start:.2f}s -> "
-          f"{report.blackout_end:.2f}s)")
-    _export_observability(args, bed.telemetry, bed.profiler, bed.sim.now)
+        with open(args.spec) as handle:
+            document = json.load(handle)
+    try:
+        spec = SweepSpec.from_dict(document)
+        scenarios = spec.expand()
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"bad sweep spec: {exc}")
+    outcomes, stats = run_sweep(scenarios, jobs=args.jobs,
+                                cache=_cache_for(args),
+                                metrics_dir=args.metrics_dir,
+                                progress=_say)
+    rows = [[outcome.index, outcome.scenario.mode, outcome.key[:8],
+             "hit" if outcome.cached else "run",
+             outcome.result.throughput_gbps,
+             outcome.result.total_cpu_percent,
+             outcome.result.loss_rate * 100]
+            for outcome in outcomes]
+    print(format_table(f"sweep: {len(outcomes)} scenarios",
+                       ["#", "mode", "key", "cache", "Gbps", "CPU%",
+                        "loss%"], rows))
+    if args.out:
+        payload = {
+            "schema": "repro-sweep-results/1",
+            "results": [{"scenario": o.scenario.to_dict(), "key": o.key,
+                         "cached": o.cached, "result": o.result.to_dict()}
+                        for o in outcomes],
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"results    : wrote {args.out}", file=sys.stderr)
+    print(stats.summary())
     return 0
 
 

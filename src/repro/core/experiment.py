@@ -9,13 +9,20 @@ interrupt rates, and (for Fig. 7) the VM-exit cycle breakdown.
 
 from __future__ import annotations
 
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.drivers.coalescing import AdaptiveCoalescing, CoalescingPolicy, FixedItr
+from repro.drivers.coalescing import (
+    AdaptiveCoalescing,
+    CoalescingPolicy,
+    FixedItr,
+    policy_from_spec,
+)
 from repro.net.mac import MacAddress
 from repro.net.netperf import NetperfStream
 from repro.net.packet import (
@@ -32,6 +39,12 @@ from repro.vmm.domain import DomainKind, GuestKernel
 #: sampling to settle, then a steady-state window.
 DEFAULT_WARMUP = 1.2
 DEFAULT_DURATION = 0.5
+
+#: Schema tag stamped into every serialized :class:`RunResult`.  Bump it
+#: whenever the dict layout changes: the sweep cache folds it into its
+#: content hash, so old cache entries simply miss instead of
+#: deserializing wrongly.
+RESULT_SCHEMA = "repro-result/1"
 
 
 @dataclass
@@ -58,6 +71,11 @@ class RunResult:
     #: axis.
     latency_mean: float = 0.0
     latency_p99: float = 0.0
+    #: Mode-specific payload that has no column of its own (the
+    #: migration runs put their report and sampled timelines here).
+    #: Must stay JSON-serializable: it rides through
+    #: :meth:`to_dict`/:meth:`from_dict` verbatim.
+    extras: Dict[str, object] = field(default_factory=dict)
     #: The run's :class:`repro.obs.Telemetry` facade, when the runner
     #: was built with ``telemetry=True`` (for --metrics-json /
     #: --trace-out exports after the run).
@@ -72,6 +90,58 @@ class RunResult:
     @property
     def throughput_gbps(self) -> float:
         return self.throughput_bps / 1e9
+
+    # ------------------------------------------------------------------
+    # serialization: the one schema the sweep cache, the figure
+    # artifacts, and cross-process job results all share.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-able dict of the run's measurements.
+
+        The live ``telemetry``/``profiler`` handles are dropped: they
+        hold simulator state and cannot (and should not) cross a
+        process boundary or a cache file.  ``extras`` is normalized
+        through JSON so that ``from_dict(to_dict(r)) == r`` holds
+        exactly (tuples become lists once, not lazily on reload).
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "vm_count": self.vm_count,
+            "duration": self.duration,
+            "throughput_bps": self.throughput_bps,
+            "per_vm_throughput_bps": list(self.per_vm_throughput_bps),
+            "cpu": dict(self.cpu),
+            "loss_rate": self.loss_rate,
+            "interrupt_hz": self.interrupt_hz,
+            "exit_cycles_per_second": dict(self.exit_cycles_per_second),
+            "exit_counts": dict(self.exit_counts),
+            "latency_mean": self.latency_mean,
+            "latency_p99": self.latency_p99,
+            "extras": json.loads(json.dumps(self.extras)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"cannot load result schema {schema!r} "
+                             f"(this build reads {RESULT_SCHEMA!r})")
+        return cls(
+            vm_count=int(data["vm_count"]),
+            duration=float(data["duration"]),
+            throughput_bps=float(data["throughput_bps"]),
+            per_vm_throughput_bps=list(data["per_vm_throughput_bps"]),
+            cpu=dict(data["cpu"]),
+            loss_rate=float(data["loss_rate"]),
+            interrupt_hz=float(data["interrupt_hz"]),
+            exit_cycles_per_second=dict(data["exit_cycles_per_second"]),
+            exit_counts={k: int(v)
+                         for k, v in dict(data["exit_counts"]).items()},
+            latency_mean=float(data["latency_mean"]),
+            latency_p99=float(data["latency_p99"]),
+            extras=dict(data.get("extras") or {}),
+        )
 
 
 def steady_tcp_rate(policy: CoalescingPolicy, line_share_bps: float,
@@ -103,12 +173,14 @@ class ExperimentRunner:
                  warmup: float = DEFAULT_WARMUP,
                  duration: float = DEFAULT_DURATION,
                  telemetry: bool = False,
-                 profile: bool = False):
+                 profile: bool = False,
+                 seed: int = 42):
         self.costs = (costs or CostModel()).validate()
         self.warmup = warmup
         self.duration = duration
         self.telemetry = telemetry
         self.profile = profile
+        self.seed = seed
 
     def _config(self, **kwargs) -> TestbedConfig:
         """A TestbedConfig carrying the runner's costs and telemetry
@@ -116,7 +188,35 @@ class ExperimentRunner:
         kwargs.setdefault("costs", self.costs)
         kwargs.setdefault("telemetry", self.telemetry)
         kwargs.setdefault("profile", self.profile)
+        kwargs.setdefault("seed", self.seed)
         return TestbedConfig(**kwargs)
+
+    def _policy_factory(
+        self,
+        policy: Optional[Mapping],
+        policy_factory: Optional[Callable[[], CoalescingPolicy]],
+    ) -> Optional[Callable[[], CoalescingPolicy]]:
+        """Resolve the two policy-selection styles into one factory.
+
+        ``policy`` is the declarative spec dict (picklable, cacheable);
+        ``policy_factory`` is the legacy closure style, still honored
+        but deprecated because closures cannot cross the sweep engine's
+        process pool.  Returns None when neither is given so callers
+        keep their per-experiment defaults.
+        """
+        if policy is not None and policy_factory is not None:
+            raise ValueError("pass either policy= (spec dict) or "
+                             "policy_factory=, not both")
+        if policy_factory is not None:
+            warnings.warn(
+                "policy_factory= is deprecated: pass a declarative "
+                "policy= spec such as {'kind': 'fixed_itr', 'hz': 2000} "
+                "so scenarios stay picklable and cacheable",
+                DeprecationWarning, stacklevel=3)
+            return policy_factory
+        if policy is not None:
+            return lambda: policy_from_spec(policy, self.costs)
+        return None
 
     # ------------------------------------------------------------------
     # SR-IOV receive-side runs (Figs. 6, 8, 9, 12, 15, 16 and native)
@@ -127,6 +227,7 @@ class ExperimentRunner:
         kind: DomainKind = DomainKind.HVM,
         kernel: GuestKernel = GuestKernel.LINUX_2_6_28,
         opts: Optional[OptimizationConfig] = None,
+        policy: Optional[Mapping] = None,
         policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
         protocol: Protocol = Protocol.UDP,
         ports: int = 10,
@@ -142,6 +243,7 @@ class ExperimentRunner:
             native=native, nic=nic,
         )
         bed = Testbed(config)
+        policy_factory = self._policy_factory(policy, policy_factory)
         if policy_factory is None:
             # The §5.3 optimization switch selects the driver's policy:
             # AIC when on, the VF driver's 2 kHz default otherwise.
@@ -167,6 +269,7 @@ class ExperimentRunner:
         self,
         vm_count: int,
         kind: DomainKind = DomainKind.HVM,
+        policy: Optional[Mapping] = None,
         policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
         ports: int = 10,
     ) -> RunResult:
@@ -181,7 +284,8 @@ class ExperimentRunner:
         from repro.net.link import Link
         config = self._config(ports=ports, opts=OptimizationConfig.all())
         bed = Testbed(config)
-        policy_factory = policy_factory or (lambda: FixedItr(2000))
+        policy_factory = (self._policy_factory(policy, policy_factory)
+                          or (lambda: FixedItr(2000)))
         delivered = {"packets": 0, "payload_bytes": 0}
 
         def client_sink(packet):
@@ -228,10 +332,11 @@ class ExperimentRunner:
         )
 
     def run_native(self, vm_count: int = 10,
+                   policy: Optional[Mapping] = None,
                    policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
                    **kwargs) -> RunResult:
         """The bare-metal baseline: VF drivers on the host OS (§6.2)."""
-        return self.run_sriov(vm_count, native=True,
+        return self.run_sriov(vm_count, native=True, policy=policy,
                               policy_factory=policy_factory, **kwargs)
 
     # ------------------------------------------------------------------
@@ -274,6 +379,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_intervm_sriov(self, message_bytes: int = 1500,
                           offered_bps: float = 5e9,
+                          policy: Optional[Mapping] = None,
                           policy_factory: Optional[Callable[[], CoalescingPolicy]] = None,
                           kind: DomainKind = DomainKind.HVM,
                           sender: str = "guest") -> RunResult:
@@ -291,7 +397,8 @@ class ExperimentRunner:
         # Inter-VM rates exceed the line rate, so the driver must scale
         # its interrupt frequency with them — AIC by default (§5.3's
         # Fig. 10 is exactly this scenario).
-        policy_factory = policy_factory or (lambda: AdaptiveCoalescing(self.costs))
+        policy_factory = (self._policy_factory(policy, policy_factory)
+                          or (lambda: AdaptiveCoalescing(self.costs)))
         if sender == "guest":
             tx_guest = bed.add_sriov_guest(kind, policy=policy_factory())
             transmit = tx_guest.driver.transmit
@@ -358,6 +465,113 @@ class ExperimentRunner:
         )
         stream.start()
         return self._measure(bed, [receiver.app], [])
+
+    # ------------------------------------------------------------------
+    # live migration runs (Figs. 20, 21)
+    # ------------------------------------------------------------------
+    def run_migrate(self, variant: str = "dnis", start_at: float = 4.5,
+                    kind: DomainKind = DomainKind.HVM,
+                    sample_period: float = 0.1,
+                    settle: float = 2.0) -> RunResult:
+        """Live-migrate one netperf-loaded guest (§6.7).
+
+        ``variant`` selects the Fig. 20 setup (``"pv"``: plain PV NIC
+        migration) or the Fig. 21 setup (``"dnis"``: SR-IOV with
+        dynamic network interface switching).  The migration report and
+        the sampled throughput/dom0 timelines land in
+        :attr:`RunResult.extras` under ``"migration"`` and
+        ``"timeline"`` — the figures' data, in the one schema the sweep
+        cache stores.
+        """
+        from repro.drivers.netfront import Netfront
+        from repro.migration import (
+            DnisGuest,
+            MigrationManager,
+            PrecopyConfig,
+            Sampler,
+        )
+        from repro.net.netperf import NetperfStream
+
+        if variant not in ("pv", "dnis"):
+            raise ValueError(f"variant must be 'pv' or 'dnis', "
+                             f"not {variant!r}")
+        bed = Testbed(self._config(ports=1))
+        line = udp_goodput_bps(1e9)
+        dnis_guest = None
+        if variant == "pv":
+            pv = bed.add_pv_guest(kind)
+            app = pv.app
+            bed.attach_client_to_pv(pv, line).start()
+            manager = MigrationManager(bed.platform, bed.hotplug,
+                                       PrecopyConfig())
+        else:
+            sriov = bed.add_sriov_guest(kind)
+            app = sriov.app
+            netfront = Netfront(bed.platform, sriov.domain, app=sriov.app)
+            bed.netback.connect(netfront)
+            dnis_guest = DnisGuest(bed.platform, sriov.domain, sriov.driver,
+                                   netfront, bed.hotplug)
+            NetperfStream(bed.sim, dnis_guest.wire_sink,
+                          MacAddress.parse("02:00:00:00:99:99"),
+                          sriov.vf.mac, line, name="client").start()
+            # During pre-copy the service rides the slower PV path,
+            # dirtying fewer pages; 0.15 calibrates the blackout to the
+            # paper's 10.3 s start.
+            manager = MigrationManager(bed.platform, bed.hotplug,
+                                       PrecopyConfig(dirty_ratio=0.15))
+        sampler = Sampler(bed.sim, period=sample_period)
+        sampler.track("rx_bytes", lambda: app.rx_bytes)
+        machine = bed.platform.machine
+        sampler.track("dom0_cycles", lambda: machine.cycles("dom0"))
+        sampler.start()
+        if variant == "pv":
+            _, report = manager.migrate_pv(pv.netfront, start_at)
+            horizon = start_at + manager.model.total_time + settle
+        else:
+            _, report = manager.migrate_dnis(dnis_guest, start_at)
+            # +1.0: the DNIS interface switch precedes the migration
+            # proper.
+            horizon = start_at + 1.0 + manager.model.total_time + settle
+        bed.platform.start_measurement()
+        bed.sim.run(until=horizon)
+        elapsed = bed.platform.end_measurement()
+        throughput = app.rx_bytes * 8 / elapsed if elapsed > 0 else 0.0
+        offered = app.rx_packets + app.dropped_packets
+        migration = {
+            "variant": variant,
+            "start_at": start_at,
+            "started_at": report.started_at,
+            "switch_completed_at": report.switch_completed_at,
+            "round_durations": list(report.round_durations),
+            "blackout_start": report.blackout_start,
+            "blackout_end": report.blackout_end,
+            "completed_at": report.completed_at,
+            "downtime": report.downtime,
+            "total_time": report.total_time,
+            "events": [[time, name] for time, name in report.events],
+        }
+        if dnis_guest is not None:
+            migration["active_path"] = dnis_guest.active_path
+        timeline = {
+            "period": sample_period,
+            "series": {
+                name: {"times": list(sampler.series(name).times),
+                       "values": list(sampler.series(name).values)}
+                for name in ("rx_bytes", "dom0_cycles")
+            },
+        }
+        return RunResult(
+            vm_count=1,
+            duration=elapsed,
+            throughput_bps=throughput,
+            per_vm_throughput_bps=[throughput],
+            cpu=bed.platform.utilization_breakdown(),
+            loss_rate=app.dropped_packets / offered if offered else 0.0,
+            interrupt_hz=0.0,
+            extras={"migration": migration, "timeline": timeline},
+            telemetry=bed.telemetry,
+            profiler=bed.profiler,
+        )
 
     # ------------------------------------------------------------------
     # the measurement loop

@@ -10,7 +10,7 @@ as the compact block the CLI prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.experiment import RunResult
 from repro.hw.cpu import Machine
@@ -67,6 +67,27 @@ class XentopReport:
                          f"{row.cpu_percent:>8.2f}  {cores}")
         lines.append(f"{'TOTAL':<16}{'':<8}{self.total_percent:>8.2f}")
         return "\n".join(lines)
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """One figure's data, rendered the way the paper's plot reads.
+
+    Shared by the benchmark suite's stdout tables and the ``repro
+    figures`` CLI so a series always prints the same way.
+    """
+    lines = [f"\n=== {title} ==="]
+    widths = [max(10, len(h) + 2) for h in header]
+    lines.append("".join(f"{h:>{w}}" for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.2f}")
+            else:
+                cells.append(f"{str(value):>{width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
 
 
 def format_run_result(result: RunResult) -> str:

@@ -29,6 +29,8 @@ from repro.drivers.coalescing import (
     CoalescingPolicy,
     DynamicItr,
     FixedItr,
+    policy_from_spec,
+    policy_to_spec,
 )
 from repro.drivers.guest_app import NetserverApp
 from repro.drivers.napi import NapiContext
@@ -52,4 +54,6 @@ __all__ = [
     "SlaveDevice",
     "VfDriver",
     "VmdqService",
+    "policy_from_spec",
+    "policy_to_spec",
 ]

@@ -17,7 +17,7 @@ on a periodic tick, feeding back the measured packet rate.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.costs import CostModel
 
@@ -128,3 +128,65 @@ class AdaptiveCoalescing(CoalescingPolicy):
         return (f"AdaptiveCoalescing(bufs={self.costs.aic_bufs}, "
                 f"r={self.costs.aic_redundancy:g}, "
                 f"lif={self.costs.aic_lif_hz:g} Hz)")
+
+
+# ----------------------------------------------------------------------
+# declarative policy specs
+# ----------------------------------------------------------------------
+# Policies cross process boundaries (the sweep engine pickles jobs into
+# a worker pool) and land in cache keys and JSON artifacts, so each one
+# has a declarative spec — a plain dict of JSON scalars — instead of a
+# ``policy_factory`` closure:
+#
+#     {"kind": "fixed_itr", "hz": 2000}
+#     {"kind": "dynamic_itr", "target": 9, "max_hz": 9000, "min_hz": 500}
+#     {"kind": "aic"}
+#
+# AIC's parameters live in the run's :class:`CostModel` (they are part
+# of the §5.3 calibration), so its spec carries no numbers: the cost
+# model the run executes under supplies them.
+
+POLICY_KINDS = ("fixed_itr", "dynamic_itr", "aic")
+
+
+def policy_from_spec(spec: Mapping[str, object],
+                     costs: Optional[CostModel] = None) -> CoalescingPolicy:
+    """Instantiate the policy a spec dict describes."""
+    if not isinstance(spec, Mapping) or "kind" not in spec:
+        raise ValueError(f"policy spec must be a dict with a 'kind' key, "
+                         f"got {spec!r}")
+    kind = spec["kind"]
+    extra = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "fixed_itr":
+        return FixedItr(float(extra.pop("hz")))
+    if kind == "dynamic_itr":
+        kwargs = {}
+        if "target" in extra:
+            kwargs["target_packets_per_interrupt"] = float(extra.pop("target"))
+        if "max_hz" in extra:
+            kwargs["max_hz"] = float(extra.pop("max_hz"))
+        if "min_hz" in extra:
+            kwargs["min_hz"] = float(extra.pop("min_hz"))
+        if extra:
+            raise ValueError(f"unknown dynamic_itr keys: {sorted(extra)}")
+        return DynamicItr(**kwargs)
+    if kind == "aic":
+        if extra:
+            raise ValueError(f"aic spec takes no parameters, got "
+                             f"{sorted(extra)} (tune the CostModel instead)")
+        return AdaptiveCoalescing(costs)
+    raise ValueError(f"unknown policy kind {kind!r}: use one of "
+                     f"{', '.join(POLICY_KINDS)}")
+
+
+def policy_to_spec(policy: CoalescingPolicy) -> Dict[str, object]:
+    """The spec dict that reconstructs ``policy`` (inverse of
+    :func:`policy_from_spec` for the stock policy classes)."""
+    if isinstance(policy, FixedItr):
+        return {"kind": "fixed_itr", "hz": policy.hz}
+    if isinstance(policy, DynamicItr):
+        return {"kind": "dynamic_itr", "target": policy.target,
+                "max_hz": policy.max_hz, "min_hz": policy.min_hz}
+    if isinstance(policy, AdaptiveCoalescing):
+        return {"kind": "aic"}
+    raise TypeError(f"no declarative spec for {type(policy).__name__}")

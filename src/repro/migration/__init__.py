@@ -16,7 +16,11 @@
 from repro.migration.dnis import DnisGuest, PvSlave, VfSlave
 from repro.migration.manager import MigrationManager, MigrationReport
 from repro.migration.precopy import PrecopyConfig, PrecopyModel
-from repro.migration.timeline import Sampler, downtime_windows
+from repro.migration.timeline import (
+    Sampler,
+    downtime_windows,
+    series_from_timeline,
+)
 
 __all__ = [
     "DnisGuest",
@@ -28,4 +32,5 @@ __all__ = [
     "Sampler",
     "VfSlave",
     "downtime_windows",
+    "series_from_timeline",
 ]

@@ -71,6 +71,21 @@ class Sampler:
         self._handle = self.sim.schedule(self.period, self._tick)
 
 
+def series_from_timeline(timeline: Dict, name: str) -> Series:
+    """Rebuild a :class:`Series` from a serialized run timeline.
+
+    ``timeline`` is the ``extras["timeline"]`` dict a migration
+    :class:`~repro.core.experiment.RunResult` carries: sampled series go
+    through JSON on their way into the sweep cache, and come back out
+    here for :func:`downtime_windows` and the figure tables.
+    """
+    data = timeline["series"][name]
+    series = Series(name)
+    for time, value in zip(data["times"], data["values"]):
+        series.record(time, value)
+    return series
+
+
 def downtime_windows(series: Series, threshold: float,
                      min_duration: float = 0.0) -> List[Tuple[float, float]]:
     """Extract intervals where the sampled delta fell below threshold.

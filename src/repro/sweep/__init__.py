@@ -1,0 +1,54 @@
+"""The campaign subsystem: declarative sweeps, a process pool, and a
+content-addressed result cache.
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec`: grid/list expansion of
+  a declarative sweep document into :class:`~repro.api.Scenario` lists.
+* :mod:`repro.sweep.cache` — :class:`ResultCache`: results keyed by a
+  stable hash of (scenario, cost model, schema version); warm reruns
+  simulate nothing.
+* :mod:`repro.sweep.jobs` — content-addressed jobs and the picklable
+  pool worker.
+* :mod:`repro.sweep.runner` — :func:`run_sweep`: the cache-aware,
+  pool-parallel engine with a byte-identical determinism contract.
+* :mod:`repro.sweep.figures` — every paper figure (Figs. 6-21) as a
+  registered campaign; backs both ``repro figures`` and the
+  pytest-benchmark suite.
+"""
+
+from repro.sweep.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    canonical_json,
+    costs_to_dict,
+    job_key,
+)
+from repro.sweep.figures import (
+    FIGURES,
+    figure_artifact,
+    generate_figures,
+    resolve_names,
+    run_figure,
+)
+from repro.sweep.jobs import Job, build_jobs, execute_payload
+from repro.sweep.runner import Outcome, SweepStats, run_sweep
+from repro.sweep.spec import SweepSpec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FIGURES",
+    "Job",
+    "Outcome",
+    "ResultCache",
+    "SweepSpec",
+    "SweepStats",
+    "build_jobs",
+    "canonical_json",
+    "costs_to_dict",
+    "execute_payload",
+    "figure_artifact",
+    "generate_figures",
+    "job_key",
+    "resolve_names",
+    "run_figure",
+    "run_sweep",
+]

@@ -1,0 +1,116 @@
+"""The content-addressed result cache.
+
+A run is a pure function of (scenario, cost model) — the simulator is
+deterministic per seed, and the seed is a scenario field.  So results
+are cached under a content key::
+
+    key = sha256(canonical_json({"scenario": ...,  # Scenario.to_dict()
+                                 "costs": ...,     # CostModel as dict
+                                 "schema": ...}))  # result schema tag
+
+and a warm rerun of any campaign executes zero simulations.  The schema
+tag (:data:`repro.core.experiment.RESULT_SCHEMA`) is folded into the
+key rather than checked on read: when the result layout changes, stale
+entries become unreachable instead of half-parseable.
+
+Layout on disk: ``<root>/<key[:2]>/<key>.json``, one self-describing
+file per entry (the scenario and costs ride along with the result, so
+a cache directory doubles as a browsable record of every configuration
+ever simulated).  Writes are atomic (tmp + rename) so a killed sweep
+never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.core.costs import CostModel
+from repro.core.experiment import RESULT_SCHEMA
+
+#: Version tag for the cache *entry* layout (the envelope around the
+#: result).  Unknown envelopes are treated as misses, never errors.
+ENTRY_SCHEMA = "repro-cache-entry/1"
+
+#: Default cache location, overridable per invocation (``--cache-dir``)
+#: or via the environment.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def canonical_json(obj: object) -> str:
+    """The one JSON encoding used for hashing and artifacts.
+
+    Sorted keys, no whitespace, NaN/Infinity rejected: two processes
+    serializing the same value must produce the same bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def costs_to_dict(costs: Optional[CostModel]) -> Dict[str, object]:
+    """The cost model as the plain dict the cache key hashes."""
+    return dataclasses.asdict(costs if costs is not None else CostModel())
+
+
+def job_key(scenario_dict: Mapping[str, object],
+            costs_dict: Mapping[str, object]) -> str:
+    """The content address of one (scenario, cost model) job."""
+    payload = {"scenario": dict(scenario_dict), "costs": dict(costs_dict),
+               "schema": RESULT_SCHEMA}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of run results, addressed by :func:`job_key`."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached result dict, or None on any kind of miss.
+
+        A corrupt or foreign file is a miss, not an error: the engine
+        re-simulates and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != ENTRY_SCHEMA
+                or entry.get("key") != key):
+            return None
+        result = entry.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, key: str, scenario_dict: Mapping[str, object],
+            costs_dict: Mapping[str, object],
+            result_dict: Mapping[str, object]) -> Path:
+        """Store one result atomically; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "scenario": dict(scenario_dict),
+            "costs": dict(costs_dict),
+            "result": dict(result_dict),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,61 @@
+"""Job construction and the process-pool worker entrypoint.
+
+Everything that crosses the pool boundary is a plain dict of JSON
+scalars — the scenario's dict form in, the result's dict form out — so
+jobs pickle under any start method and the parent never receives live
+simulator objects from a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.api import Scenario, run
+from repro.core.costs import CostModel
+from repro.sweep.cache import costs_to_dict, job_key
+
+
+@dataclass(frozen=True)
+class Job:
+    """One expanded sweep point, content-addressed."""
+
+    index: int
+    scenario: Scenario
+    key: str
+
+    def payload(self, costs_dict: Mapping[str, object],
+                metrics_path: Optional[str] = None) -> Dict[str, object]:
+        """The picklable dict :func:`execute_payload` consumes."""
+        payload: Dict[str, object] = {
+            "scenario": self.scenario.to_dict(),
+            "costs": dict(costs_dict),
+        }
+        if metrics_path is not None:
+            payload["metrics_path"] = metrics_path
+        return payload
+
+
+def build_jobs(scenarios: Sequence[Scenario],
+               costs: Optional[CostModel] = None) -> List[Job]:
+    """Index and content-address a batch of scenarios."""
+    costs_dict = costs_to_dict(costs)
+    return [Job(index, scenario, job_key(scenario.to_dict(), costs_dict))
+            for index, scenario in enumerate(scenarios)]
+
+
+def execute_payload(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Run one job; the pool's map function (must stay module-level so
+    it pickles by reference).
+
+    Seeding is deterministic: the scenario carries its seed, so a job
+    produces the same result dict no matter which worker runs it, in
+    what order, or whether it runs in-process (``--jobs 1``).
+    """
+    scenario = Scenario.from_dict(payload["scenario"])
+    costs = CostModel(**payload["costs"])
+    metrics_path = payload.get("metrics_path")
+    result = run(scenario, costs=costs, telemetry=metrics_path is not None)
+    if metrics_path is not None:
+        result.telemetry.write_metrics(metrics_path, result.duration)
+    return result.to_dict()

@@ -1,0 +1,149 @@
+"""The campaign engine: cache-aware, pool-parallel scenario execution.
+
+One call — :func:`run_sweep` — takes a list of scenarios and returns
+their results in input order, having (1) served every previously-seen
+configuration straight from the content-addressed cache, (2) executed
+each *distinct* remaining configuration exactly once (duplicates within
+a campaign collapse onto one simulation), and (3) fanned the distinct
+misses out over a ``ProcessPoolExecutor`` when ``jobs > 1``.
+
+Determinism contract: the returned results — and therefore any JSON
+artifact derived from them — are byte-identical across ``jobs=1`` and
+``jobs=N`` and across cold and warm caches.  The simulator itself is
+deterministic per seed; the engine's duty is not to launder that
+through scheduling, so results are keyed by job index (never by
+completion order) and every result, fresh or cached, passes through the
+same ``to_dict``/``from_dict`` normalization.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.api import Scenario
+from repro.core.costs import CostModel
+from repro.core.experiment import RunResult
+from repro.sweep.cache import ResultCache, costs_to_dict
+from repro.sweep.jobs import Job, build_jobs, execute_payload
+
+
+@dataclass
+class SweepStats:
+    """What the engine did, for the one-line summary CI parses."""
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: distinct simulations actually executed (duplicate scenarios in
+    #: one campaign collapse onto one run).
+    executed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        """The stable, machine-parseable summary line."""
+        return (f"cache summary: hits={self.hits} misses={self.misses} "
+                f"executed={self.executed} total={self.total} "
+                f"hit_rate={self.hit_rate * 100:.1f}%")
+
+
+@dataclass
+class Outcome:
+    """One scenario's result, with its provenance."""
+
+    index: int
+    scenario: Scenario
+    key: str
+    result: RunResult
+    cached: bool
+
+
+def run_sweep(
+    scenarios: Sequence[Scenario],
+    *,
+    costs: Optional[CostModel] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    metrics_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> tuple[List[Outcome], SweepStats]:
+    """Execute a campaign; outcomes come back in input order.
+
+    ``metrics_dir`` turns on telemetry inside each *executed* job and
+    writes one ``<key>.metrics.json`` per job there (cache hits skip
+    simulation, hence produce no new metrics file).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    say = progress or (lambda message: None)
+    costs_dict = costs_to_dict(costs)
+    job_list = build_jobs(scenarios, costs)
+    stats = SweepStats(total=len(job_list))
+    results: Dict[int, RunResult] = {}
+    cached: Dict[int, bool] = {}
+
+    misses: List[Job] = []
+    for job in job_list:
+        entry = cache.get(job.key) if cache is not None else None
+        if entry is not None:
+            try:
+                results[job.index] = RunResult.from_dict(entry)
+                cached[job.index] = True
+                stats.hits += 1
+                continue
+            except (KeyError, ValueError):
+                pass  # corrupt entry: fall through to re-simulate
+        misses.append(job)
+    stats.misses = len(misses)
+
+    # Collapse duplicate configurations: one simulation per distinct
+    # key, its result shared by every job that asked for it.
+    distinct: Dict[str, Job] = {}
+    for job in misses:
+        distinct.setdefault(job.key, job)
+    ordered = list(distinct.values())
+    stats.executed = len(ordered)
+    if ordered:
+        say(f"executing {len(ordered)} distinct jobs "
+            f"({stats.hits} cached, jobs={jobs})")
+
+    def metrics_path(job: Job) -> Optional[str]:
+        if metrics_dir is None:
+            return None
+        from pathlib import Path
+        root = Path(metrics_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        return str(root / f"{job.key}.metrics.json")
+
+    payloads = [job.payload(costs_dict, metrics_path(job))
+                for job in ordered]
+    fresh: Dict[str, dict] = {}
+    if jobs > 1 and len(ordered) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs,
+                                                 len(ordered))) as pool:
+            for job, result_dict in zip(ordered,
+                                        pool.map(execute_payload, payloads)):
+                fresh[job.key] = result_dict
+                say(f"  done {job.scenario.mode}#{job.index} "
+                    f"[{job.key[:12]}]")
+    else:
+        for job, payload in zip(ordered, payloads):
+            fresh[job.key] = execute_payload(payload)
+            say(f"  done {job.scenario.mode}#{job.index} [{job.key[:12]}]")
+
+    if cache is not None:
+        for key, result_dict in fresh.items():
+            cache.put(key, distinct[key].scenario.to_dict(), costs_dict,
+                      result_dict)
+    for job in misses:
+        results[job.index] = RunResult.from_dict(fresh[job.key])
+        cached[job.index] = False
+
+    outcomes = [Outcome(index=job.index, scenario=job.scenario, key=job.key,
+                        result=results[job.index], cached=cached[job.index])
+                for job in job_list]
+    return outcomes, stats

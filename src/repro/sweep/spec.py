@@ -1,0 +1,87 @@
+"""Declarative sweep specifications.
+
+A sweep spec is a JSON document (or plain dict) describing a family of
+scenarios without writing a loop::
+
+    {
+      "base": {"mode": "sriov", "ports": 10, "warmup": 0.6,
+               "duration": 0.4, "policy": {"kind": "fixed_itr",
+                                           "hz": 2000}},
+      "grid": {"vm_count": [10, 20, 40, 60], "kind": ["hvm", "pvm"]},
+      "list": [{"kernel": "2.6.28"}, {"kernel": "2.6.18"}]
+    }
+
+Expansion is the cartesian product of the ``grid`` axes (in the order
+they appear in the document), applied on top of each ``list`` case
+(explicit overrides), applied on top of ``base`` — here 4 x 2 x 2 = 16
+scenarios.  Later layers win on field collisions: base < list case <
+grid assignment.  Every expanded dict must be a valid
+:class:`~repro.api.Scenario`; a typo'd field name fails the whole spec
+up front rather than silently sweeping nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.api import Scenario
+
+_SPEC_KEYS = {"base", "grid", "list"}
+
+
+@dataclass
+class SweepSpec:
+    """A parsed sweep specification."""
+
+    base: Dict[str, object] = field(default_factory=dict)
+    #: axis name -> list of values, expanded as a cartesian product in
+    #: document order.
+    grid: Dict[str, Sequence[object]] = field(default_factory=dict)
+    #: explicit scenario overrides, each expanded against the grid.
+    cases: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(f"unknown sweep spec keys: {sorted(unknown)} "
+                             f"(use {sorted(_SPEC_KEYS)})")
+        base = dict(data.get("base") or {})
+        grid = data.get("grid") or {}
+        if not isinstance(grid, Mapping):
+            raise ValueError("'grid' must be a dict of axis -> values")
+        for axis, values in grid.items():
+            if isinstance(values, (str, bytes)) or not isinstance(
+                    values, Sequence):
+                raise ValueError(f"grid axis {axis!r} must map to a list "
+                                 f"of values, got {values!r}")
+            if not values:
+                raise ValueError(f"grid axis {axis!r} is empty: the "
+                                 f"product would be zero scenarios")
+        cases = data.get("list") or []
+        if not isinstance(cases, Sequence) or isinstance(cases, (str, bytes)):
+            raise ValueError("'list' must be a list of override dicts")
+        return cls(base=base,
+                   grid={k: list(v) for k, v in grid.items()},
+                   cases=[dict(c) for c in cases])
+
+    def expand(self) -> List[Scenario]:
+        """All scenarios the spec describes, in deterministic order:
+        list cases outermost, grid axes in document order innermost."""
+        cases = self.cases or [{}]
+        axes = list(self.grid.keys())
+        combos = list(itertools.product(*(self.grid[a] for a in axes)))
+        scenarios: List[Scenario] = []
+        for case in cases:
+            for combo in combos:
+                merged = {**self.base, **case, **dict(zip(axes, combo))}
+                scenarios.append(Scenario.from_dict(merged))
+        return scenarios
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count * (len(self.cases) or 1)

@@ -52,9 +52,9 @@ class TestRunnerDeterminism:
     def test_same_config_same_result(self):
         runner = ExperimentRunner(warmup=0.2, duration=0.2)
         first = runner.run_sriov(1, ports=1,
-                                 policy_factory=lambda: FixedItr(2000))
+                                 policy={"kind": "fixed_itr", "hz": 2000})
         second = runner.run_sriov(1, ports=1,
-                                  policy_factory=lambda: FixedItr(2000))
+                                  policy={"kind": "fixed_itr", "hz": 2000})
         assert first.throughput_bps == second.throughput_bps
         assert first.cpu == second.cpu
         assert first.exit_counts == second.exit_counts

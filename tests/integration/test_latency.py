@@ -7,29 +7,27 @@ it may increase network latency" — here the increase is measurable.
 import pytest
 
 from repro.core import ExperimentRunner
-from repro.drivers import AdaptiveCoalescing, FixedItr
-
 RUNNER = ExperimentRunner(warmup=0.4, duration=0.4)
 AIC_RUNNER = ExperimentRunner(warmup=2.2, duration=0.4)
 
 
-def run_at(policy_factory, runner=RUNNER):
-    return runner.run_sriov(1, ports=1, policy_factory=policy_factory)
+def run_at(policy, runner=RUNNER):
+    return runner.run_sriov(1, ports=1, policy=policy)
 
 
 def test_latency_tracks_interrupt_interval():
     """Mean latency is roughly half the coalescing interval (uniform
     arrival within the window)."""
-    at_2k = run_at(lambda: FixedItr(2000))
+    at_2k = run_at({"kind": "fixed_itr", "hz": 2000})
     # Mean wait for a 500 us window is ~250 us plus small fixed delays.
     assert at_2k.latency_mean == pytest.approx(250e-6, rel=0.3)
     assert at_2k.latency_p99 < 600e-6
 
 
 def test_lower_frequency_means_higher_latency():
-    at_20k = run_at(lambda: FixedItr(20000))
-    at_2k = run_at(lambda: FixedItr(2000))
-    at_1k = run_at(lambda: FixedItr(1000))
+    at_20k = run_at({"kind": "fixed_itr", "hz": 20000})
+    at_2k = run_at({"kind": "fixed_itr", "hz": 2000})
+    at_1k = run_at({"kind": "fixed_itr", "hz": 1000})
     assert at_20k.latency_mean < at_2k.latency_mean < at_1k.latency_mean
     assert at_20k.latency_p99 < at_2k.latency_p99 < at_1k.latency_p99
 
@@ -38,14 +36,14 @@ def test_aic_latency_bounded_by_lif():
     """lif "indicat[es] the lowest acceptable interrupt frequency to
     limit the worst latency" — p99 never exceeds one lif period (plus
     delivery slack)."""
-    result = run_at(lambda: AdaptiveCoalescing(), runner=AIC_RUNNER)
+    result = run_at({"kind": "aic"}, runner=AIC_RUNNER)
     lif_period = 1 / RUNNER.costs.aic_lif_hz
     assert result.latency_p99 <= lif_period * 1.1
 
 
 def test_latency_cpu_tradeoff_is_real():
     """The whole point of §5.3: 20 kHz buys latency with CPU."""
-    at_20k = run_at(lambda: FixedItr(20000))
-    aic = run_at(lambda: AdaptiveCoalescing(), runner=AIC_RUNNER)
+    at_20k = run_at({"kind": "fixed_itr", "hz": 20000})
+    aic = run_at({"kind": "aic"}, runner=AIC_RUNNER)
     assert at_20k.latency_mean < aic.latency_mean
     assert at_20k.total_cpu_percent > aic.total_cpu_percent

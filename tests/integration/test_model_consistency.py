@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ExperimentRunner
-from repro.drivers import FixedItr
 from repro.vmm import DomainKind
 
 RUNNER = ExperimentRunner(warmup=0.4, duration=0.4)
@@ -31,7 +30,7 @@ def test_no_core_exceeds_capacity_sriov():
     point is that per-VM costs are a few percent."""
     result, bed = run_and_platform(
         lambda: RUNNER.run_sriov(16, ports=8,
-                                 policy_factory=lambda: FixedItr(2000)))
+                                 policy={"kind": "fixed_itr", "hz": 2000}))
     assert bed.platform.machine.overcommitted_cores() == []
 
 
@@ -43,20 +42,20 @@ def test_no_core_exceeds_capacity_pv():
 
 def test_cpu_breakdown_sums_to_total():
     result = RUNNER.run_sriov(4, ports=2,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     assert result.total_cpu_percent == pytest.approx(sum(result.cpu.values()))
 
 
 def test_throughput_never_exceeds_offered():
     result = RUNNER.run_sriov(2, ports=1,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     from repro.net import udp_goodput_bps
     assert result.throughput_bps <= udp_goodput_bps(1e9) * 1.01
 
 
 def test_determinism_across_runs():
-    a = RUNNER.run_sriov(3, ports=3, policy_factory=lambda: FixedItr(2000))
-    b = RUNNER.run_sriov(3, ports=3, policy_factory=lambda: FixedItr(2000))
+    a = RUNNER.run_sriov(3, ports=3, policy={"kind": "fixed_itr", "hz": 2000})
+    b = RUNNER.run_sriov(3, ports=3, policy={"kind": "fixed_itr", "hz": 2000})
     assert a.throughput_bps == b.throughput_bps
     assert a.cpu == b.cpu
     assert a.latency_mean == b.latency_mean

@@ -8,7 +8,6 @@ reproductions live in benchmarks/.
 import pytest
 
 from repro.core import ExperimentRunner, OptimizationConfig
-from repro.drivers import AdaptiveCoalescing, DynamicItr, FixedItr
 from repro.net.packet import Protocol
 from repro.vmm import DomainKind, GuestKernel
 
@@ -22,13 +21,13 @@ class TestMsiAcceleration:
     def test_2618_guest_burns_dom0_without_acceleration(self):
         base = RUNNER.run_sriov(2, ports=1, kernel=GuestKernel.LINUX_2_6_18,
                                 opts=OptimizationConfig.none(),
-                                policy_factory=lambda: DynamicItr())
+                                policy={"kind": "dynamic_itr"})
         assert base.cpu["dom0"] > 10
 
     def test_acceleration_collapses_dom0_to_floor(self):
         accel = RUNNER.run_sriov(2, ports=1, kernel=GuestKernel.LINUX_2_6_18,
                                  opts=OptimizationConfig(msi_acceleration=True),
-                                 policy_factory=lambda: DynamicItr())
+                                 policy={"kind": "dynamic_itr"})
         assert accel.cpu["dom0"] < 4  # the paper's ~3%
 
     def test_acceleration_also_helps_guest_and_xen(self):
@@ -36,10 +35,10 @@ class TestMsiAcceleration:
         48%, as a result of TLB and cache pollution mitigation.'"""
         base = RUNNER.run_sriov(2, ports=1, kernel=GuestKernel.LINUX_2_6_18,
                                 opts=OptimizationConfig.none(),
-                                policy_factory=lambda: DynamicItr())
+                                policy={"kind": "dynamic_itr"})
         accel = RUNNER.run_sriov(2, ports=1, kernel=GuestKernel.LINUX_2_6_18,
                                  opts=OptimizationConfig(msi_acceleration=True),
-                                 policy_factory=lambda: DynamicItr())
+                                 policy={"kind": "dynamic_itr"})
         assert accel.cpu["guest"] < base.cpu["guest"]
         assert accel.cpu["xen"] < base.cpu["xen"]
 
@@ -49,7 +48,7 @@ class TestEoiAcceleration:
 
     def run(self, opts):
         return RUNNER.run_sriov(1, ports=1, opts=opts,
-                                policy_factory=lambda: DynamicItr())
+                                policy={"kind": "dynamic_itr"})
 
     def test_apic_access_dominates_virtualization_overhead(self):
         result = self.run(OptimizationConfig.none())
@@ -78,27 +77,27 @@ class TestAdaptiveCoalescing:
     """§5.3 / Figs. 8-9."""
 
     def test_throughput_maintained_across_policies(self):
-        for policy in [lambda: FixedItr(20000), lambda: FixedItr(2000),
-                       lambda: AdaptiveCoalescing()]:
-            result = AIC_RUNNER.run_sriov(1, ports=1, policy_factory=policy)
+        for policy in [{"kind": "fixed_itr", "hz": 20000},
+                       {"kind": "fixed_itr", "hz": 2000}, {"kind": "aic"}]:
+            result = AIC_RUNNER.run_sriov(1, ports=1, policy=policy)
             assert result.throughput_gbps == pytest.approx(0.957, rel=0.02)
 
     def test_cpu_falls_as_interrupt_rate_falls(self):
         at_20k = AIC_RUNNER.run_sriov(1, ports=1,
-                                      policy_factory=lambda: FixedItr(20000))
+                                      policy={"kind": "fixed_itr", "hz": 20000})
         at_2k = AIC_RUNNER.run_sriov(1, ports=1,
-                                     policy_factory=lambda: FixedItr(2000))
+                                     policy={"kind": "fixed_itr", "hz": 2000})
         aic = AIC_RUNNER.run_sriov(1, ports=1,
-                                   policy_factory=lambda: AdaptiveCoalescing())
+                                   policy={"kind": "aic"})
         assert at_20k.total_cpu_percent > at_2k.total_cpu_percent
         assert aic.total_cpu_percent <= at_2k.total_cpu_percent + 0.2
 
     def test_tcp_drops_at_1khz_but_not_2khz(self):
         """Fig. 9's latency-sensitivity crossover."""
         at_2k = AIC_RUNNER.run_sriov(1, ports=1, protocol=Protocol.TCP,
-                                     policy_factory=lambda: FixedItr(2000))
+                                     policy={"kind": "fixed_itr", "hz": 2000})
         at_1k = AIC_RUNNER.run_sriov(1, ports=1, protocol=Protocol.TCP,
-                                     policy_factory=lambda: FixedItr(1000))
+                                     policy={"kind": "fixed_itr", "hz": 1000})
         drop = 1 - at_1k.throughput_bps / at_2k.throughput_bps
         assert 0.04 < drop < 0.15  # paper: 9.6%
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ExperimentRunner, OptimizationConfig, Testbed, TestbedConfig
-from repro.drivers import FixedItr
 from repro.net import Packet, udp_goodput_bps
 from repro.net.mac import MacAddress
 from repro.vmm import DomainKind, VmExitKind
@@ -15,7 +14,7 @@ REMOTE = MacAddress.parse("02:00:00:00:99:99")
 def test_line_rate_throughput_single_vm():
     """One VM on one port must sustain the 957 Mbps UDP goodput."""
     result = RUNNER.run_sriov(1, ports=1,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     assert result.throughput_bps == pytest.approx(udp_goodput_bps(1e9),
                                                   rel=0.02)
     assert result.loss_rate < 0.01
@@ -24,7 +23,7 @@ def test_line_rate_throughput_single_vm():
 def test_aggregate_line_rate_across_ports():
     """Two ports, two VMs: aggregate ~1.91 Gbps."""
     result = RUNNER.run_sriov(2, ports=2,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     assert result.throughput_bps == pytest.approx(2 * udp_goodput_bps(1e9),
                                                   rel=0.02)
 
@@ -34,7 +33,7 @@ def test_throughput_flat_as_vms_share_port():
     totals = []
     for n in [1, 3, 7]:
         result = RUNNER.run_sriov(n, ports=1,
-                                  policy_factory=lambda: FixedItr(2000))
+                                  policy={"kind": "fixed_itr", "hz": 2000})
         totals.append(result.throughput_bps)
     assert max(totals) / min(totals) < 1.03
 
@@ -50,13 +49,13 @@ def test_dom0_not_on_data_path():
 
 def test_interrupts_throttled_to_itr():
     result = RUNNER.run_sriov(1, ports=1,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     assert result.interrupt_hz == pytest.approx(2000, rel=0.05)
 
 
 def test_exit_accounting_matches_interrupts():
     result = RUNNER.run_sriov(1, ports=1,
-                              policy_factory=lambda: FixedItr(2000))
+                              policy={"kind": "fixed_itr", "hz": 2000})
     eoi = result.exit_counts.get(VmExitKind.APIC_ACCESS_EOI.value, 0)
     ext = result.exit_counts.get(VmExitKind.EXTERNAL_INTERRUPT.value, 0)
     # One EOI and one external-interrupt exit per delivered interrupt.

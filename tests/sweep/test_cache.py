@@ -1,0 +1,102 @@
+"""Unit tests for the content-addressed result cache and its keys."""
+
+import json
+
+import pytest
+
+from repro.api import Scenario
+from repro.core.costs import CostModel
+from repro.sweep import ResultCache, canonical_json, costs_to_dict, job_key
+
+
+def _key(scenario, costs=None):
+    return job_key(scenario.to_dict(), costs_to_dict(costs))
+
+
+class TestJobKey:
+    def test_stable_across_calls(self):
+        scenario = Scenario(mode="sriov", vm_count=3)
+        assert _key(scenario) == _key(scenario)
+
+    def test_equal_scenarios_share_a_key(self):
+        a = Scenario(mode="sriov", policy={"kind": "fixed_itr", "hz": 2000})
+        b = Scenario.from_dict(json.loads(canonical_json(a.to_dict())))
+        assert _key(a) == _key(b)
+
+    def test_seed_changes_the_key(self):
+        base = Scenario(mode="sriov")
+        assert _key(base) != _key(base.with_(seed=43))
+
+    def test_opts_change_the_key(self):
+        base = Scenario(mode="sriov")
+        assert _key(base) != _key(base.with_(opts={}))
+        assert (_key(base.with_(opts={}))
+                != _key(base.with_(opts={"msi_acceleration": True})))
+
+    def test_cost_model_changes_the_key(self):
+        scenario = Scenario(mode="sriov")
+        assert (_key(scenario, CostModel())
+                != _key(scenario, CostModel(aic_redundancy=1.5)))
+        # costs=None means "the default CostModel" and hashes as such.
+        assert _key(scenario, CostModel()) == _key(scenario, None)
+
+
+class TestResultCache:
+    def _result_dict(self):
+        # A minimal valid result payload for cache plumbing tests.
+        from repro.core.experiment import RESULT_SCHEMA
+        return {"schema": RESULT_SCHEMA, "mode": "sriov", "vm_count": 1,
+                "duration": 0.4, "rx_bytes": 10, "rx_packets": 1,
+                "tx_packets": 1, "throughput_bps": 1.0, "loss_rate": 0.0,
+                "latency_mean": 0.0, "interrupt_hz": 0.0, "cpu": {},
+                "exit_counts": {}, "exit_cycles_per_second": {},
+                "extras": {}}
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        assert cache.get(key) is None
+        cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        assert cache.get(key) == self._result_dict()
+
+    def test_different_key_still_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        cache.put(_key(scenario), scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        assert cache.get(_key(scenario.with_(seed=7))) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        cache.path_for(key).write_text("{ not json")
+        assert cache.get(key) is None
+
+    def test_foreign_schema_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        entry = json.loads(cache.path_for(key).read_text())
+        entry["schema"] = "someone-elses-cache/9"
+        cache.path_for(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert (canonical_json({"b": 1, "a": 2})
+                == canonical_json({"a": 2, "b": 1}))
+
+    def test_compact_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})

@@ -1,0 +1,70 @@
+"""Unit tests for the declarative sweep spec."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.sweep import SweepSpec
+
+
+class TestExpansion:
+    def test_grid_cartesian_product_in_document_order(self):
+        spec = SweepSpec.from_dict({
+            "base": {"mode": "sriov"},
+            "grid": {"vm_count": [1, 2], "kind": ["hvm", "pvm"]},
+        })
+        scenarios = spec.expand()
+        assert len(spec) == len(scenarios) == 4
+        # First axis varies slowest (itertools.product order).
+        assert [(s.vm_count, s.kind) for s in scenarios] == [
+            (1, "hvm"), (1, "pvm"), (2, "hvm"), (2, "pvm")]
+
+    def test_list_cases_compose_with_grid(self):
+        spec = SweepSpec.from_dict({
+            "base": {"mode": "sriov", "ports": 1},
+            "list": [{"kernel": "2.6.18"}, {"kernel": "2.6.28"}],
+            "grid": {"vm_count": [1, 3]},
+        })
+        scenarios = spec.expand()
+        assert len(scenarios) == 4
+        assert [(s.kernel, s.vm_count) for s in scenarios] == [
+            ("2.6.18", 1), ("2.6.18", 3), ("2.6.28", 1), ("2.6.28", 3)]
+        assert all(s.ports == 1 for s in scenarios)
+
+    def test_grid_overrides_base(self):
+        spec = SweepSpec.from_dict({
+            "base": {"mode": "sriov", "vm_count": 7},
+            "grid": {"vm_count": [1]},
+        })
+        assert spec.expand()[0].vm_count == 1
+
+    def test_base_only_is_a_single_scenario(self):
+        spec = SweepSpec.from_dict({"base": {"mode": "pv"}})
+        scenarios = spec.expand()
+        assert len(scenarios) == 1
+        assert scenarios[0] == Scenario(mode="pv")
+
+    def test_seed_is_a_sweepable_axis(self):
+        spec = SweepSpec.from_dict({
+            "base": {"mode": "sriov"},
+            "grid": {"seed": [1, 2, 3]},
+        })
+        assert [s.seed for s in spec.expand()] == [1, 2, 3]
+
+
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="grids"):
+            SweepSpec.from_dict({"base": {}, "grids": {}})
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="vm_count"):
+            SweepSpec.from_dict({"grid": {"vm_count": []}})
+
+    def test_scalar_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="vm_count"):
+            SweepSpec.from_dict({"grid": {"vm_count": 3}})
+
+    def test_unknown_scenario_field_fails_at_expand(self):
+        spec = SweepSpec.from_dict({"grid": {"vm_cuont": [1]}})
+        with pytest.raises(ValueError, match="vm_cuont"):
+            spec.expand()
