@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.costs import CostModel
+from repro.faults.plan import FaultPlan
 from repro.core.experiment import (
     DEFAULT_DURATION,
     DEFAULT_WARMUP,
@@ -103,6 +104,11 @@ class Scenario:
     seed: int = 42
     warmup: float = DEFAULT_WARMUP
     duration: float = DEFAULT_DURATION
+    #: Declarative fault-injection plan: a list of spec dicts (see
+    #: :mod:`repro.faults` and docs/faults.md).  None or empty means
+    #: no faults — and is *omitted* from :meth:`to_dict`, so fault-free
+    #: scenarios hash to exactly the cache keys they always had.
+    faults: Optional[Sequence[Mapping]] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -136,14 +142,30 @@ class Scenario:
         if self.opts is not None:
             # Fail at construction, not at run time in a pool worker.
             OptimizationConfig(**self.opts)
+        # Normalize the fault plan: validated, defaults filled, empty
+        # collapsed to None so "no faults" has one representation.
+        if self.faults:
+            plan = FaultPlan.from_specs(self.faults)
+            object.__setattr__(self, "faults", plan.to_list())
+        else:
+            object.__setattr__(self, "faults", None)
 
     def with_(self, **changes) -> "Scenario":
         """A copy with the given fields changed (sweep-axis helper)."""
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> Dict[str, object]:
-        """All fields, as the canonical JSON-able dict."""
-        return dataclasses.asdict(self)
+        """All fields, as the canonical JSON-able dict.
+
+        ``faults`` is omitted when empty: the field postdates the
+        result cache, and leaving it out keeps every fault-free
+        scenario's content key byte-identical to what it hashed before
+        fault injection existed.
+        """
+        data = dataclasses.asdict(self)
+        if not data.get("faults"):
+            del data["faults"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
@@ -169,7 +191,7 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
     runner = ExperimentRunner(costs=costs, warmup=scenario.warmup,
                               duration=scenario.duration,
                               telemetry=telemetry, profile=profile,
-                              seed=scenario.seed)
+                              seed=scenario.seed, faults=scenario.faults)
     kind = _KINDS[scenario.kind]
     opts = (OptimizationConfig(**scenario.opts)
             if scenario.opts is not None else None)

@@ -55,18 +55,25 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     group.add_argument("--profile", action="store_true",
                        help="print a host-side wall-clock profile of "
                             "simulator callbacks after the run")
+    faults = parent.add_argument_group("fault injection")
+    faults.add_argument("--fault", action="append", default=[],
+                        metavar="SPEC", dest="fault",
+                        help="inject a fault, e.g. "
+                             "'link_flap:at=2.0,duration=0.5,port=0' "
+                             "(repeatable; see 'repro faults' for the "
+                             "vocabulary)")
     return parent
 
 
 def _campaign_parent() -> argparse.ArgumentParser:
     """Shared campaign-engine flags (figures / sweep)."""
-    from repro.sweep.cache import DEFAULT_CACHE_DIR
+    from repro.sweep.cache import default_cache_dir
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("campaign engine")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="process-pool width (1 = run in-process; "
                             "results are byte-identical either way)")
-    group.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+    group.add_argument("--cache-dir", default=default_cache_dir(),
                        metavar="DIR",
                        help="content-addressed result cache directory "
                             "(default: %(default)s, or $REPRO_CACHE_DIR)")
@@ -145,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-dir", default=None, metavar="DIR",
                        help="enable telemetry in every executed job and "
                             "write one <key>.metrics.json per job")
+
+    faults = commands.add_parser(
+        "faults",
+        help="show the fault-injection vocabulary or validate a plan")
+    faults.add_argument("--check", metavar="PLAN.json", default=None,
+                        help="validate a JSON fault plan (a list of "
+                             "spec dicts; '-' reads stdin) and print "
+                             "its normalized form")
     return parser
 
 
@@ -183,6 +198,32 @@ def parse_policy(spec: str) -> CoalescingPolicy:
     return policy_from_spec(parse_policy_spec(spec))
 
 
+def parse_fault_spec(text: str) -> Dict[str, object]:
+    """``--fault`` shorthand -> a normalized fault spec dict.
+
+    Format: ``kind`` or ``kind:key=value,key=value``.  Values parse as
+    JSON when they can (numbers, null) and fall back to strings.
+    """
+    from repro.faults import FaultSpecError, validate_spec
+
+    kind, _, rest = text.partition(":")
+    spec: Dict[str, object] = {"kind": kind.strip()}
+    if rest.strip():
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise SystemExit(f"bad --fault field {pair!r} in "
+                                 f"{text!r}: expected key=value")
+            try:
+                spec[key.strip()] = json.loads(value)
+            except ValueError:
+                spec[key.strip()] = value.strip()
+    try:
+        return validate_spec(spec)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --fault {text!r}: {exc}")
+
+
 def print_result(result: RunResult) -> None:
     from repro.core.report import format_run_result
     print(format_run_result(result))
@@ -207,7 +248,9 @@ def _export_observability(args, telemetry, profiler, elapsed: float) -> None:
 
 def _scenario_for(args) -> Scenario:
     """The Scenario a single-experiment subcommand describes."""
-    common = dict(warmup=args.warmup, duration=args.duration)
+    faults = [parse_fault_spec(text) for text in args.fault] or None
+    common = dict(warmup=args.warmup, duration=args.duration,
+                  faults=faults)
     if args.command == "sriov":
         return Scenario(
             mode="native" if args.native else "sriov",
@@ -230,7 +273,7 @@ def _scenario_for(args) -> Scenario:
                         message_bytes=args.message_bytes, **common)
     if args.command == "migrate":
         return Scenario(mode="migrate", variant=args.mode,
-                        start_at=args.start_at)
+                        start_at=args.start_at, faults=faults)
     raise AssertionError(f"no scenario for {args.command!r}")
 
 
@@ -250,6 +293,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         return _run_figures(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "faults":
+        return _run_faults(args)
     result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
                  profile=args.profile)
     if args.command == "migrate":
@@ -292,6 +337,38 @@ def _run_figures(args) -> int:
     print(f"\nwrote {len(names)} artifacts to {args.out_dir}/",
           file=sys.stderr)
     print(stats.summary())
+    return 0
+
+
+def _run_faults(args) -> int:
+    from repro.faults import FAULT_FIELDS, FaultPlan, FaultSpecError
+    from repro.faults.plan import REQUIRED
+
+    if args.check is not None:
+        if args.check == "-":
+            document = json.load(sys.stdin)
+        else:
+            with open(args.check) as handle:
+                document = json.load(handle)
+        if not isinstance(document, list):
+            raise SystemExit("a fault plan is a JSON *list* of spec "
+                             f"dicts, not {type(document).__name__}")
+        try:
+            plan = FaultPlan.from_specs(document)
+        except FaultSpecError as exc:
+            raise SystemExit(f"invalid fault plan: {exc}")
+        print(json.dumps(plan.to_list(), indent=1, sort_keys=True))
+        print(f"ok: {len(plan)} fault(s)", file=sys.stderr)
+        return 0
+    print("fault kinds (see docs/faults.md):")
+    for kind, fields in FAULT_FIELDS.items():
+        parts = [f"{name}=<required>" if default is REQUIRED
+                 else f"{name}={default!r}"
+                 for name, (default, _) in fields.items()]
+        print(f"  {kind:18s} {', '.join(parts)}")
+    print("\nusage: --fault 'link_flap:at=2.0,duration=0.5,port=0' "
+          "(repeatable),\nor a JSON list in a Scenario's 'faults' field "
+          "(validate with --check).")
     return 0
 
 

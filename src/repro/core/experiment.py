@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
@@ -174,13 +174,17 @@ class ExperimentRunner:
                  duration: float = DEFAULT_DURATION,
                  telemetry: bool = False,
                  profile: bool = False,
-                 seed: int = 42):
+                 seed: int = 42,
+                 faults: Optional[Sequence[Mapping]] = None):
         self.costs = (costs or CostModel()).validate()
         self.warmup = warmup
         self.duration = duration
         self.telemetry = telemetry
         self.profile = profile
         self.seed = seed
+        #: Declarative fault plan (validated spec dicts, see
+        #: :mod:`repro.faults`); armed against every testbed built.
+        self.faults = list(faults) if faults else None
 
     def _config(self, **kwargs) -> TestbedConfig:
         """A TestbedConfig carrying the runner's costs and telemetry
@@ -189,6 +193,7 @@ class ExperimentRunner:
         kwargs.setdefault("telemetry", self.telemetry)
         kwargs.setdefault("profile", self.profile)
         kwargs.setdefault("seed", self.seed)
+        kwargs.setdefault("faults", self.faults)
         return TestbedConfig(**kwargs)
 
     def _policy_factory(
@@ -497,13 +502,27 @@ class ExperimentRunner:
                              f"not {variant!r}")
         bed = Testbed(self._config(ports=1))
         line = udp_goodput_bps(1e9)
+        # A migration_degrade fault divides the migration link's
+        # bandwidth (a congested or rate-limited migration network);
+        # factor 1.0 leaves the pre-copy model byte-identical.
+        from repro.faults import FaultPlan
+        plan = FaultPlan.from_specs(self.faults or ())
+        migration_link_bps = PrecopyConfig().link_bps / \
+            plan.migration_degrade_factor()
+        if bed.injector is not None:
+            # migration_degrade is applied here, not scheduled, so it
+            # counts as injected at the point of application.
+            bed.injector.injected += sum(
+                1 for spec in plan.to_list()
+                if spec["kind"] == "migration_degrade")
         dnis_guest = None
         if variant == "pv":
             pv = bed.add_pv_guest(kind)
             app = pv.app
             bed.attach_client_to_pv(pv, line).start()
             manager = MigrationManager(bed.platform, bed.hotplug,
-                                       PrecopyConfig())
+                                       PrecopyConfig(
+                                           link_bps=migration_link_bps))
         else:
             sriov = bed.add_sriov_guest(kind)
             app = sriov.app
@@ -518,7 +537,9 @@ class ExperimentRunner:
             # dirtying fewer pages; 0.15 calibrates the blackout to the
             # paper's 10.3 s start.
             manager = MigrationManager(bed.platform, bed.hotplug,
-                                       PrecopyConfig(dirty_ratio=0.15))
+                                       PrecopyConfig(
+                                           dirty_ratio=0.15,
+                                           link_bps=migration_link_bps))
         sampler = Sampler(bed.sim, period=sample_period)
         sampler.track("rx_bytes", lambda: app.rx_bytes)
         machine = bed.platform.machine
@@ -552,6 +573,22 @@ class ExperimentRunner:
         }
         if dnis_guest is not None:
             migration["active_path"] = dnis_guest.active_path
+        extras = {"migration": migration}
+        if self.faults:
+            # Fault runs key differently in the cache (the plan is in
+            # the scenario dict), so they may carry extra payload;
+            # fault-free results stay byte-identical to before.
+            fault_info: Dict[str, object] = {}
+            if bed.injector is not None:
+                fault_info.update(bed.injector.summary())
+            if plan.migration_degrade_factor() != 1.0:
+                fault_info["migration_link_factor"] = \
+                    plan.migration_degrade_factor()
+            extras["faults"] = fault_info
+            if dnis_guest is not None:
+                migration["failovers"] = [
+                    [record.time, record.from_slave, record.to_slave]
+                    for record in dnis_guest.bond.failovers]
         timeline = {
             "period": sample_period,
             "series": {
@@ -568,7 +605,7 @@ class ExperimentRunner:
             cpu=bed.platform.utilization_breakdown(),
             loss_rate=app.dropped_packets / offered if offered else 0.0,
             interrupt_hz=0.0,
-            extras={"migration": migration, "timeline": timeline},
+            extras={**extras, "timeline": timeline},
             telemetry=bed.telemetry,
             profiler=bed.profiler,
         )
@@ -621,6 +658,9 @@ class ExperimentRunner:
                         if total_latency_samples else 0.0)
         latency_p99 = max((app.latency.percentile(99) for app in apps
                            if app.latency.count), default=0.0)
+        extras: Dict[str, object] = {}
+        if self.faults and bed.injector is not None:
+            extras["faults"] = bed.injector.summary()
         return RunResult(
             vm_count=len(apps),
             duration=elapsed,
@@ -633,6 +673,7 @@ class ExperimentRunner:
             exit_counts=exit_counts,
             latency_mean=latency_mean,
             latency_p99=latency_p99,
+            extras=extras,
             telemetry=bed.telemetry,
             profiler=bed.profiler,
         )

@@ -15,7 +15,7 @@ each port j".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
@@ -60,6 +60,10 @@ class TestbedConfig:
     #: Install the host-side :class:`repro.obs.EngineProfiler`
     #: (wall-clock per simulator callback; never in the metrics JSON).
     profile: bool = False
+    #: Declarative fault plan (a list of :mod:`repro.faults` spec
+    #: dicts) armed against the testbed at build time.  None/empty
+    #: builds the exact testbed it always did.
+    faults: Optional[Sequence[Mapping]] = None
 
 
 @dataclass
@@ -118,6 +122,13 @@ class Testbed:
         self.sriov_guests: List[SriovGuest] = []
         self.pv_guests: List[PvGuest] = []
         self._client_macs = iter(range(0x02_0000_FF0000, 0x02_0000_FFFFFF))
+        self.injector = None
+        if self.config.faults:
+            from repro.faults import FaultInjector, FaultPlan
+            self.injector = FaultInjector(
+                FaultPlan.from_specs(self.config.faults),
+                self.streams.fork("faults"))
+            self.injector.install(self)
 
     # ------------------------------------------------------------------
     # construction

@@ -140,6 +140,7 @@ class _NetFunction:
         self.rx_bytes = 0
         self.rx_no_desc_drops = 0
         self.rx_dma_faults = 0
+        self.rx_corrupt_drops = 0
         self.tx_packets = 0
         self.tx_bytes = 0
         self.tx_spoof_drops = 0
@@ -168,6 +169,14 @@ class _NetFunction:
         accepted = 0
         iommu = self.port.iommu
         for packet in burst:
+            if self.port.rx_corrupt_budget > 0:
+                # Injected DMA/descriptor corruption: the write lands
+                # with a bad checksum; the frame is dropped and counted
+                # exactly as on an error-status descriptor.
+                self.port.rx_corrupt_budget -= 1
+                self.port.rx_corrupted += 1
+                self.rx_corrupt_drops += 1
+                continue
             if self.rx_ring.empty:
                 self.rx_no_desc_drops += 1
                 continue
@@ -312,6 +321,11 @@ class Igb82576Port:
         self.wire_rx_packets = 0
         self.wire_tx_packets = 0
         self.internal_loopback_packets = 0
+        #: Fault injection: the next N RX DMA writes on this port land
+        #: corrupted (bad checksum in the descriptor status); counted
+        #: per port and dropped by the receiving function.
+        self.rx_corrupt_budget = 0
+        self.rx_corrupted = 0
 
     # ------------------------------------------------------------------
     # VF lifecycle (driven by the PF driver through the SR-IOV cap)

@@ -18,10 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.trace import NULL_TRACER
 
 #: The 82576 mailbox memory is 16 dwords per VF.
 MAILBOX_DWORDS = 16
+
+#: Sender-side retry defaults: the real igb polls its mailbox on a
+#: millisecond scale; four exponentially backed-off re-rings cover a
+#: ~15 ms outage before the sender abandons the channel.
+RETRY_TIMEOUT = 1e-3
+RETRY_LIMIT = 4
+RETRY_BACKOFF = 2.0
 
 #: Control-register bits (modelled after the 82576 VMBX register).
 BIT_REQUEST = 1 << 0   # sender rang the doorbell
@@ -79,6 +87,11 @@ class Mailbox:
         #: Installed by the telemetry layer; spans one doorbell round
         #: trip from ``send`` to ``acknowledge``.
         self.trace = NULL_TRACER
+        #: Fault-injection hook: ``hook(sender, message) -> True`` eats
+        #: the doorbell interrupt (the message stays latched, the
+        #: receiver never runs).  None = lossless, the hardware default.
+        self.loss_hook: Optional[Callable[[str, MailboxMessage], bool]] = None
+        self.dropped_doorbells = 0
 
     # ------------------------------------------------------------------
     def connect(self, side: str, on_doorbell: Callable[[MailboxMessage], None]) -> None:
@@ -100,7 +113,43 @@ class Mailbox:
             raise MailboxError(f"{receiver} side has no doorbell handler connected")
         self.trace.begin("mbx", f"vf{self.vf_index}", sender=sender,
                          kind=message.kind)
+        if self.loss_hook is not None and self.loss_hook(sender, message):
+            # The doorbell interrupt is lost; the message stays latched
+            # (BUSY set, no ACK) until the sender re-rings or abandons.
+            self.dropped_doorbells += 1
+            self.trace.emit("mbx", f"vf{self.vf_index}.doorbell_lost",
+                            sender=sender, kind=message.kind)
+            return
         peer.on_doorbell(message)
+
+    def kick(self, sender: str) -> None:
+        """Re-ring the doorbell for a latched, unacknowledged message —
+        the sender-side retry path.  No-op when the channel is clear."""
+        receiver = self._peer(sender)
+        peer = self._end(receiver)
+        if peer.buffer is None or not self.pending(receiver):
+            return
+        if peer.on_doorbell is None:
+            raise MailboxError(f"{receiver} side has no doorbell handler connected")
+        message = peer.buffer
+        self.trace.emit("mbx", f"vf{self.vf_index}.kick", sender=sender,
+                        kind=message.kind)
+        if self.loss_hook is not None and self.loss_hook(sender, message):
+            self.dropped_doorbells += 1
+            return
+        peer.on_doorbell(message)
+
+    def abandon(self, sender: str) -> None:
+        """Sender gives up on an unacknowledged message, clearing the
+        channel so the next ``send`` is not a protocol violation (as
+        hardware does when the PF times a VF out)."""
+        receiver = self._peer(sender)
+        peer = self._end(receiver)
+        if not self.pending(receiver):
+            return
+        peer.control = 0
+        peer.buffer = None
+        self.trace.end("mbx", f"vf{self.vf_index}", receiver="abandoned")
 
     def read(self, side: str) -> MailboxMessage:
         """Receiver consumes the message (without acknowledging yet)."""
@@ -138,3 +187,76 @@ class Mailbox:
     def _peer(self, side: str) -> str:
         self._end(side)
         return self.VF if side == self.PF else self.PF
+
+
+class MailboxRetrier:
+    """Sender-side timeout / retry / backoff around the doorbell.
+
+    The happy path is untouched: delivery is synchronous, the receiver
+    acknowledges inside its handler, and :meth:`send` returns with the
+    channel clear — no timer is ever armed, so lossless runs schedule
+    zero extra events.  When the doorbell is lost the message stays
+    latched; the retrier re-rings it after an exponentially backed-off
+    timeout and abandons the channel after ``limit`` retries, so a
+    permanently dead peer degrades the service instead of wedging the
+    mailbox (the next send would otherwise raise :class:`MailboxError`).
+    """
+
+    def __init__(self, sim: Simulator, mailbox: Mailbox, side: str,
+                 timeout: float = RETRY_TIMEOUT, limit: int = RETRY_LIMIT,
+                 backoff: float = RETRY_BACKOFF):
+        if timeout <= 0:
+            raise ValueError("retry timeout must be positive")
+        if limit < 0:
+            raise ValueError("retry limit must be non-negative")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        self.sim = sim
+        self.mailbox = mailbox
+        self.side = side
+        self.timeout = timeout
+        self.limit = limit
+        self.backoff = backoff
+        self.retries = 0
+        self.abandoned = 0
+        self.overruns = 0
+        self._timer: Optional[EventHandle] = None
+
+    @property
+    def _receiver(self) -> str:
+        return self.mailbox._peer(self.side)
+
+    def send(self, message: MailboxMessage) -> None:
+        """Send with retry protection; overwrites a previous message
+        whose doorbell was lost (hardware semantics: the old message
+        is simply gone, counted as an overrun)."""
+        if self.mailbox.pending(self._receiver):
+            self.overruns += 1
+            self._cancel_timer()
+            self.mailbox.abandon(self.side)
+        self.mailbox.send(self.side, message)
+        self._arm(0)
+
+    def _arm(self, attempt: int) -> None:
+        if not self.mailbox.pending(self._receiver):
+            self._timer = None
+            return
+        delay = self.timeout * (self.backoff ** attempt)
+        self._timer = self.sim.schedule(delay, self._expire, attempt)
+
+    def _expire(self, attempt: int) -> None:
+        self._timer = None
+        if not self.mailbox.pending(self._receiver):
+            return
+        if attempt >= self.limit:
+            self.abandoned += 1
+            self.mailbox.abandon(self.side)
+            return
+        self.retries += 1
+        self.mailbox.kick(self.side)
+        self._arm(attempt + 1)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

@@ -17,6 +17,9 @@ from typing import Dict, List, Optional
 
 from repro.net.packet import Packet
 
+#: Default MII-monitor polling interval — Linux bonding's miimon=100 ms.
+DEFAULT_MIIMON_INTERVAL = 0.1
+
 
 class SlaveDevice(ABC):
     """What the bond needs from an enslaved interface."""
@@ -53,9 +56,17 @@ class BondingDriver:
         self.name = name
         self._slaves: Dict[str, SlaveDevice] = {}
         self._active: Optional[str] = None
+        #: Preferred slave (Linux bonding's ``primary=`` option): when
+        #: its carrier returns, the bond switches back to it even if a
+        #: standby is currently carrying the traffic.
+        self.primary: Optional[str] = None
         self.failovers: List[FailoverRecord] = []
         self.tx_packets = 0
         self.tx_dropped = 0
+        self.miimon_polls = 0
+        self._miimon_interval: Optional[float] = None
+        self._miimon_handle = None
+        self._last_carrier: Dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     # enslavement
@@ -65,6 +76,7 @@ class BondingDriver:
         if name in self._slaves:
             raise ValueError(f"slave {name!r} already enslaved")
         self._slaves[name] = device
+        self._last_carrier[name] = device.carrier
         if self._active is None and device.carrier:
             self._activate(name)
 
@@ -74,6 +86,7 @@ class BondingDriver:
         if slave_name not in self._slaves:
             raise ValueError(f"no slave {slave_name!r}")
         del self._slaves[slave_name]
+        self._last_carrier.pop(slave_name, None)
         if self._active == slave_name:
             self._active = None
             self.failovers.append(FailoverRecord(self.sim.now, slave_name, None))
@@ -99,12 +112,52 @@ class BondingDriver:
         if slave_name not in self._slaves:
             return
         device = self._slaves[slave_name]
+        self._last_carrier[slave_name] = device.carrier
         if self._active == slave_name and not device.carrier:
             self._active = None
             self.failovers.append(FailoverRecord(self.sim.now, slave_name, None))
             self._failover_to_any()
         elif self._active is None and device.carrier:
             self._activate(slave_name)
+        elif (slave_name == self.primary and device.carrier
+                and self._active != slave_name):
+            # The preferred slave's link is back: switch over to it.
+            self._activate(slave_name)
+
+    # ------------------------------------------------------------------
+    # the MII monitor (miimon)
+    # ------------------------------------------------------------------
+    def start_miimon(self,
+                     interval: float = DEFAULT_MIIMON_INTERVAL) -> None:
+        """Poll every slave's carrier each ``interval`` seconds — the
+        bonding driver's miimon.  Carrier transitions are therefore
+        detected with up to one interval of latency, during which the
+        data path degrades (see :meth:`transmit`) rather than crashing.
+        """
+        if interval <= 0:
+            raise ValueError("miimon interval must be positive")
+        self.stop_miimon()
+        self._miimon_interval = interval
+        self._miimon_handle = self.sim.schedule(interval, self._miimon_tick)
+
+    def stop_miimon(self) -> None:
+        if self._miimon_handle is not None:
+            self._miimon_handle.cancel()
+            self._miimon_handle = None
+        self._miimon_interval = None
+
+    @property
+    def miimon_interval(self) -> Optional[float]:
+        return self._miimon_interval
+
+    def _miimon_tick(self) -> None:
+        self.miimon_polls += 1
+        for name, device in list(self._slaves.items()):
+            if device.carrier != self._last_carrier.get(name):
+                self.carrier_changed(name)
+        if self._miimon_interval is not None:
+            self._miimon_handle = self.sim.schedule(self._miimon_interval,
+                                                    self._miimon_tick)
 
     def _failover_to_any(self) -> None:
         for name, device in self._slaves.items():
@@ -122,11 +175,21 @@ class BondingDriver:
     # ------------------------------------------------------------------
     def transmit(self, burst: List[Packet]) -> int:
         """Send through the active slave; drops when none is active —
-        the packet loss window during a DNIS interface switch."""
-        if self._active is None:
+        the packet loss window during a DNIS interface switch.
+
+        An active slave that lost carrier since the last MII poll is
+        failed over inline (recording the :class:`FailoverRecord`), so
+        a mid-burst link drop degrades to the standby path instead of
+        transmitting into a dead link.
+        """
+        active = self._active
+        if active is not None and not self._slaves[active].carrier:
+            self.carrier_changed(active)
+            active = self._active
+        if active is None:
             self.tx_dropped += len(burst)
             return 0
-        sent = self._slaves[self._active].transmit(burst)
+        sent = self._slaves[active].transmit(burst)
         self.tx_packets += sent
         self.tx_dropped += len(burst) - sent
         return sent

@@ -34,6 +34,10 @@ class Netfront:
         self.backend = None  # set by Netback.connect
         self.mac = None  # assigned by the bridge / VMDq service
         self.carrier_on = True
+        # Netdev-notifier analogue: called with the new state on every
+        # carrier *transition* (suspend/resume), so a bonding driver
+        # reacts immediately instead of a MII-monitor interval late.
+        self.carrier_watchers: List = []
         self.rx_packets = 0
         self.notifications = 0
         # The event channel netback signals us on.
@@ -69,7 +73,11 @@ class Netfront:
     # ------------------------------------------------------------------
     def set_carrier(self, on: bool) -> None:
         """Link state as the bonding driver sees it."""
+        changed = on != self.carrier_on
         self.carrier_on = on
+        if changed:
+            for watcher in list(self.carrier_watchers):
+                watcher(on)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Netfront {self.name} domain={self.domain.name}>"

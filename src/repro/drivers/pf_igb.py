@@ -21,7 +21,7 @@ from repro.devices.igb82576 import (
     VECTOR_RXTX,
     VirtualFunction,
 )
-from repro.devices.mailbox import Mailbox, MailboxMessage
+from repro.devices.mailbox import Mailbox, MailboxMessage, MailboxRetrier
 from repro.drivers.guest_app import NetserverApp
 from repro.drivers.napi import NapiContext
 from repro.hw.msi import MsiMessage
@@ -56,6 +56,8 @@ class PfDriver:
         #: Each VF's currently programmed multicast list.
         self._vf_multicast: Dict[int, List[MacAddress]] = {}
         self.vfs_shut_down: List[int] = []
+        #: Per-VF sender-side retry protection for PF -> VF broadcasts.
+        self._retriers: Dict[int, MailboxRetrier] = {}
 
     # ------------------------------------------------------------------
     # lifecycle and VF management
@@ -93,6 +95,8 @@ class PfDriver:
                 Mailbox.PF,
                 lambda message, vf=vf: self._service_vf_request(vf, message),
             )
+            self._retriers[vf.index] = MailboxRetrier(self.sim, vf.mailbox,
+                                                      Mailbox.PF)
         return vfs
 
     def set_vf_mac(self, index: int, mac: MacAddress) -> None:
@@ -175,7 +179,19 @@ class PfDriver:
                                  kind=kind)
         for vf in self.port.vfs:
             if vf.enabled:
-                vf.mailbox.send(Mailbox.PF, MailboxMessage(kind, body=body))
+                retrier = self._retriers.get(vf.index)
+                if retrier is not None:
+                    retrier.send(MailboxMessage(kind, body=body))
+                else:
+                    vf.mailbox.send(Mailbox.PF, MailboxMessage(kind, body=body))
+
+    @property
+    def mailbox_retries(self) -> int:
+        return sum(r.retries for r in self._retriers.values())
+
+    @property
+    def mailbox_abandoned(self) -> int:
+        return sum(r.abandoned for r in self._retriers.values())
 
     # ------------------------------------------------------------------
     # physical events (§4.2)

@@ -28,7 +28,7 @@ from repro.devices.igb82576 import (
     VECTOR_RXTX,
     VirtualFunction,
 )
-from repro.devices.mailbox import Mailbox, MailboxMessage
+from repro.devices.mailbox import Mailbox, MailboxMessage, MailboxRetrier
 from repro.drivers.coalescing import CoalescingPolicy, FixedItr
 from repro.drivers.guest_app import NetserverApp
 from repro.drivers.napi import NapiContext
@@ -79,6 +79,9 @@ class VfDriver:
         self.interrupts_handled = 0
         self.resets_handled = 0
         self.link_events: List[str] = []
+        #: Sender-side retry protection for VF -> PF requests (§4.2's
+        #: doorbell can be lost under fault injection).
+        self.pf_retrier = MailboxRetrier(self.sim, vf.mailbox, Mailbox.VF)
         self._sample_handle: Optional[EventHandle] = None
         # Registry instruments (no-ops when telemetry is off).
         scope = platform.metrics.scope(f"guest.{domain.name}")
@@ -236,11 +239,11 @@ class VfDriver:
         the real mailbox protocol's MC list message.
         """
         payload = tuple(a.value & 0xFFFFFFFF for a in addresses[:16])
-        self.vf.mailbox.send(Mailbox.VF, MailboxMessage(
+        self.pf_retrier.send(MailboxMessage(
             "set_multicast", payload=payload, body=list(addresses)))
 
     def request_vlan(self, vlan: int) -> None:
-        self.vf.mailbox.send(Mailbox.VF, MailboxMessage(
+        self.pf_retrier.send(MailboxMessage(
             "set_vlan", payload=(vlan,), body=vlan))
 
     # ------------------------------------------------------------------

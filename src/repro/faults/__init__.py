@@ -1,0 +1,27 @@
+"""Deterministic, seed-driven fault injection.
+
+The robustness counterpart of the paper's §4.4 failover story: a
+:class:`FaultPlan` of declarative specs (link flap, mailbox message
+loss, DMA/descriptor corruption, interrupt delay, migration-link
+degradation) that a :class:`FaultInjector` schedules onto a testbed's
+simulator.  See :mod:`repro.faults.plan` for the spec vocabulary and
+``docs/faults.md`` for the guarantees.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_FIELDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpecError,
+    validate_spec,
+)
+
+__all__ = [
+    "FAULT_FIELDS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "validate_spec",
+]

@@ -1,0 +1,207 @@
+"""The fault injector: schedules a validated plan onto a testbed.
+
+Determinism contract: every injection time comes straight from the
+plan, and every random draw (mailbox-loss coin flips) comes from a
+named stream forked off the testbed's seeded
+:class:`~repro.sim.rand.RandomStreams` — so a (scenario, seed) pair
+replays the exact same fault sequence on every run, in-process or in a
+sweep pool worker.
+
+Counters are plain attributes (always live, cheap to assert on in
+tests) mirrored as gauges under the ``faults.`` scope of the platform
+metrics registry, so ``--metrics-json`` shows what was injected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim.rand import RandomStreams
+
+
+class FaultInjector:
+    """Arms one :class:`FaultPlan` against one testbed."""
+
+    def __init__(self, plan: FaultPlan, streams: RandomStreams):
+        self.plan = plan
+        self.streams = streams
+        self.injected = 0
+        self.link_flaps = 0
+        self.mailbox_doorbells_dropped = 0
+        self.interrupts_delayed = 0
+        self._bed = None
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, bed) -> None:
+        """Schedule every spec on ``bed``'s simulator and register the
+        ``faults.`` gauges.  Port indices are validated here, against
+        the testbed actually built."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        self._bed = bed
+        sim = bed.sim
+        for index, spec in enumerate(self.plan.scheduled_specs()):
+            kind = spec["kind"]
+            if kind == "link_flap":
+                self._arm_link_flap(sim, bed, spec)
+            elif kind == "mailbox_loss":
+                self._arm_mailbox_loss(sim, bed, spec, index)
+            elif kind == "dma_corruption":
+                self._arm_dma_corruption(sim, bed, spec)
+            elif kind == "interrupt_delay":
+                self._arm_interrupt_delay(sim, bed, spec)
+            else:  # pragma: no cover - plan validation forbids this
+                raise AssertionError(f"unhandled fault kind {kind!r}")
+        self._register_gauges(bed)
+
+    def _port_driver(self, bed, spec):
+        port = int(spec["port"])
+        if port >= len(bed.pf_drivers):
+            raise ValueError(
+                f"{spec['kind']} targets port {port} but the testbed has "
+                f"{len(bed.pf_drivers)} port(s)")
+        return bed.pf_drivers[port]
+
+    # ------------------------------------------------------------------
+    # the five injections
+    # ------------------------------------------------------------------
+    def _arm_link_flap(self, sim, bed, spec) -> None:
+        pf = self._port_driver(bed, spec)
+        at = float(spec["at"])
+
+        def down() -> None:
+            self.injected += 1
+            self.link_flaps += 1
+            pf.platform.trace.emit("fault", "link_flap",
+                                   port=pf.port.index, up=False)
+            pf.notify_link_change(False)
+
+        def up() -> None:
+            pf.platform.trace.emit("fault", "link_flap",
+                                   port=pf.port.index, up=True)
+            pf.notify_link_change(True)
+
+        sim.schedule_at(at, down)
+        sim.schedule_at(at + float(spec["duration"]), up)
+
+    def _arm_mailbox_loss(self, sim, bed, spec, index: int) -> None:
+        pf = self._port_driver(bed, spec)
+        port = pf.port
+        vf_index = spec["vf"]
+        if vf_index is None:
+            mailboxes = [vf.mailbox for vf in port.vfs]
+        else:
+            if int(vf_index) >= len(port.vfs):
+                raise ValueError(
+                    f"mailbox_loss targets VF {vf_index} but port "
+                    f"{port.index} has {len(port.vfs)} VF(s)")
+            mailboxes = [port.vf(int(vf_index)).mailbox]
+        probability = float(spec["probability"])
+        rng = self.streams.get(f"mailbox_loss.{index}")
+
+        def lose(sender: str, message) -> bool:
+            if probability < 1.0 and rng.random() >= probability:
+                return False
+            self.mailbox_doorbells_dropped += 1
+            return True
+
+        def arm() -> None:
+            self.injected += 1
+            for mailbox in mailboxes:
+                mailbox.loss_hook = lose
+
+        def disarm() -> None:
+            for mailbox in mailboxes:
+                if mailbox.loss_hook is lose:
+                    mailbox.loss_hook = None
+
+        sim.schedule_at(float(spec["at"]), arm)
+        sim.schedule_at(float(spec["at"]) + float(spec["duration"]), disarm)
+
+    def _arm_dma_corruption(self, sim, bed, spec) -> None:
+        pf = self._port_driver(bed, spec)
+        port = pf.port
+        count = int(spec["count"])
+
+        def arm() -> None:
+            self.injected += 1
+            port.rx_corrupt_budget += count
+
+        sim.schedule_at(float(spec["at"]), arm)
+
+    def _arm_interrupt_delay(self, sim, bed, spec) -> None:
+        delay = float(spec["delay"])
+        saved: List[Tuple[object, Optional[Callable]]] = []
+
+        def wrap(original: Callable) -> Callable:
+            def delayed(function, message) -> None:
+                self.interrupts_delayed += 1
+                sim.schedule(delay, original, function, message)
+            return delayed
+
+        def arm() -> None:
+            self.injected += 1
+            for port in bed.ports:
+                saved.append((port, port.interrupt_sink))
+                port.interrupt_sink = wrap(port.interrupt_sink)
+
+        def disarm() -> None:
+            for port, original in saved:
+                port.interrupt_sink = original
+            saved.clear()
+
+        sim.schedule_at(float(spec["at"]), arm)
+        sim.schedule_at(float(spec["at"]) + float(spec["duration"]), disarm)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def dma_corrupted(self) -> int:
+        if self._bed is None:
+            return 0
+        return sum(port.rx_corrupted for port in self._bed.ports)
+
+    def mailbox_retries(self) -> int:
+        if self._bed is None:
+            return 0
+        total = sum(pf.mailbox_retries for pf in self._bed.pf_drivers)
+        total += sum(guest.driver.pf_retrier.retries
+                     for guest in self._bed.sriov_guests)
+        return total
+
+    def mailbox_abandoned(self) -> int:
+        if self._bed is None:
+            return 0
+        total = sum(pf.mailbox_abandoned for pf in self._bed.pf_drivers)
+        total += sum(guest.driver.pf_retrier.abandoned
+                     for guest in self._bed.sriov_guests)
+        return total
+
+    def _register_gauges(self, bed) -> None:
+        scope = bed.platform.metrics.scope("faults")
+        scope.gauge("injected", lambda: self.injected)
+        scope.gauge("link_flaps", lambda: self.link_flaps)
+        scope.gauge("mailbox_doorbells_dropped",
+                    lambda: self.mailbox_doorbells_dropped)
+        scope.gauge("mailbox_retries", self.mailbox_retries)
+        scope.gauge("mailbox_abandoned", self.mailbox_abandoned)
+        scope.gauge("dma_corrupted", self.dma_corrupted)
+        scope.gauge("interrupts_delayed", lambda: self.interrupts_delayed)
+
+    def summary(self) -> Dict[str, int]:
+        """The fault counters as a plain dict (lands in
+        ``RunResult.extras['faults']`` for faulty runs)."""
+        return {
+            "injected": self.injected,
+            "link_flaps": self.link_flaps,
+            "mailbox_doorbells_dropped": self.mailbox_doorbells_dropped,
+            "mailbox_retries": self.mailbox_retries(),
+            "mailbox_abandoned": self.mailbox_abandoned(),
+            "dma_corrupted": self.dma_corrupted(),
+            "interrupts_delayed": self.interrupts_delayed,
+        }

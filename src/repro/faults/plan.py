@@ -1,0 +1,205 @@
+"""Declarative fault specifications.
+
+A fault plan is a list of plain JSON dicts — the same "no live objects"
+rule the :class:`~repro.api.Scenario` follows — so plans ride inside
+scenarios, pickle into the sweep engine's process pool, and fold into
+the result cache's content key (a faulty run can never collide with a
+clean one).
+
+Each spec names a ``kind`` plus that kind's parameters:
+
+``link_flap``
+    The physical line of one port drops at ``at`` and returns at
+    ``at + duration``.  Propagates exactly as §4.2 describes: the PF
+    driver broadcasts ``link_change`` over every VF mailbox, the VF
+    drivers update their carrier, and the bond's MII monitor reacts.
+
+``mailbox_loss``
+    During ``[at, at + duration)`` each doorbell ring on the selected
+    mailboxes (one VF, or every VF of a port) is lost with
+    ``probability``.  The message stays latched — the sender-side
+    retrier re-rings the doorbell after a timeout.
+
+``dma_corruption``
+    The next ``count`` RX DMA writes on a port land with a bad
+    checksum; the function drops each frame and counts it, as a real
+    driver does on an error-status descriptor.
+
+``interrupt_delay``
+    During ``[at, at + duration)`` every MSI from the testbed's ports
+    is delivered ``delay`` seconds late.
+
+``migration_degrade``
+    The migration link's bandwidth is divided by ``factor`` (a
+    congested or rate-limited migration network).  Not scheduled — it
+    parameterizes the pre-copy model directly.
+
+Validation normalizes every spec: defaults are filled in, so two plans
+with the same meaning serialize to the same canonical JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+
+class FaultSpecError(ValueError):
+    """A fault spec failed validation."""
+
+
+#: kind -> {field: (default, validator)}.  ``REQUIRED`` marks fields
+#: with no default.
+REQUIRED = object()
+
+
+def _non_negative(value: object, field: str) -> float:
+    number = float(value)
+    if number < 0:
+        raise FaultSpecError(f"{field} must be >= 0, not {value!r}")
+    return number
+
+
+def _positive(value: object, field: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise FaultSpecError(f"{field} must be > 0, not {value!r}")
+    return number
+
+
+def _port(value: object, field: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise FaultSpecError(f"{field} must be a port index >= 0, "
+                             f"not {value!r}")
+    return number
+
+
+def _vf(value: object, field: str) -> Optional[int]:
+    if value is None:
+        return None
+    number = int(value)
+    if number < 0:
+        raise FaultSpecError(f"{field} must be a VF index >= 0 or null "
+                             f"(= every VF), not {value!r}")
+    return number
+
+
+def _probability(value: object, field: str) -> float:
+    number = float(value)
+    if not 0.0 < number <= 1.0:
+        raise FaultSpecError(f"{field} must be in (0, 1], not {value!r}")
+    return number
+
+
+def _count(value: object, field: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise FaultSpecError(f"{field} must be a positive count, "
+                             f"not {value!r}")
+    return number
+
+
+def _factor(value: object, field: str) -> float:
+    number = float(value)
+    if number < 1.0:
+        raise FaultSpecError(f"{field} must be >= 1.0 (a slowdown), "
+                             f"not {value!r}")
+    return number
+
+
+FAULT_FIELDS: Dict[str, Dict[str, tuple]] = {
+    "link_flap": {
+        "at": (REQUIRED, _non_negative),
+        "duration": (0.5, _positive),
+        "port": (0, _port),
+    },
+    "mailbox_loss": {
+        "at": (REQUIRED, _non_negative),
+        "duration": (0.5, _positive),
+        "port": (0, _port),
+        "vf": (None, _vf),
+        "probability": (1.0, _probability),
+    },
+    "dma_corruption": {
+        "at": (REQUIRED, _non_negative),
+        "count": (1, _count),
+        "port": (0, _port),
+    },
+    "interrupt_delay": {
+        "at": (REQUIRED, _non_negative),
+        "duration": (0.5, _positive),
+        "delay": (100e-6, _positive),
+    },
+    "migration_degrade": {
+        "factor": (2.0, _factor),
+    },
+}
+
+FAULT_KINDS = tuple(FAULT_FIELDS)
+
+
+def validate_spec(spec: Mapping[str, object]) -> Dict[str, object]:
+    """One normalized fault spec: kind checked, defaults filled,
+    values coerced; unknown keys are an error (a typo'd parameter
+    must not silently no-op)."""
+    if not isinstance(spec, Mapping):
+        raise FaultSpecError(f"fault spec must be a mapping, "
+                             f"not {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind not in FAULT_FIELDS:
+        raise FaultSpecError(f"unknown fault kind {kind!r}: use one of "
+                             f"{', '.join(FAULT_KINDS)}")
+    fields = FAULT_FIELDS[kind]
+    unknown = set(spec) - set(fields) - {"kind"}
+    if unknown:
+        raise FaultSpecError(f"unknown {kind} fields: {sorted(unknown)} "
+                             f"(known: {sorted(fields)})")
+    normalized: Dict[str, object] = {"kind": kind}
+    for field, (default, coerce) in fields.items():
+        if field in spec:
+            normalized[field] = coerce(spec[field], f"{kind}.{field}")
+        elif default is REQUIRED:
+            raise FaultSpecError(f"{kind} requires {field!r}")
+        else:
+            normalized[field] = default
+    return normalized
+
+
+class FaultPlan:
+    """An ordered, validated list of fault specs."""
+
+    def __init__(self, specs: Iterable[Mapping[str, object]] = ()):
+        self.specs: List[Dict[str, object]] = [validate_spec(s)
+                                               for s in specs]
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[Mapping[str, object]]) -> "FaultPlan":
+        return cls(specs)
+
+    def to_list(self) -> List[Dict[str, object]]:
+        """The canonical JSON-able form (normalized spec dicts)."""
+        return [dict(spec) for spec in self.specs]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def migration_degrade_factor(self) -> float:
+        """The combined migration-link slowdown (1.0 = no degradation)."""
+        factor = 1.0
+        for spec in self.specs:
+            if spec["kind"] == "migration_degrade":
+                factor *= float(spec["factor"])
+        return factor
+
+    def scheduled_specs(self) -> List[Dict[str, object]]:
+        """The specs the injector schedules on the simulator (everything
+        except ``migration_degrade``, which reshapes the pre-copy model
+        instead of firing at a time)."""
+        return [spec for spec in self.specs
+                if spec["kind"] != "migration_degrade"]

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.drivers.bonding import BondingDriver, SlaveDevice
+from repro.drivers.bonding import (
+    BondingDriver,
+    DEFAULT_MIIMON_INTERVAL,
+    SlaveDevice,
+)
 from repro.drivers.netfront import Netfront
 from repro.drivers.vf_igbvf import VfDriver
 from repro.net.packet import Packet
@@ -82,7 +86,8 @@ class DnisGuest:
 
     def __init__(self, platform, domain: Domain, vf_driver: VfDriver,
                  netfront: Netfront, hotplug: HotplugController,
-                 switch_outage: float = DEFAULT_SWITCH_OUTAGE):
+                 switch_outage: float = DEFAULT_SWITCH_OUTAGE,
+                 miimon: float = DEFAULT_MIIMON_INTERVAL):
         self.platform = platform
         self.sim = platform.sim
         self.domain = domain
@@ -96,6 +101,17 @@ class DnisGuest:
         self.bond.enslave(self.vf_slave)
         self.bond.enslave(self.pv_slave)
         self.bond.set_active(self.vf_slave.slave_name)
+        # The VF is the preferred slave (§4.4: active for performance);
+        # the MII monitor polls both carriers, so a link flap the §4.2
+        # link_change event announces is detected within one interval
+        # and the bond degrades to the PV path instead of crashing.
+        self.bond.primary = self.vf_slave.slave_name
+        self.bond.start_miimon(miimon)
+        # Suspend/resume toggles the PV carrier; tell the bond at the
+        # transition itself (the MII monitor would notice one interval
+        # later, stretching the blackout by up to `miimon` seconds).
+        netfront.carrier_watchers.append(
+            lambda on: self.bond.carrier_changed(self.pv_slave.slave_name))
         hotplug.register_guest(domain, self._acpi_event)
         self._switching_until: float = -1.0
         self.dropped_at_switch = 0
@@ -111,7 +127,12 @@ class DnisGuest:
             return
         active = self.bond.active_slave
         if active == self.vf_slave.slave_name and self.vf_driver.running:
-            self.vf_driver.vf.port.wire_receive(burst)
+            if self.vf_driver.carrier:
+                self.vf_driver.vf.port.wire_receive(burst)
+            else:
+                # The VF's physical link is down but the MII monitor
+                # has not noticed yet: the wire simply loses the burst.
+                self.dropped_in_blackout += len(burst)
         elif active == self.pv_slave.slave_name and self.netfront.carrier_on:
             backend = self.netfront.backend
             if backend is not None:
@@ -145,7 +166,12 @@ class DnisGuest:
             else:
                 self.vf_driver.start()
             self.bond.carrier_changed(self.vf_slave.slave_name)
-            self.bond.set_active(self.vf_slave.slave_name)
+            if self.vf_slave.carrier:
+                self.bond.set_active(self.vf_slave.slave_name)
+            # else: the VF arrived with its link down (e.g. a flap
+            # overlapping the hot-add); the bond stays on the PV path
+            # and the MII monitor switches back to the primary once
+            # carrier returns.
 
     def _adopt_new_vf(self, vf) -> None:
         """Bind a fresh VF-driver instance to the target platform's VF,

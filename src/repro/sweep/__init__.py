@@ -20,6 +20,7 @@ from repro.sweep.cache import (
     ResultCache,
     canonical_json,
     costs_to_dict,
+    default_cache_dir,
     job_key,
 )
 from repro.sweep.figures import (
@@ -44,6 +45,7 @@ __all__ = [
     "build_jobs",
     "canonical_json",
     "costs_to_dict",
+    "default_cache_dir",
     "execute_payload",
     "figure_artifact",
     "generate_figures",

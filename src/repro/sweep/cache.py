@@ -36,9 +36,20 @@ from repro.core.experiment import RESULT_SCHEMA
 #: result).  Unknown envelopes are treated as misses, never errors.
 ENTRY_SCHEMA = "repro-cache-entry/1"
 
-#: Default cache location, overridable per invocation (``--cache-dir``)
-#: or via the environment.
-DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+def default_cache_dir() -> str:
+    """The cache root, resolving ``$REPRO_CACHE_DIR`` at *call* time.
+
+    Construction-time resolution matters: sweep pool workers and
+    monkeypatched tests set the variable after ``repro`` is imported,
+    and an import-time snapshot would silently ignore them.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+#: Import-time snapshot of :func:`default_cache_dir`, kept for
+#: backwards compatibility.  Prefer the function: this constant does
+#: not see ``REPRO_CACHE_DIR`` changes made after import.
+DEFAULT_CACHE_DIR = default_cache_dir()
 
 
 def canonical_json(obj: object) -> str:
@@ -67,9 +78,24 @@ def job_key(scenario_dict: Mapping[str, object],
 class ResultCache:
     """On-disk store of run results, addressed by :func:`job_key`."""
 
-    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR):
-        self.root = Path(root)
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root if root is not None else default_cache_dir())
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``<key>.tmp.<pid>`` debris left by killed writers.
+
+        A write that died between creating its tmp file and the atomic
+        rename leaves the tmp behind forever (no process will retry the
+        same pid's name).  Any tmp file found at construction is, by
+        construction, orphaned: live writers rename within one ``put``.
+        """
+        for stale in self.root.glob("*/*.tmp.*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # concurrent sweep, or permissions: harmless
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -107,9 +133,16 @@ class ResultCache:
             "result": dict(result_dict),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w") as handle:
-            json.dump(entry, handle, sort_keys=True, indent=1)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     def __len__(self) -> int:

@@ -225,6 +225,17 @@ def _fig21_scenarios(quick: bool) -> LabeledScenarios:
                                   start_at=0.5 if quick else 4.5))]
 
 
+def _fig21f_scenarios(quick: bool) -> LabeledScenarios:
+    # The DNIS timeline again, but the VF's physical line flaps while
+    # the guest is still on the VF: the bond must fail over to the PV
+    # standby, ride out the outage, and fall back when carrier returns.
+    flap = {"kind": "link_flap", "at": 0.15 if quick else 2.0,
+            "duration": 0.2 if quick else 1.0, "port": 0}
+    return [("timeline", Scenario(mode="migrate", variant="dnis",
+                                  start_at=0.5 if quick else 4.5,
+                                  faults=[flap]))]
+
+
 # ----------------------------------------------------------------------
 # row builders (results -> the table the paper's plot reads)
 # ----------------------------------------------------------------------
@@ -365,6 +376,9 @@ FIGURES: Dict[str, Figure] = {
                _fig20_scenarios, _migration_rows),
         Figure("fig21", "DNIS migration timeline (0.5 s buckets)",
                _fig21_scenarios, _migration_rows),
+        Figure("fig21f", "DNIS migration timeline under an injected "
+                         "VF link flap",
+               _fig21f_scenarios, _migration_rows),
     ]
 }
 

@@ -49,6 +49,33 @@ class TestScenarioValidation:
             Scenario(opts={"warp_drive": True})
 
 
+class TestScenarioFaults:
+    def test_faults_normalized_at_construction(self):
+        scenario = Scenario(faults=[{"kind": "link_flap", "at": 1}])
+        assert scenario.faults == [{"kind": "link_flap", "at": 1.0,
+                                    "duration": 0.5, "port": 0}]
+
+    def test_invalid_fault_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Scenario(faults=[{"kind": "gremlin"}])
+
+    def test_empty_faults_collapse_to_none(self):
+        assert Scenario(faults=[]) == Scenario(faults=None) == Scenario()
+
+    def test_to_dict_omits_empty_faults(self):
+        assert "faults" not in Scenario().to_dict()
+        data = Scenario(faults=[{"kind": "link_flap", "at": 1.0}]).to_dict()
+        assert data["faults"][0]["kind"] == "link_flap"
+
+    def test_faulty_scenario_round_trips(self):
+        scenario = Scenario(mode="migrate", variant="dnis",
+                            faults=[{"kind": "link_flap", "at": 2.0},
+                                    {"kind": "migration_degrade",
+                                     "factor": 3.0}])
+        assert (Scenario.from_dict(json.loads(json.dumps(
+            scenario.to_dict()))) == scenario)
+
+
 class TestScenarioRoundTrip:
     def test_to_dict_from_dict_identity(self):
         scenario = Scenario(mode="intervm", variant="pv", kind="pvm",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, parse_policy, run_cli
+from repro.cli import build_parser, parse_fault_spec, parse_policy, run_cli
 from repro.drivers import AdaptiveCoalescing, DynamicItr, FixedItr
 
 
@@ -50,6 +50,59 @@ class TestPolicyParsing:
             parse_policy("often")
 
 
+class TestFaultSpecParsing:
+    def test_full_spec(self):
+        assert parse_fault_spec("link_flap:at=2.0,duration=0.5,port=1") \
+            == {"kind": "link_flap", "at": 2.0, "duration": 0.5,
+                "port": 1}
+
+    def test_defaults_filled(self):
+        spec = parse_fault_spec("dma_corruption:at=0.5")
+        assert spec["count"] == 1 and spec["port"] == 0
+
+    def test_bare_kind_when_nothing_required(self):
+        assert parse_fault_spec("migration_degrade")["factor"] == 2.0
+
+    def test_null_value_parses_as_none(self):
+        assert parse_fault_spec("mailbox_loss:at=1.0,vf=null")["vf"] is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit, match="unknown fault kind"):
+            parse_fault_spec("gremlin:at=1.0")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            parse_fault_spec("link_flap:at")
+
+    def test_fault_flag_reaches_the_scenario(self):
+        from repro.cli import _scenario_for
+        args = build_parser().parse_args(
+            ["sriov", "--fault", "link_flap:at=2.0"])
+        scenario = _scenario_for(args)
+        assert scenario.faults == [{"kind": "link_flap", "at": 2.0,
+                                    "duration": 0.5, "port": 0}]
+
+    def test_faults_subcommand_prints_vocabulary(self, capsys):
+        assert run_cli(["faults"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("link_flap", "mailbox_loss", "dma_corruption",
+                     "interrupt_delay", "migration_degrade"):
+            assert kind in out
+
+    def test_faults_check_validates_a_plan(self, tmp_path, capsys):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps([{"kind": "link_flap", "at": 1.0}]))
+        assert run_cli(["faults", "--check", str(plan)]) == 0
+        assert '"duration": 0.5' in capsys.readouterr().out
+        plan.write_text(json.dumps([{"kind": "link_flap"}]))
+        with pytest.raises(SystemExit, match="requires 'at'"):
+            run_cli(["faults", "--check", str(plan)])
+        plan.write_text(json.dumps({"kind": "link_flap", "at": 1.0}))
+        with pytest.raises(SystemExit, match="list"):
+            run_cli(["faults", "--check", str(plan)])
+
+
 class TestSmokeRuns:
     """Tiny end-to-end CLI invocations (small scale for speed)."""
 
@@ -84,6 +137,17 @@ class TestSmokeRuns:
         out = capsys.readouterr().out
         assert "migration events" in out
         assert "downtime" in out
+
+    def test_migration_run_with_fault_and_metrics(self, tmp_path, capsys):
+        import json
+        metrics = tmp_path / "metrics.json"
+        code = run_cli(["migrate", "--mode", "dnis", "--start-at", "0.5",
+                        "--fault", "link_flap:at=0.2,duration=0.3,port=0",
+                        "--metrics-json", str(metrics)])
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["metrics"]["faults.link_flaps"]["value"] == 1
+        assert doc["metrics"]["faults.injected"]["value"] == 1
 
 
 def test_migration_pv_mode(capsys):

@@ -1,0 +1,146 @@
+"""Unit tests for doorbell loss, kick/abandon, and the MailboxRetrier."""
+
+import pytest
+
+from repro.devices import Mailbox, MailboxMessage
+from repro.devices.mailbox import MailboxRetrier
+from repro.sim import Simulator
+
+
+def make_channel():
+    """A VF->PF channel whose PF handler reads and acks synchronously,
+    like the real PF driver's doorbell ISR."""
+    mailbox = Mailbox(vf_index=0)
+    received = []
+
+    def pf_doorbell(message):
+        received.append(mailbox.read(Mailbox.PF))
+        mailbox.acknowledge(Mailbox.PF)
+
+    mailbox.connect(Mailbox.PF, pf_doorbell)
+    mailbox.connect(Mailbox.VF, lambda message: None)
+    return mailbox, received
+
+
+def drop_first(n):
+    """A loss hook that eats the first ``n`` doorbells."""
+    remaining = [n]
+
+    def hook(sender, message):
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            return True
+        return False
+
+    return hook
+
+
+class TestLossHook:
+    def test_lost_doorbell_leaves_message_latched(self):
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(1)
+        mailbox.send(Mailbox.VF, MailboxMessage("ping"))
+        assert received == []
+        assert mailbox.pending(Mailbox.PF)
+        assert mailbox.dropped_doorbells == 1
+
+    def test_kick_rerings_the_latched_message(self):
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(1)
+        mailbox.send(Mailbox.VF, MailboxMessage("ping"))
+        mailbox.kick(Mailbox.VF)
+        assert [m.kind for m in received] == ["ping"]
+        assert not mailbox.pending(Mailbox.PF)
+
+    def test_kick_is_a_noop_on_a_clear_channel(self):
+        mailbox, received = make_channel()
+        mailbox.kick(Mailbox.VF)
+        assert received == []
+
+    def test_abandon_clears_a_wedged_channel(self):
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(1)
+        mailbox.send(Mailbox.VF, MailboxMessage("lost"))
+        mailbox.abandon(Mailbox.VF)
+        assert not mailbox.pending(Mailbox.PF)
+        # The next send is no longer a protocol violation.
+        mailbox.send(Mailbox.VF, MailboxMessage("next"))
+        assert [m.kind for m in received] == ["next"]
+
+    def test_abandon_is_a_noop_on_a_clear_channel(self):
+        mailbox, _ = make_channel()
+        mailbox.abandon(Mailbox.VF)
+
+
+class TestMailboxRetrier:
+    def test_happy_path_schedules_no_events(self):
+        sim = Simulator()
+        mailbox, received = make_channel()
+        retrier = MailboxRetrier(sim, mailbox, Mailbox.VF)
+        retrier.send(MailboxMessage("hello"))
+        assert [m.kind for m in received] == ["hello"]
+        assert sim.pending_events == 0
+        assert retrier.retries == 0
+
+    def test_transient_loss_is_retried_until_delivered(self):
+        sim = Simulator()
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(2)
+        retrier = MailboxRetrier(sim, mailbox, Mailbox.VF)
+        retrier.send(MailboxMessage("hello"))
+        assert received == []
+        sim.run()
+        assert [m.kind for m in received] == ["hello"]
+        assert retrier.retries == 2
+        assert retrier.abandoned == 0
+        assert mailbox.dropped_doorbells == 2
+        assert not mailbox.pending(Mailbox.PF)
+
+    def test_backoff_spaces_the_retries_exponentially(self):
+        sim = Simulator()
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(3)
+        retrier = MailboxRetrier(sim, mailbox, Mailbox.VF,
+                                 timeout=1e-3, backoff=2.0)
+        retrier.send(MailboxMessage("hello"))
+        sim.run()
+        # Attempts at 1 ms, 3 ms, 7 ms; delivery on the 7 ms re-ring.
+        assert sim.now == pytest.approx(7e-3)
+        assert [m.kind for m in received] == ["hello"]
+
+    def test_permanent_loss_abandons_after_the_limit(self):
+        sim = Simulator()
+        mailbox, received = make_channel()
+        mailbox.loss_hook = lambda sender, message: True
+        retrier = MailboxRetrier(sim, mailbox, Mailbox.VF, limit=4)
+        retrier.send(MailboxMessage("doomed"))
+        sim.run()
+        assert received == []
+        assert retrier.retries == 4
+        assert retrier.abandoned == 1
+        # The channel is clear: recovery can send again.
+        mailbox.loss_hook = None
+        retrier.send(MailboxMessage("recovered"))
+        assert [m.kind for m in received] == ["recovered"]
+
+    def test_overrun_overwrites_the_lost_message(self):
+        sim = Simulator()
+        mailbox, received = make_channel()
+        mailbox.loss_hook = drop_first(2)
+        retrier = MailboxRetrier(sim, mailbox, Mailbox.VF)
+        retrier.send(MailboxMessage("stale"))
+        retrier.send(MailboxMessage("fresh"))
+        assert retrier.overruns == 1
+        sim.run()
+        # Only the newest message survives, as on hardware.
+        assert [m.kind for m in received] == ["fresh"]
+
+    def test_constructor_validation(self):
+        sim = Simulator()
+        mailbox, _ = make_channel()
+        with pytest.raises(ValueError):
+            MailboxRetrier(sim, mailbox, Mailbox.VF, timeout=0)
+        with pytest.raises(ValueError):
+            MailboxRetrier(sim, mailbox, Mailbox.VF, limit=-1)
+        with pytest.raises(ValueError):
+            MailboxRetrier(sim, mailbox, Mailbox.VF, backoff=0.5)

@@ -132,3 +132,82 @@ def test_failover_records():
     records = bond.failovers
     assert records[-1].to_slave == "eth0"
     assert records[-1].time == 2.0
+
+
+# ----------------------------------------------------------------------
+# transmit-time degradation (the ISSUE-3 crash regression)
+# ----------------------------------------------------------------------
+def test_transmit_fails_over_inline_when_active_lost_carrier():
+    # The active slave's carrier drops *between* MII polls; the next
+    # transmit must degrade to the standby, not raise.
+    bond = BondingDriver(Simulator())
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    vf.set_carrier(False)  # no carrier_changed notification
+    assert bond.transmit(burst(3)) == 3
+    assert len(pv.sent) == 3
+    assert vf.sent == []
+    assert bond.active_slave == "eth0"
+    assert bond.failovers[-1].to_slave == "eth0"
+
+
+def test_transmit_counts_drops_when_no_standby_has_carrier():
+    bond = BondingDriver(Simulator())
+    vf = FakeSlave("vf0")
+    bond.enslave(vf)
+    vf.set_carrier(False)
+    assert bond.transmit(burst(5)) == 0
+    assert bond.tx_dropped == 5
+    assert bond.active_slave is None
+
+
+# ----------------------------------------------------------------------
+# the MII monitor
+# ----------------------------------------------------------------------
+def test_miimon_detects_carrier_loss_within_one_interval():
+    sim = Simulator()
+    bond = BondingDriver(sim)
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    bond.start_miimon(0.1)
+    vf.set_carrier(False)
+    sim.run(until=0.1)
+    assert bond.active_slave == "eth0"
+    assert bond.miimon_polls == 1
+
+
+def test_miimon_switches_back_to_primary_on_carrier_return():
+    sim = Simulator()
+    bond = BondingDriver(sim)
+    vf, pv = FakeSlave("vf0"), FakeSlave("eth0")
+    bond.enslave(vf)
+    bond.enslave(pv)
+    bond.primary = "vf0"
+    vf.set_carrier(False)
+    bond.carrier_changed("vf0")
+    assert bond.active_slave == "eth0"
+    bond.start_miimon(0.1)
+    vf.set_carrier(True)
+    sim.run(until=0.1)
+    assert bond.active_slave == "vf0"
+
+
+def test_stop_miimon_stops_polling():
+    sim = Simulator()
+    bond = BondingDriver(sim)
+    bond.enslave(FakeSlave("vf0"))
+    bond.start_miimon(0.1)
+    sim.run(until=0.25)
+    assert bond.miimon_polls == 2
+    bond.stop_miimon()
+    sim.run(until=1.0)
+    assert bond.miimon_polls == 2
+    assert bond.miimon_interval is None
+
+
+def test_miimon_interval_must_be_positive():
+    bond = BondingDriver(Simulator())
+    with pytest.raises(ValueError):
+        bond.start_miimon(0.0)

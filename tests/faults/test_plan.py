@@ -1,0 +1,119 @@
+"""Unit tests for fault-plan validation and normalization."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_FIELDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpecError,
+    validate_spec,
+)
+
+
+class TestValidateSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            validate_spec({"kind": "gremlin", "at": 1.0})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            validate_spec({"at": 1.0})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(FaultSpecError, match="mapping"):
+            validate_spec(["link_flap"])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultSpecError, match="durration"):
+            validate_spec({"kind": "link_flap", "at": 1.0,
+                           "durration": 0.5})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FaultSpecError, match="requires 'at'"):
+            validate_spec({"kind": "link_flap"})
+
+    def test_defaults_filled_in(self):
+        spec = validate_spec({"kind": "link_flap", "at": 2.0})
+        assert spec == {"kind": "link_flap", "at": 2.0, "duration": 0.5,
+                        "port": 0}
+
+    def test_values_coerced_to_canonical_types(self):
+        # JSON from a sweep spec or the CLI may carry ints or strings;
+        # two plans with the same meaning must normalize identically.
+        a = validate_spec({"kind": "link_flap", "at": 2, "port": "1"})
+        b = validate_spec({"kind": "link_flap", "at": 2.0, "port": 1})
+        assert a == b
+        assert isinstance(a["at"], float) and isinstance(a["port"], int)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultSpecError, match=">= 0"):
+            validate_spec({"kind": "link_flap", "at": -1.0})
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(FaultSpecError, match="> 0"):
+            validate_spec({"kind": "link_flap", "at": 1.0, "duration": 0})
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultSpecError, match="probability"):
+            validate_spec({"kind": "mailbox_loss", "at": 1.0,
+                           "probability": 0.0})
+        with pytest.raises(FaultSpecError, match="probability"):
+            validate_spec({"kind": "mailbox_loss", "at": 1.0,
+                           "probability": 1.5})
+
+    def test_vf_selector_none_means_every_vf(self):
+        spec = validate_spec({"kind": "mailbox_loss", "at": 1.0})
+        assert spec["vf"] is None
+        with pytest.raises(FaultSpecError, match="VF index"):
+            validate_spec({"kind": "mailbox_loss", "at": 1.0, "vf": -2})
+
+    def test_corruption_count_must_be_positive(self):
+        with pytest.raises(FaultSpecError, match="count"):
+            validate_spec({"kind": "dma_corruption", "at": 1.0,
+                           "count": 0})
+
+    def test_degrade_factor_must_be_a_slowdown(self):
+        with pytest.raises(FaultSpecError, match="factor"):
+            validate_spec({"kind": "migration_degrade", "factor": 0.5})
+
+    def test_every_kind_has_a_field_table(self):
+        assert set(FAULT_KINDS) == set(FAULT_FIELDS)
+
+
+class TestFaultPlan:
+    def test_plan_normalizes_each_spec(self):
+        plan = FaultPlan.from_specs([{"kind": "link_flap", "at": 1}])
+        assert plan.to_list() == [{"kind": "link_flap", "at": 1.0,
+                                   "duration": 0.5, "port": 0}]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+        assert FaultPlan.from_specs([{"kind": "migration_degrade"}])
+
+    def test_invalid_spec_fails_plan_construction(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_specs([{"kind": "link_flap"}])
+
+    def test_degrade_factors_multiply(self):
+        plan = FaultPlan.from_specs([
+            {"kind": "migration_degrade", "factor": 2.0},
+            {"kind": "migration_degrade", "factor": 3.0},
+            {"kind": "link_flap", "at": 1.0},
+        ])
+        assert plan.migration_degrade_factor() == 6.0
+        assert FaultPlan().migration_degrade_factor() == 1.0
+
+    def test_scheduled_specs_exclude_migration_degrade(self):
+        plan = FaultPlan.from_specs([
+            {"kind": "migration_degrade"},
+            {"kind": "dma_corruption", "at": 0.5},
+        ])
+        kinds = [spec["kind"] for spec in plan.scheduled_specs()]
+        assert kinds == ["dma_corruption"]
+
+    def test_to_list_returns_copies(self):
+        plan = FaultPlan.from_specs([{"kind": "link_flap", "at": 1.0}])
+        plan.to_list()[0]["at"] = 99.0
+        assert plan.to_list()[0]["at"] == 1.0

@@ -128,6 +128,52 @@ def test_zero_delay_self_scheduling_respects_fifo():
     assert order == ["first", "second", "third"]
 
 
+def test_event_exactly_at_horizon_fires():
+    # `until` is inclusive: an event scheduled exactly at the horizon
+    # executes, and the clock lands exactly on the horizon.
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+    assert sim.now == 2.0
+    assert sim.pending_events == 0
+
+
+def test_clock_lands_exactly_on_horizon_after_earlier_events():
+    sim = Simulator()
+    sim.schedule(0.3, lambda: None)
+    sim.run(until=1.0)
+    assert sim.now == 1.0
+
+
+def test_heap_of_cancelled_handles_drains_without_firing():
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(1.0, fired.append, n) for n in range(50)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.pending_events == 0
+    assert sim.peek() is None  # peek discards the cancelled prefix
+    sim.run()
+    assert fired == []
+    assert sim.events_executed == 0
+    assert sim.now == 0.0
+
+
+def test_peek_skips_cancelled_prefix_but_keeps_live_tail():
+    sim = Simulator()
+    fired = []
+    cancelled = [sim.schedule(1.0, fired.append, n) for n in range(10)]
+    sim.schedule(2.0, fired.append, "live")
+    for handle in cancelled:
+        handle.cancel()
+    assert sim.pending_events == 1
+    assert sim.peek() == 2.0
+    sim.run()
+    assert fired == ["live"]
+
+
 def test_start_time_offset():
     sim = Simulator(start_time=100.0)
     fired = []

@@ -40,6 +40,25 @@ class TestJobKey:
         # costs=None means "the default CostModel" and hashes as such.
         assert _key(scenario, CostModel()) == _key(scenario, None)
 
+    def test_faults_change_the_key(self):
+        base = Scenario(mode="sriov")
+        faulty = base.with_(faults=[{"kind": "link_flap", "at": 1.0}])
+        assert _key(base) != _key(faulty)
+
+    def test_fault_free_key_matches_the_pre_faults_layout(self):
+        # The `faults` field postdates the cache; a fault-free scenario
+        # must hash exactly what it hashed before the field existed, so
+        # no warm cache is invalidated.
+        import dataclasses
+        scenario = Scenario(mode="sriov", vm_count=3)
+        legacy = dataclasses.asdict(scenario)
+        del legacy["faults"]  # the pre-faults field set
+        assert "faults" not in scenario.to_dict()
+        assert (_key(scenario)
+                == job_key(legacy, costs_to_dict(None)))
+        assert _key(scenario) == _key(scenario.with_(faults=[]))
+        assert _key(scenario) == _key(scenario.with_(faults=None))
+
 
 class TestResultCache:
     def _result_dict(self):
@@ -87,6 +106,43 @@ class TestResultCache:
         entry["schema"] = "someone-elses-cache/9"
         cache.path_for(key).write_text(json.dumps(entry))
         assert cache.get(key) is None
+
+    def test_crash_debris_is_swept_and_reads_as_clean_miss(self, tmp_path):
+        # A writer killed between creating its tmp file and the atomic
+        # rename leaves `<key>.tmp.<pid>` behind.  A fresh ResultCache
+        # sweeps the debris and the entry is an ordinary miss.
+        key = _key(Scenario(mode="sriov"))
+        shard = tmp_path / key[:2]
+        shard.mkdir(parents=True)
+        debris = shard / f"{key}.tmp.12345"
+        debris.write_text('{"schema": "repro-cache-entry/1", "half-writ')
+        cache = ResultCache(tmp_path)
+        assert not debris.exists()
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_sweep_leaves_real_entries_alone(self, tmp_path):
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        first = ResultCache(tmp_path)
+        first.put(key, scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        (tmp_path / key[:2] / f"{key}.tmp.999").write_text("junk")
+        second = ResultCache(tmp_path)
+        assert second.get(key) == self._result_dict()
+        assert len(second) == 1
+
+    def test_env_var_resolved_at_construction(self, tmp_path, monkeypatch):
+        # $REPRO_CACHE_DIR set after import must still be honoured:
+        # the root resolves when the cache is built, not at import.
+        root = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        cache = ResultCache()
+        assert cache.root == root
+        assert root.is_dir()
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        from repro.sweep import default_cache_dir
+        assert default_cache_dir() == ".repro-cache"
 
 
 class TestCanonicalJson:
