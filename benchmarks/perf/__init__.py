@@ -1,0 +1,15 @@
+"""Engine/hot-path performance microbenchmarks.
+
+Unlike the figure benchmarks one directory up — which validate the
+*numbers* the simulation produces — this suite measures how fast the
+simulator produces them.  It wraps the same measurement functions the
+``repro bench`` CLI uses (:mod:`repro.bench`), so pytest-benchmark
+timings and the committed ``BENCH_*.json`` trajectory track the same
+code paths.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/ -q
+
+or, for the tracked JSON trajectory, ``python -m repro bench``.
+"""

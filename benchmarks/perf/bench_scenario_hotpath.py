@@ -1,0 +1,25 @@
+"""End-to-end scenario wall-clock: the fig06/fig15/fig16 bench shapes.
+
+One round each — these are full simulations, and the honest measure of
+the hot path is one uncached run.  The throughput assertion pins the
+semantic anchor: a perf change must not move the simulated result.
+"""
+
+import pytest
+
+from repro.bench import bench_scenarios, run_scenario_bench
+
+SCENARIOS = bench_scenarios(quick=True)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_wallclock(benchmark, name):
+    scenario = SCENARIOS[name]
+    result = benchmark.pedantic(run_scenario_bench, args=(scenario,),
+                                rounds=1, iterations=1)
+    print(f"\n{name}: {result['wall_seconds']:.2f}s wall, "
+          f"{result['events']:,} events "
+          f"({result['events_per_sec']:,.0f}/sec), "
+          f"{result['throughput_gbps']:.2f} Gbps simulated")
+    assert result["events"] > 0
+    assert result["throughput_gbps"] > 0

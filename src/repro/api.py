@@ -192,6 +192,16 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
                               duration=scenario.duration,
                               telemetry=telemetry, profile=profile,
                               seed=scenario.seed, faults=scenario.faults)
+    return _dispatch(runner, scenario)
+
+
+def _dispatch(runner: ExperimentRunner, scenario: Scenario) -> RunResult:
+    """Route a scenario to the runner method its mode selects.
+
+    Split from :func:`run` so callers that need the runner afterwards
+    (the perf-benchmark harness reads ``runner.last_bed``) can supply
+    their own.
+    """
     kind = _KINDS[scenario.kind]
     opts = (OptimizationConfig(**scenario.opts)
             if scenario.opts is not None else None)

@@ -160,6 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="validate a JSON fault plan (a list of "
                              "spec dicts; '-' reads stdin) and print "
                              "its normalized form")
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the tracked perf benchmarks; emit BENCH_<n>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller event counts and scenarios "
+                            "(CI perf-smoke scale)")
+    bench.add_argument("--label", default="",
+                       help="free-form label recorded in the document")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="output path (default: the next free "
+                            "BENCH_<n>.json in the current directory)")
+    bench.add_argument("--check", default=None, metavar="BASELINE.json",
+                       help="compare events/sec against a committed "
+                            "baseline; exit 1 on regression beyond "
+                            "--tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       metavar="FRAC",
+                       help="allowed events/sec regression vs the "
+                            "baseline (default: %(default)s)")
     return parser
 
 
@@ -295,6 +315,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "bench":
+        return _run_bench(args)
     result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
                  profile=args.profile)
     if args.command == "migrate":
@@ -337,6 +359,31 @@ def _run_figures(args) -> int:
     print(f"\nwrote {len(names)} artifacts to {args.out_dir}/",
           file=sys.stderr)
     print(stats.summary())
+    return 0
+
+
+def _run_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.bench import (compare, load_bench, next_bench_path,
+                             run_bench, write_bench)
+
+    doc = run_bench(quick=args.quick, label=args.label, progress=_say)
+    out = Path(args.out) if args.out else next_bench_path(Path.cwd())
+    write_bench(doc, out)
+    print(f"wrote {out}", file=sys.stderr)
+    if args.check is None:
+        return 0
+    baseline = load_bench(Path(args.check))
+    regressions, lines = compare(baseline, doc, tolerance=args.tolerance)
+    print(f"baseline: {args.check} ({baseline.get('label') or 'unlabeled'})")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print(f"no events/sec regression beyond {args.tolerance:.0%}")
     return 0
 
 

@@ -185,6 +185,10 @@ class ExperimentRunner:
         #: Declarative fault plan (validated spec dicts, see
         #: :mod:`repro.faults`); armed against every testbed built.
         self.faults = list(faults) if faults else None
+        #: The most recent testbed measured by :meth:`_measure`; the
+        #: perf-benchmark harness reads ``last_bed.sim.events_executed``
+        #: to turn a scenario's wall-clock into events/sec.
+        self.last_bed: Optional[Testbed] = None
 
     def _config(self, **kwargs) -> TestbedConfig:
         """A TestbedConfig carrying the runner's costs and telemetry
@@ -312,6 +316,7 @@ class ExperimentRunner:
                 share, Protocol.UDP,
                 burst_interval=bed._burst_interval_for(share),
                 name=f"{guest.domain.name}.tx",
+                pool=bed.packet_pool,
             ).start()
         sim = bed.sim
         sim.run(until=sim.now + self.warmup)
@@ -418,6 +423,7 @@ class ExperimentRunner:
             bed.sim, transmit, src_mac, receiver.vf.mac,
             offered_bps, Protocol.UDP, mtu=mtu,
             burst_interval=100e-6, name="intervm",
+            pool=bed.packet_pool,
         )
         stream.start()
         receiver.stream = stream
@@ -467,6 +473,7 @@ class ExperimentRunner:
             MacAddress(0x02_0000_00D000), MacAddress(0x02_0000_00D001),
             offered_bps, Protocol.UDP, mtu=mtu, burst_interval=100e-6,
             name="intervm-pv",
+            pool=bed.packet_pool,
         )
         stream.start()
         return self._measure(bed, [receiver.app], [])
@@ -532,7 +539,8 @@ class ExperimentRunner:
                                    netfront, bed.hotplug)
             NetperfStream(bed.sim, dnis_guest.wire_sink,
                           MacAddress.parse("02:00:00:00:99:99"),
-                          sriov.vf.mac, line, name="client").start()
+                          sriov.vf.mac, line, name="client",
+                          pool=bed.packet_pool).start()
             # During pre-copy the service rides the slower PV path,
             # dirtying fewer pages; 0.15 calibrates the blackout to the
             # paper's 10.3 s start.
@@ -614,6 +622,7 @@ class ExperimentRunner:
     # the measurement loop
     # ------------------------------------------------------------------
     def _measure(self, bed: Testbed, apps, drivers) -> RunResult:
+        self.last_bed = bed
         sim = bed.sim
         sim.run(until=sim.now + self.warmup)
         bed.platform.start_measurement()

@@ -29,7 +29,8 @@ from repro.drivers.pf_igb import PfDriver
 from repro.drivers.vf_igbvf import VfDriver
 from repro.drivers.vmdq import VmdqService
 from repro.net.netperf import NetperfStream
-from repro.net.packet import DEFAULT_MTU, Protocol, udp_goodput_bps
+from repro.net.packet import (DEFAULT_MTU, PacketPool, Protocol,
+                              udp_goodput_bps)
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
 from repro.vmm.domain import Domain, DomainKind, GuestKernel
@@ -96,6 +97,9 @@ class Testbed:
         self.config = config or TestbedConfig()
         self.sim = Simulator()
         self.streams = RandomStreams(self.config.seed)
+        #: Run-scoped packet allocator: per-run deterministic seqs, and
+        #: the SR-IOV RX path recycles consumed packets through it.
+        self.packet_pool = PacketPool()
         if self.config.native:
             self.platform = NativeHost(self.sim, self.config.costs)
         else:
@@ -188,7 +192,8 @@ class Testbed:
             self.platform.iommu.attach(vf.pci.rid, domain.io_page_table)
         app = NetserverApp(self.config.costs, name=f"{name}.netserver")
         driver = VfDriver(self.platform, domain, vf,
-                          policy or FixedItr(2000), app)
+                          policy or FixedItr(2000), app,
+                          pool=self.packet_pool)
         driver.start()
         guest = SriovGuest(domain, vf, assignment, driver, app, port)
         self.sriov_guests.append(guest)
@@ -283,6 +288,7 @@ class Testbed:
             guest.vf.mac, throughput_bps, protocol, mtu,
             burst_interval=self._burst_interval_for(throughput_bps),
             name=f"client->{guest.domain.name}",
+            pool=self.packet_pool,
         )
         guest.stream = stream
         return stream
@@ -299,6 +305,7 @@ class Testbed:
             self._next_client_mac(), dst, throughput_bps, protocol, mtu,
             burst_interval=self._burst_interval_for(throughput_bps),
             name=f"client->{guest.domain.name}",
+            pool=self.packet_pool,
         )
         guest.stream = stream
         return stream
@@ -312,6 +319,7 @@ class Testbed:
             guest.netfront.mac, throughput_bps, protocol, mtu,
             burst_interval=self._burst_interval_for(throughput_bps),
             name=f"client->{guest.domain.name}",
+            pool=self.packet_pool,
         )
         guest.stream = stream
         return stream

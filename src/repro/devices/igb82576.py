@@ -166,6 +166,67 @@ class _NetFunction:
         if not self.enabled:
             self.rx_no_desc_drops += len(burst)
             return 0
+        if not burst:
+            return 0
+        if self.port.rx_corrupt_budget > 0:
+            return self._device_receive_faulty(burst)
+        # Burst fast path: the IOMMU context is resolved once, ring state
+        # and translation tables are locals, and statistics land as one
+        # batched update per burst.  Counter totals and per-packet
+        # accept/drop decisions are identical to the per-packet path.
+        ring = self.rx_ring
+        slots = ring.slots
+        mask = ring._mask
+        head = ring.head
+        tail = ring.tail
+        iommu = self.port.iommu
+        lookup = None
+        no_context = False
+        if iommu is not None:
+            table = iommu._contexts.get(self._rid())
+            if table is None:
+                no_context = True
+            else:
+                lookup = table._entries.get
+        accepted = 0
+        rx_bytes = 0
+        no_desc = 0
+        faults = 0
+        for packet in burst:
+            if head == tail:
+                no_desc += 1
+                continue
+            slot = slots[head]
+            if no_context:
+                faults += 1
+                continue
+            if lookup is not None:
+                entry = lookup(slot.buffer_addr >> 12)
+                if entry is None or not entry[1]:
+                    faults += 1
+                    continue
+            slot.done = True
+            slot.packet = packet
+            head = (head + 1) & mask
+            accepted += 1
+            rx_bytes += packet.size_bytes
+        ring.head = head
+        ring.completed += accepted
+        self.rx_packets += accepted
+        self.rx_bytes += rx_bytes
+        if no_desc:
+            self.rx_no_desc_drops += no_desc
+        if faults:
+            self.rx_dma_faults += faults
+            iommu.faults += faults
+        if iommu is not None:
+            iommu.translations += accepted
+        if accepted:
+            self.throttle.request()
+        return accepted
+
+    def _device_receive_faulty(self, burst: List[Packet]) -> int:
+        """The exact per-packet path, kept for injected RX corruption."""
         accepted = 0
         iommu = self.port.iommu
         for packet in burst:
@@ -379,19 +440,44 @@ class Igb82576Port:
             self._classify_generation = self.switch.generation
         cache = self._classify_cache
         by_function: dict = {}
+        # Targets are resolved once per run of equal (dst, vlan) keys.
+        # A netperf burst is one flow — and reuses one MacAddress object
+        # per stream — so run detection is an identity check and the
+        # per-packet work collapses to one bound append (the dominant
+        # single-destination case) into already-resolved lists.
+        run_dst = None
+        run_vlan = None
+        run_lists: list = []
+        run_append = None
         for packet in burst:
-            key = (packet.dst, packet.vlan)
-            targets = cache.get(key)
-            if targets is None:
-                targets = self.switch.classify(packet)
-                cache[key] = targets
-            for target in targets:
-                if target.is_uplink:
-                    continue  # came from the wire; nothing local wants it
-                function = self._function_for(target)
-                if function is not None:
-                    by_function.setdefault(id(function),
-                                           (function, []))[1].append(packet)
+            dst = packet.dst
+            vlan = packet.vlan
+            if dst is not run_dst or vlan != run_vlan:
+                run_dst = dst
+                run_vlan = vlan
+                key = (dst, vlan)
+                targets = cache.get(key)
+                if targets is None:
+                    targets = self.switch.classify(packet)
+                    cache[key] = targets
+                run_lists = []
+                for target in targets:
+                    if target.is_uplink:
+                        continue  # came from the wire; nothing local wants it
+                    function = self._function_for(target)
+                    if function is not None:
+                        entry = by_function.get(id(function))
+                        if entry is None:
+                            entry = (function, [])
+                            by_function[id(function)] = entry
+                        run_lists.append(entry[1])
+                run_append = (run_lists[0].append
+                              if len(run_lists) == 1 else None)
+            if run_append is not None:
+                run_append(packet)
+            else:
+                for packets in run_lists:
+                    packets.append(packet)
         for function, packets in by_function.values():
             # One DMA crossing host-ward per packet, booked as a batch.
             self.datapath.transfer(sum(p.size_bytes for p in packets))

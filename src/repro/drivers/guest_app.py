@@ -10,10 +10,17 @@ excess — the RX collapse of Fig. 10's fixed-frequency curves.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Tuple
 
 from repro.core.costs import CostModel
-from repro.net.packet import Packet
+from repro.net.packet import (
+    IP_HEADER_BYTES,
+    Packet,
+    Protocol,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+)
 from repro.sim.stats import Histogram
 
 #: Latency histogram bin: 10 microseconds.
@@ -57,12 +64,39 @@ class NetserverApp:
         self.rx_packets += accepted
         # Application goodput counts transport payload, matching how
         # netperf reports throughput (957 Mbps = payload over a 1 Gbps
-        # line, not wire bytes).
+        # line, not wire bytes).  This loop runs once per delivered
+        # packet — the simulation's highest call count — so both the
+        # ``Packet.payload_bytes`` property and ``Histogram.add`` are
+        # inlined.  The histogram accumulators are updated in the exact
+        # per-packet float order the method calls produced, so means
+        # and percentiles stay bit-identical.
         payload = 0
+        udp = Protocol.UDP
+        udp_overhead = IP_HEADER_BYTES + UDP_HEADER_BYTES
+        tcp_overhead = IP_HEADER_BYTES + TCP_HEADER_BYTES
         latency = self.latency
+        bins = latency._bins
+        bin_get = bins.get
+        bin_width = latency.bin_width
+        lat_count = latency._count
+        lat_sum = latency._sum
+        lat_sum_sq = latency._sum_sq
+        floor = math.floor
         for packet in burst[:accepted]:
-            payload += packet.payload_bytes
-            latency.add(now - packet.created_at)
+            size = packet.size_bytes
+            bytes_ = size - (udp_overhead if packet.protocol is udp
+                             else tcp_overhead)
+            if bytes_ > 0:
+                payload += bytes_
+            value = now - packet.created_at
+            index = int(floor(value / bin_width))
+            bins[index] = bin_get(index, 0) + 1
+            lat_count += 1
+            lat_sum += value
+            lat_sum_sq += value * value
+        latency._count = lat_count
+        latency._sum = lat_sum
+        latency._sum_sq = lat_sum_sq
         self.rx_bytes += payload
         self.dropped_packets += dropped
         return accepted, dropped

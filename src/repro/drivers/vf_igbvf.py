@@ -33,7 +33,7 @@ from repro.drivers.coalescing import CoalescingPolicy, FixedItr
 from repro.drivers.guest_app import NetserverApp
 from repro.drivers.napi import NapiContext
 from repro.hw.msi import MsiMessage
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketPool
 from repro.sim.engine import EventHandle
 from repro.sim.stats import RateMeter
 from repro.vmm.domain import Domain
@@ -56,6 +56,7 @@ class VfDriver:
         policy: Optional[CoalescingPolicy] = None,
         app: Optional[NetserverApp] = None,
         name: str = "",
+        pool: Optional[PacketPool] = None,
     ):
         """``platform`` is a Xen or NativeHost; ``domain`` the driver's
         context (a guest under Xen, a host context natively)."""
@@ -67,6 +68,10 @@ class VfDriver:
         self.policy = policy or FixedItr(2000)
         self.app = app or NetserverApp(platform.costs)
         self.name = name or f"igbvf.{vf.name}"
+        #: The testbed's packet allocator; fully-consumed RX packets are
+        #: returned here at the end of the ISR (the driver "freeing its
+        #: skbs").  None = packets are left to the garbage collector.
+        self.pool = pool
         self.napi = NapiContext()
         self.rx_meter = RateMeter(f"{self.name}.pps")
         self.rx_vector: Optional[int] = None
@@ -108,6 +113,9 @@ class VfDriver:
         self.vf.msix.unmask(VECTOR_RXTX)
         self.vf.msix.unmask(VECTOR_MAILBOX)
         self.vf.mailbox.connect(Mailbox.VF, self._mailbox_message)
+        # Program every slot's buffer once; steady-state refills
+        # (rearm_until_full) then only move ownership.
+        self.vf.rx_ring.program_buffers(RX_POOL_BASE, 4096, RX_BUFFER_BYTES)
         self._refill_rx_ring()
         self._program_itr(self.policy.initial_interval())
         self.vf.enabled = True
@@ -149,7 +157,7 @@ class VfDriver:
     # ------------------------------------------------------------------
     def _isr(self, vector: int) -> None:
         self.interrupts_handled += 1
-        self._m_interrupts.add()
+        self._m_interrupts.value += 1
         trace = self.platform.trace
         trace.begin("irq", "vf_isr", domain=self.domain.id,
                     driver=self.name)
@@ -160,18 +168,27 @@ class VfDriver:
             # 2.6.18 masks the vector at the top of the handler (§5.1).
             self.platform.device_model(self.domain).emulate_msix_mask_write(True)
         self.domain.charge_guest(self.costs.guest_cycles_per_interrupt)
-        descriptors = self.napi.poll_all(self.vf.rx_ring)
+        ring = self.vf.rx_ring
+        descriptors = self.napi.poll_all(ring)
         packets = [d.packet for d in descriptors if d.packet is not None]
-        self._refill_rx_ring()
+        # Steady-state refill: buffers were programmed at probe time and
+        # the slot-to-buffer mapping is fixed, so only ownership moves.
+        ring.rearm_until_full()
         if packets:
-            self.rx_meter.add(len(packets))
-            self._m_rx_pkts.add(len(packets))
-            self._m_batch.add(len(packets))
+            count = len(packets)
+            self.rx_meter.add(count)
+            self._m_rx_pkts.value += count
+            self._m_batch.add(count)
             accepted, _dropped = self.app.deliver(packets, self.sim.now)
             cycles = self.costs.guest_cycles_per_packet
             if self.domain.is_pvm:
                 cycles += self.costs.pvm_syscall_surcharge_per_packet
             self.domain.charge_guest(cycles * accepted)
+            if self.pool is not None:
+                # The refill above re-posted the reaped slots (clearing
+                # their packet references), so consumed packets can go
+                # back to the allocator.
+                self.pool.release(packets)
         if hvm_under_xen:
             self.platform.vlapic(self.domain).eoi_write()
         if masks_msi:
@@ -268,10 +285,7 @@ class VfDriver:
 
     # ------------------------------------------------------------------
     def _refill_rx_ring(self) -> None:
-        ring = self.vf.rx_ring
-        while not ring.full:
-            slot = ring.tail
-            ring.post(RX_POOL_BASE + slot * 4096, RX_BUFFER_BYTES)
+        self.vf.rx_ring.post_until_full(RX_POOL_BASE, 4096, RX_BUFFER_BYTES)
 
     def _map_rx_pool(self) -> None:
         """DMA-map the receive buffer pool in the guest's I/O space, as

@@ -46,9 +46,11 @@ class DescriptorRing:
             raise ValueError("ring size must be a power of two >= 2")
         self.size = size
         self.name = name
+        self._mask = size - 1  # size is a power of two
         self.slots = [Descriptor() for _ in range(size)]
         self.head = 0  # device-owned consumption point
         self.tail = 0  # software production point
+        self._clean = 0  # driver cleanup cursor, trails head
         self.posted = 0
         self.completed = 0
 
@@ -98,18 +100,82 @@ class DescriptorRing:
         descriptor the device has not written back yet.
         """
         reaped: List[Descriptor] = []
+        append = reaped.append
         budget = self.size if limit is None else limit
-        index = self._clean_index()
+        slots = self.slots
+        mask = self._mask
+        index = self._clean
         while budget > 0:
-            slot = self.slots[index]
+            slot = slots[index]
             if not slot.done:
                 break
-            reaped.append(slot)
+            append(slot)
             slot.done = False
-            self._advance_clean()
-            index = self._clean_index()
+            index = (index + 1) & mask
             budget -= 1
+        self._clean = index
         return reaped
+
+    def program_buffers(self, base_addr: int, stride: int,
+                        buffer_len: int) -> None:
+        """Write the fixed slot-to-buffer mapping into every slot.
+
+        Slot ``i`` gets buffer ``base_addr + i * stride``.  Drivers call
+        this once at probe time; afterwards :meth:`rearm_until_full`
+        can re-post slots without touching their programming.  Covers
+        all ``size`` slots — including the one :meth:`post_until_full`
+        leaves reserved on a full fill, which otherwise would reach the
+        device unprogrammed once the ring rotates.
+        """
+        for index, slot in enumerate(self.slots):
+            slot.buffer_addr = base_addr + index * stride
+            slot.buffer_len = buffer_len
+
+    def post_until_full(self, base_addr: int, stride: int,
+                        buffer_len: int) -> int:
+        """Post empty buffers at tail until the ring is full (RX refill).
+
+        Slot ``i`` gets buffer ``base_addr + i * stride`` — the fixed
+        slot-to-buffer mapping RX drivers use — so a refill is pure
+        cursor arithmetic instead of one :meth:`post` call per slot.
+        Returns the number of descriptors posted.
+        """
+        size = self.size
+        mask = self._mask
+        slots = self.slots
+        tail = self.tail
+        count = size - 1 - ((tail - self.head) % size)
+        for _ in range(count):
+            slot = slots[tail]
+            slot.buffer_addr = base_addr + tail * stride
+            slot.buffer_len = buffer_len
+            slot.done = False
+            slot.packet = None
+            tail = (tail + 1) & mask
+        self.tail = tail
+        self.posted += count
+        return count
+
+    def rearm_until_full(self) -> int:
+        """Return reaped slots to the device, keeping their programming.
+
+        The RX steady state: buffer address and length were written at
+        probe time by :meth:`program_buffers` and never change (fixed
+        slot-to-buffer mapping), and :meth:`reap` already cleared
+        ``done`` — so re-posting only moves ownership and drops the
+        consumed packet references.  Returns the number posted.
+        """
+        size = self.size
+        mask = self._mask
+        slots = self.slots
+        tail = self.tail
+        count = size - 1 - ((tail - self.head) % size)
+        for _ in range(count):
+            slots[tail].packet = None
+            tail = (tail + 1) & mask
+        self.tail = tail
+        self.posted += count
+        return count
 
     # ------------------------------------------------------------------
     # device side
@@ -130,10 +196,10 @@ class DescriptorRing:
     # The driver's cleanup cursor trails the device's head.
     # ------------------------------------------------------------------
     def _clean_index(self) -> int:
-        return getattr(self, "_clean", 0) % self.size
+        return self._clean
 
     def _advance_clean(self) -> None:
-        self._clean = (self._clean_index() + 1) % self.size
+        self._clean = (self._clean + 1) % self.size
 
     def reset(self) -> None:
         """Device reset: everything returns to software, state cleared."""

@@ -35,12 +35,21 @@ class LapicError(RuntimeError):
 
 
 class Lapic:
-    """IRR/ISR state machine for one (possibly virtual) CPU."""
+    """IRR/ISR state machine for one (possibly virtual) CPU.
+
+    The IRR and ISR are 256-bit registers on hardware and arbitrary-
+    precision ints here: "highest-priority set vector" is then one
+    ``int.bit_length()`` instead of a 224-entry reverse scan, and this
+    sits on the per-interrupt critical path (every injection re-checks
+    the interrupt window).  Vectors below :data:`FIRST_USABLE_VECTOR`
+    can never be set — :meth:`fire` rejects them — so the top set bit
+    *is* the highest usable vector.
+    """
 
     def __init__(self, apic_id: int = 0):
         self.apic_id = apic_id
-        self._irr = [False] * VECTOR_COUNT
-        self._isr = [False] * VECTOR_COUNT
+        self._irr = 0
+        self._isr = 0
         self.tpr = 0
         #: Counts of spurious EOIs (EOI with nothing in service).
         self.spurious_eois = 0
@@ -51,15 +60,15 @@ class Lapic:
     def fire(self, vector: int) -> None:
         """Latch ``vector`` into the IRR (MSI delivery, IPI...)."""
         self._check_vector(vector)
-        self._irr[vector] = True
+        self._irr |= 1 << vector
 
     def irr_contains(self, vector: int) -> bool:
         self._check_vector(vector)
-        return self._irr[vector]
+        return bool((self._irr >> vector) & 1)
 
     def isr_contains(self, vector: int) -> bool:
         self._check_vector(vector)
-        return self._isr[vector]
+        return bool((self._isr >> vector) & 1)
 
     # ------------------------------------------------------------------
     # CPU side
@@ -67,29 +76,33 @@ class Lapic:
     @property
     def highest_pending(self) -> Optional[int]:
         """Highest-priority requested vector deliverable at current TPR."""
-        for vector in range(VECTOR_COUNT - 1, FIRST_USABLE_VECTOR - 1, -1):
-            if self._irr[vector]:
-                if (vector >> 4) <= (self.tpr >> 4):
-                    return None  # masked by task priority
-                return vector
-        return None
+        irr = self._irr
+        if not irr:
+            return None
+        vector = irr.bit_length() - 1
+        if (vector >> 4) <= (self.tpr >> 4):
+            return None  # masked by task priority
+        return vector
 
     @property
     def in_service(self) -> Optional[int]:
         """Highest-priority vector currently being serviced."""
-        for vector in range(VECTOR_COUNT - 1, FIRST_USABLE_VECTOR - 1, -1):
-            if self._isr[vector]:
-                return vector
-        return None
+        isr = self._isr
+        if not isr:
+            return None
+        return isr.bit_length() - 1
 
     @property
     def interrupt_window_open(self) -> bool:
         """True when a pending vector outranks everything in service."""
-        pending = self.highest_pending
-        if pending is None:
+        irr = self._irr
+        if not irr:
             return False
-        servicing = self.in_service
-        return servicing is None or (pending >> 4) > (servicing >> 4)
+        pending = irr.bit_length() - 1
+        if (pending >> 4) <= (self.tpr >> 4):
+            return False
+        isr = self._isr
+        return not isr or (pending >> 4) > ((isr.bit_length() - 1) >> 4)
 
     def ack(self) -> int:
         """CPU accepts the highest pending vector: IRR -> ISR."""
@@ -98,8 +111,9 @@ class Lapic:
             raise LapicError("INTA with no deliverable vector pending")
         if not self.interrupt_window_open:
             raise LapicError(f"vector {vector} does not outrank in-service")
-        self._irr[vector] = False
-        self._isr[vector] = True
+        bit = 1 << vector
+        self._irr &= ~bit
+        self._isr |= bit
         return vector
 
     def eoi(self) -> Optional[int]:
@@ -108,25 +122,26 @@ class Lapic:
         A spurious EOI (nothing in service) is counted but harmless, as
         on real hardware.
         """
-        vector = self.in_service
-        if vector is None:
+        isr = self._isr
+        if not isr:
             self.spurious_eois += 1
             return None
-        self._isr[vector] = False
+        vector = isr.bit_length() - 1
+        self._isr = isr & ~(1 << vector)
         return vector
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def pending_vectors(self) -> List[int]:
-        return [v for v in range(VECTOR_COUNT) if self._irr[v]]
+        return [v for v in range(VECTOR_COUNT) if (self._irr >> v) & 1]
 
     def in_service_vectors(self) -> List[int]:
-        return [v for v in range(VECTOR_COUNT) if self._isr[v]]
+        return [v for v in range(VECTOR_COUNT) if (self._isr >> v) & 1]
 
     def reset(self) -> None:
-        self._irr = [False] * VECTOR_COUNT
-        self._isr = [False] * VECTOR_COUNT
+        self._irr = 0
+        self._isr = 0
         self.tpr = 0
 
     @staticmethod

@@ -16,6 +16,7 @@ from repro.net.mac import MacAddress, VLAN_NONE
 from repro.net.packet import (
     DEFAULT_MTU,
     Packet,
+    PacketPool,
     Protocol,
     packets_per_second,
 )
@@ -76,6 +77,7 @@ class NetperfStream:
         jitter: float = 0.0,
         rng=None,
         name: str = "netperf",
+        pool: Optional[PacketPool] = None,
     ):
         if throughput_bps < 0:
             raise ValueError("throughput must be non-negative")
@@ -97,6 +99,9 @@ class NetperfStream:
         self.flow_id = flow_id
         self.burst_interval = burst_interval
         self.name = name
+        #: Optional run-scoped allocator (deterministic seqs + reuse);
+        #: without one, packets come off the module-global sequence.
+        self.pool = pool
         self.message_bytes = message_bytes
         self.pps = packets_per_second(throughput_bps, mtu, protocol)
         self.sent = Counter(f"{name}.sent")
@@ -156,12 +161,20 @@ class NetperfStream:
         self._carry = quota - count
         if count > 0:
             now = self.sim.now
-            burst = [
-                Packet(self.src, self.dst, self.mtu, self.vlan,
-                       self.protocol, self.flow_id, now)
-                for _ in range(count)
-            ]
-            self.sent.add(count)
-            self.sent_bytes.add(sum(p.size_bytes for p in burst))
+            pool = self.pool
+            if pool is not None:
+                burst = pool.acquire_burst(count, self.src, self.dst,
+                                           self.mtu, self.vlan,
+                                           self.protocol, self.flow_id, now)
+            else:
+                burst = [
+                    Packet(self.src, self.dst, self.mtu, self.vlan,
+                           self.protocol, self.flow_id, now)
+                    for _ in range(count)
+                ]
+            # Direct increments: every packet is mtu-sized, so the byte
+            # count is exactly the sum the per-packet loop produced.
+            self.sent.value += count
+            self.sent_bytes.value += count * self.mtu
             self.sink(burst)
         self._tick_handle = self.sim.schedule(self.burst_interval, self._tick)

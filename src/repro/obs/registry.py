@@ -173,9 +173,19 @@ class MetricsScope:
 
 
 class _NullInstrument:
-    """Accepts any instrument method call and does nothing."""
+    """Accepts any instrument method call and does nothing.
 
-    __slots__ = ()
+    Carries a ``value`` attribute so hot paths may use the counter
+    fast path (``instrument.value += n``, a plain attribute add)
+    instead of a method call; the written value is never read.  Null
+    counters are therefore handed out one per registration — a shared
+    instance would be a data race in spirit, even if nothing reads it.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
 
     def add(self, *args: Any, **kwargs: Any) -> None:
         pass
@@ -197,7 +207,7 @@ class NullRegistry:
     """The no-op registry: the disabled-telemetry fast path."""
 
     def counter(self, name: str) -> _NullInstrument:
-        return _NULL_INSTRUMENT
+        return _NullInstrument()
 
     def histogram(self, name: str, bin_width: float = 1e-5) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -5,12 +5,50 @@ queue of pending events.  Events scheduled for the same instant fire in
 the order they were scheduled (stable FIFO tie-breaking via a sequence
 number), which keeps multi-component interactions — e.g. an interrupt
 raised and masked at the same timestamp — deterministic.
+
+Hot-path layout (the engine executes tens of millions of events per
+figure campaign, so this is the repro's wall clock):
+
+* Queue entries are native ``(time, seq, handle)`` tuples — ordering is
+  C-level tuple comparison, and ``seq`` is unique so the handle is
+  never compared.
+* A calendar-queue tier (:class:`repro.sim.wheel.TimerWheel`) fronts
+  the heap for near-future events — the dense periodic timers that
+  dominate the queue — draining one sorted bucket at a time.  The heap
+  remains the general store for far-out, current-slot, and
+  past-horizon events; correctness never depends on the wheel.
+* :class:`EventHandle` objects are pooled: after dispatch (or a
+  skipped cancelled entry), a handle provably free of external
+  references (``sys.getrefcount``, CPython only) returns to a free
+  list for the next ``schedule`` call.
+* ``run()`` dispatches inline — no ``peek()``/``step()`` double heap
+  touch — and ``pending_events`` is O(1) via a live-event counter.
+* Lazily-cancelled debris is compacted eagerly once it outnumbers the
+  live events, so re-armed timers cannot accumulate.
+
+``BENCH_*.json`` (see ``repro bench``) tracks this path's events/sec.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+import sys
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.wheel import TimerWheel
+
+_INF = float("inf")
+
+#: A handle with no references outside the engine shows exactly this
+#: refcount at the pooling checks (entry tuple + one local + the
+#: getrefcount argument).  Non-CPython implementations may not have
+#: refcounts at all, so pooling is disabled there (-1 never matches).
+_POOL_RC = 3 if sys.implementation.name == "cpython" else -1
+
+#: Compact the queues once cancelled debris passes this floor *and*
+#: outnumbers the live events.
+_COMPACT_FLOOR = 256
 
 
 class SimulationError(RuntimeError):
@@ -20,22 +58,38 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
-    Cancellation is lazy: the entry stays in the heap but is skipped when
-    popped.  This keeps :meth:`Simulator.cancel` O(1).
+    Cancellation is lazy: the entry stays queued but is skipped when it
+    surfaces.  This keeps :meth:`Simulator.cancel` O(1); the simulator
+    additionally compacts the queues when debris accumulates.
+
+    Dispatch marks the handle cancelled before invoking its callback,
+    so a late ``cancel()`` on an already-fired handle is a no-op and
+    the live/cancelled accounting can never double-count.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            cancelled = sim._cancelled + 1
+            sim._cancelled = cancelled
+            if cancelled > _COMPACT_FLOOR and cancelled > sim._live:
+                sim._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -63,11 +117,23 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self.now: float = start_time
-        self._queue: List[EventHandle] = []
+        #: Far-out / current-slot entries: a heap of (time, seq, handle).
+        self._heap: List[Tuple] = []
+        #: Near-future periodic tier (see :mod:`repro.sim.wheel`).
+        self._wheel = TimerWheel(start_time=start_time)
+        #: The sorted, partially-consumed bucket the wheel last drained.
+        self._current: List[Tuple] = []
+        self._ci: int = 0
         self._seq: int = 0
         self._running: bool = False
         self._events_executed: int = 0
         self._step_observer: Optional[Callable[[EventHandle], None]] = None
+        #: Live (non-cancelled) queued events — pending_events is O(1).
+        self._live: int = 0
+        #: Cancelled entries still queued (compaction trigger).
+        self._cancelled: int = 0
+        #: Recycled EventHandle pool.
+        self._free: List[EventHandle] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -84,9 +150,23 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now={self.now}): time travel"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, seq, callback, args)
+            handle._sim = self
+        self._live += 1
+        entry = (time, seq, handle)
+        if not self._wheel.try_insert(self.now, time, entry):
+            heappush(self._heap, entry)
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
@@ -97,18 +177,64 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def peek(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the queue is empty."""
-        self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        """Timestamp of the next live event, or None if the queue is empty.
+
+        Discards any cancelled prefix while looking, loading wheel
+        buckets as needed to make the answer exact.
+        """
+        heap = self._heap
+        wheel = self._wheel
+        while True:
+            current = self._current
+            ci = self._ci
+            clen = len(current)
+            while ci < clen and current[ci][2].cancelled:
+                self._cancelled -= 1
+                ci += 1
+            self._ci = ci
+            while heap and heap[0][2].cancelled:
+                self._cancelled -= 1
+                heappop(heap)
+            centry = current[ci] if ci < clen else None
+            hentry = heap[0] if heap else None
+            if centry is None:
+                nxt = hentry
+            elif hentry is None or centry < hentry:
+                nxt = centry
+            else:
+                nxt = hentry
+            if wheel.count and (
+                    nxt is None
+                    or wheel.next_slot <= int(nxt[0] * wheel.inv_width)):
+                # The current bucket's slot always precedes next_slot,
+                # so reaching here means the buffer is fully consumed
+                # and loading cannot clobber pending entries.
+                self._current = wheel.load()
+                self._ci = 0
+                continue
+            return nxt[0] if nxt is not None else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remained."""
-        self._drop_cancelled()
-        if not self._queue:
+        if self.peek() is None:
             return False
-        handle = heapq.heappop(self._queue)
-        self.now = handle.time
+        current = self._current
+        ci = self._ci
+        heap = self._heap
+        if ci < len(current):
+            centry = current[ci]
+            if heap and heap[0] < centry:
+                entry = heappop(heap)
+            else:
+                entry = centry
+                self._ci = ci + 1
+        else:
+            entry = heappop(heap)
+        handle = entry[2]
+        self.now = entry[0]
         self._events_executed += 1
+        self._live -= 1
+        handle.cancelled = True  # late cancel() on a fired handle: no-op
         observer = self._step_observer
         if observer is None:
             handle.callback(*handle.args)
@@ -134,18 +260,93 @@ class Simulator:
 
         With a horizon, events strictly after ``until`` stay queued and the
         clock is advanced exactly to ``until``.
+
+        The dispatch loop is inlined (no per-event ``peek``/``step``
+        round trips): merge the sorted current wheel bucket against the
+        heap top, skip cancelled entries, pool handles that have no
+        external references.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        limit = _INF if until is None else until
+        heap = self._heap  # identity is stable: _compact filters in place
+        wheel = self._wheel
+        free = self._free
+        pool_rc = _POOL_RC
         try:
             while True:
-                next_time = self.peek()
-                if next_time is None:
+                current = self._current
+                ci = self._ci
+                clen = len(current)
+                if ci >= clen and wheel.count:
+                    # The wheel may hold the next event: load its next
+                    # bucket unless the heap top (or the horizon) comes
+                    # strictly before that slot can begin.  Slots are
+                    # compared as ints so float rounding cannot reorder.
+                    bound = heap[0][0] if heap and heap[0][0] < limit else limit
+                    if bound == _INF or wheel.next_slot <= int(
+                            bound * wheel.inv_width):
+                        current = self._current = wheel.load()
+                        ci = self._ci = 0
+                        clen = len(current)
+                if ci < clen:
+                    entry = current[ci]
+                    if heap:
+                        hentry = heap[0]
+                        if hentry < entry:
+                            if hentry[0] > limit:
+                                break
+                            heappop(heap)
+                            entry = hentry
+                        else:
+                            if entry[0] > limit:
+                                break
+                            self._ci = ci + 1
+                    else:
+                        if entry[0] > limit:
+                            break
+                        self._ci = ci + 1
+                elif heap:
+                    entry = heap[0]
+                    if entry[0] > limit:
+                        break
+                    heappop(heap)
+                else:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                handle = entry[2]
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    if getrefcount(handle) == pool_rc:
+                        handle.callback = None
+                        handle.args = ()
+                        free.append(handle)
+                    continue
+                self.now = entry[0]
+                self._events_executed += 1
+                self._live -= 1
+                handle.cancelled = True  # late cancel(): no-op
+                observer = self._step_observer
+                if observer is not None:
+                    observer(handle)
+                    continue
+                callback = handle.callback
+                args = handle.args
+                if getrefcount(handle) == pool_rc:
+                    # No external references: recycle before dispatch so
+                    # the callback's own schedules can reuse the handle.
+                    handle.callback = None
+                    handle.args = ()
+                    free.append(handle)
+                    callback(*args)
+                else:
+                    callback(*args)
+                    # Callers like the interrupt throttle drop their
+                    # reference inside the callback; re-check.
+                    if getrefcount(handle) == pool_rc:
+                        handle.callback = None
+                        handle.args = ()
+                        free.append(handle)
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -156,14 +357,33 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     @property
     def events_executed(self) -> int:
         """Total events executed since construction."""
         return self._events_executed
 
-    def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Eagerly drop lazily-cancelled entries from every queue tier.
+
+        Filters in place where the run loop caches references (the
+        heap), and exactly resets the cancelled-debris counter.
+        """
+        heap = self._heap
+        live_heap = [entry for entry in heap if not entry[2].cancelled]
+        if len(live_heap) != len(heap):
+            heap[:] = live_heap
+            heapify(heap)
+        ci = self._ci
+        current = self._current
+        if ci or current:
+            self._current = [entry for entry in current[ci:]
+                             if not entry[2].cancelled]
+            self._ci = 0
+        self._wheel.compact()
+        self._cancelled = 0

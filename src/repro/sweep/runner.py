@@ -125,8 +125,13 @@ def run_sweep(
     if jobs > 1 and len(ordered) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs,
                                                  len(ordered))) as pool:
+            # chunksize=1 is deliberate: jobs are whole simulations
+            # (seconds each), so per-job dispatch keeps the pool
+            # load-balanced; results are keyed by job index, so the
+            # chunking policy can never affect output bytes.
             for job, result_dict in zip(ordered,
-                                        pool.map(execute_payload, payloads)):
+                                        pool.map(execute_payload, payloads,
+                                                 chunksize=1)):
                 fresh[job.key] = result_dict
                 say(f"  done {job.scenario.mode}#{job.index} "
                     f"[{job.key[:12]}]")

@@ -37,6 +37,10 @@ from repro.vmm.scheduler import PinningPolicy
 from repro.vmm.virtual_lapic import VirtualLapic
 from repro.vmm.vmexit import VmExitKind, VmExitTracer
 
+#: Ledger categories for the per-interrupt charges, precomputed once.
+_CAT_EXTINT = "exit." + VmExitKind.EXTERNAL_INTERRUPT.value
+_CAT_HYPERCALL = "exit." + VmExitKind.HYPERCALL.value
+
 
 class Xen:
     """The virtual machine monitor."""
@@ -180,8 +184,7 @@ class Xen:
         # The external-interrupt VM exit + virtual interrupt bookkeeping.
         cost = self.costs.external_interrupt_exit_cycles
         self.tracer.record(VmExitKind.EXTERNAL_INTERRUPT, cost)
-        self.ledger.charge(domain.name,
-                           "exit." + VmExitKind.EXTERNAL_INTERRUPT.value, cost)
+        self.ledger.charge(domain.name, _CAT_EXTINT, cost)
         domain.charge_hypervisor(cost)
         if domain.is_hvm:
             self._vlapics[domain.id].inject(vector)
@@ -190,8 +193,7 @@ class Xen:
             # interrupt; cheaper (§6.4).
             notify = self.costs.event_channel_notify_cycles
             self.tracer.record(VmExitKind.HYPERCALL, notify)
-            self.ledger.charge(domain.name,
-                               "exit." + VmExitKind.HYPERCALL.value, notify)
+            self.ledger.charge(domain.name, _CAT_HYPERCALL, notify)
             domain.charge_hypervisor(notify)
         handler = self.vectors.handler(vector)
         if handler is not None:

@@ -26,6 +26,11 @@ from repro.sim.trace import NULL_TRACER
 from repro.vmm.domain import Domain
 from repro.vmm.vmexit import VmExitKind, VmExitTracer
 
+#: Ledger categories, precomputed: these strings are rebuilt per
+#: interrupt otherwise, and interrupts are the critical path.
+_CAT_APIC_OTHER = "exit." + VmExitKind.APIC_ACCESS_OTHER.value
+_CAT_APIC_EOI = "exit." + VmExitKind.APIC_ACCESS_EOI.value
+
 
 class VirtualLapic:
     """Emulates one HVM guest's local APIC."""
@@ -79,8 +84,7 @@ class VirtualLapic:
         for _ in range(accesses):
             cost = self.costs.other_apic_access_cycles
             self.tracer.record(VmExitKind.APIC_ACCESS_OTHER, cost)
-            ledger.charge(self.domain.name,
-                          "exit." + VmExitKind.APIC_ACCESS_OTHER.value, cost)
+            ledger.charge(self.domain.name, _CAT_APIC_OTHER, cost)
             self.domain.charge_hypervisor(cost)
 
     # ------------------------------------------------------------------
@@ -99,8 +103,7 @@ class VirtualLapic:
         else:
             cost = self.costs.eoi_emulate_cycles
         self.tracer.record(VmExitKind.APIC_ACCESS_EOI, cost)
-        self.ledger.charge(self.domain.name,
-                           "exit." + VmExitKind.APIC_ACCESS_EOI.value, cost)
+        self.ledger.charge(self.domain.name, _CAT_APIC_EOI, cost)
         self.trace.emit("apic", "eoi", domain=self.domain.id,
                         accelerated=self.opts.eoi_acceleration)
         self.domain.charge_hypervisor(cost)

@@ -79,6 +79,11 @@ def test_null_registry_hands_out_noop_instruments():
     counter = NULL_REGISTRY.counter("anything")
     counter.add(5)
     counter.record(1.0)
-    assert NULL_REGISTRY.scope("x").counter("y") is counter
+    # Null counters support the hot-path contract: a writable ``value``
+    # attribute, private per registration, that never reaches a snapshot.
+    counter.value += 3
+    other = NULL_REGISTRY.scope("x").counter("y")
+    assert other is not counter
+    assert other.value == 0
     assert NULL_REGISTRY.snapshot() == {}
     assert len(NULL_REGISTRY) == 0

@@ -1,0 +1,145 @@
+"""Property tests for the timer-wheel tier against the heap's ordering.
+
+The wheel is a fast path only: the engine must fire events in exactly
+(time, seq) order whether an entry sat in a wheel bucket, the heap, or
+moved between them — including ties, cancellations, and times that
+straddle the wheel's horizon.  The reference model is a plain stable
+sort of the schedule calls.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.wheel import DEFAULT_NSLOTS, DEFAULT_WIDTH, FAR_SLOT, TimerWheel
+
+
+class _FakeHandle:
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+
+# Delays spanning well inside the wheel window (~0.26 s), around its
+# horizon, and far beyond it, quantized so ties are common.
+_delays = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+        st.floats(min_value=0.2, max_value=0.3, allow_nan=False),
+        st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    ).map(lambda d: round(d, 4)),
+    min_size=1, max_size=120)
+
+
+@given(_delays)
+@settings(max_examples=150)
+def test_wheel_and_heap_agree_on_global_order_with_ties(delays):
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=index: fired.append(i))
+    sim.run()
+    expected = [i for _, i in sorted((d, i) for i, d in enumerate(delays))]
+    assert fired == expected
+
+
+@given(_delays, st.data())
+@settings(max_examples=100)
+def test_wheel_and_heap_agree_under_cancellation(delays, data):
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, lambda i=i: fired.append(i))
+               for i, d in enumerate(delays)]
+    cancelled = data.draw(st.sets(st.integers(0, len(delays) - 1)))
+    for index in cancelled:
+        handles[index].cancel()
+    sim.run()
+    expected = [i for _, i in sorted((d, i) for i, d in enumerate(delays))
+                if i not in cancelled]
+    assert fired == expected
+
+
+@given(_delays)
+@settings(max_examples=100)
+def test_rescheduling_from_callbacks_preserves_order(delays):
+    """Events scheduled while running (the periodic-timer shape) still
+    interleave correctly with everything already queued."""
+    sim = Simulator()
+    fired = []
+
+    def fire_and_rearm(i, d):
+        fired.append(sim.now)
+        if d > 0.001:
+            sim.schedule(d / 2, fire_and_rearm, i, d / 2)
+
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, fire_and_rearm, index, delay)
+    sim.run()
+    assert fired == sorted(fired)
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=0.25,
+                          allow_nan=False),
+                min_size=1, max_size=80))
+@settings(max_examples=100)
+def test_wheel_buckets_drain_in_slot_order_and_sorted(times):
+    wheel = TimerWheel()
+    accepted = []
+    for seq, time in enumerate(times):
+        entry = (time, seq, _FakeHandle())
+        if wheel.try_insert(0.0, time, entry):
+            accepted.append(entry)
+    drained = []
+    while wheel.count:
+        bucket = wheel.load()
+        # Every entry in one bucket shares one absolute slot.
+        slots = {int(t * wheel.inv_width) for t, _, _ in bucket}
+        assert len(slots) <= 1
+        assert bucket == sorted(bucket, key=lambda e: (e[0], e[1]))
+        drained.extend(bucket)
+    assert sorted(drained, key=lambda e: (e[0], e[1])) == sorted(
+        accepted, key=lambda e: (e[0], e[1]))
+    assert drained == sorted(drained, key=lambda e: (e[0], e[1]))
+    assert wheel.next_slot == FAR_SLOT
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=0.25,
+                          allow_nan=False),
+                min_size=1, max_size=80),
+       st.data())
+@settings(max_examples=100)
+def test_wheel_compact_drops_exactly_the_cancelled_entries(times, data):
+    wheel = TimerWheel()
+    entries = []
+    for seq, time in enumerate(times):
+        entry = (time, seq, _FakeHandle())
+        if wheel.try_insert(0.0, time, entry):
+            entries.append(entry)
+    cancelled = data.draw(st.sets(
+        st.integers(0, len(entries) - 1))) if entries else set()
+    for index in cancelled:
+        entries[index][2].cancelled = True
+    wheel.compact()
+    kept = [e for i, e in enumerate(entries) if i not in cancelled]
+    assert wheel.count == len(kept)
+    if kept:
+        first = min(int(t * wheel.inv_width) for t, _, _ in kept)
+        assert wheel.next_slot == first
+    else:
+        assert wheel.next_slot == FAR_SLOT
+
+
+def test_wheel_rejects_current_slot_past_horizon_and_resnaps():
+    wheel = TimerWheel(width=DEFAULT_WIDTH, nslots=DEFAULT_NSLOTS)
+    horizon = wheel.horizon
+    # Past the horizon: heap's problem.
+    assert not wheel.try_insert(0.0, horizon, (horizon, 0, _FakeHandle()))
+    # Inside the engine's current (partially drained) slot: heap's too.
+    assert not wheel.try_insert(0.0, 0.0, (0.0, 1, _FakeHandle()))
+    # Empty wheel re-snaps its window to "now" so a long heap-only
+    # stretch cannot strand the horizon in the past.
+    late = 10 * horizon
+    entry = (late + DEFAULT_WIDTH * 2, 2, _FakeHandle())
+    assert wheel.try_insert(late, entry[0], entry)
+    assert wheel.count == 1
