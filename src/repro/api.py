@@ -179,19 +179,28 @@ class Scenario:
 
 
 def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
-        telemetry: bool = False, profile: bool = False) -> RunResult:
+        telemetry: bool = False, profile: bool = False,
+        audit: bool = True,
+        audit_interval: Optional[float] = None) -> RunResult:
     """Execute one scenario and return its :class:`RunResult`.
 
     ``costs`` overrides the calibrated :class:`CostModel`; it is the
     only run input outside the Scenario itself, which is why the sweep
     cache keys on exactly (scenario dict, cost-model dict, schema
     version).  ``telemetry``/``profile`` attach observers without
-    changing the simulation (they never enter the cache key).
+    changing the simulation (they never enter the cache key), and
+    ``audit``/``audit_interval`` control the runtime invariant auditor
+    (:mod:`repro.audit`) — also outside the key: the default
+    end-of-run audit is observation-only and fault-free audited runs
+    are byte-identical to unaudited ones.
     """
     runner = ExperimentRunner(costs=costs, warmup=scenario.warmup,
                               duration=scenario.duration,
                               telemetry=telemetry, profile=profile,
-                              seed=scenario.seed, faults=scenario.faults)
+                              seed=scenario.seed, faults=scenario.faults,
+                              audit=audit, audit_interval=audit_interval,
+                              audit_context={"scenario": scenario.to_dict(),
+                                             "seed": scenario.seed})
     return _dispatch(runner, scenario)
 
 

@@ -1,0 +1,31 @@
+"""Runtime invariant auditing for the simulated testbed.
+
+A datapath bug — a :class:`~repro.hw.dma.DescriptorRing` ownership slip,
+a double-released pooled packet, a cycle charged to the ledger but not
+to a core — does not crash the simulation; it quietly skews the
+throughput and CPU numbers the figures report.  This package makes such
+bugs *loud*: :class:`InvariantAuditor` registers on a
+:class:`~repro.core.testbed.Testbed` (opt-out, on by default) and
+checks the testbed's conservation laws at run end and, optionally, at a
+configurable simulated-time interval.  A failed check raises a
+structured :class:`InvariantViolation` after writing a minimal repro
+dump (scenario JSON + seed + sim time) to disk.
+
+The default end-of-run audit is observation-only: it schedules no
+events and mutates no state, so fault-free audited runs are
+byte-identical to unaudited ones (asserted in ``tests/audit``).
+"""
+
+from repro.audit.auditor import (
+    DUMP_SCHEMA,
+    InvariantAuditor,
+    InvariantViolation,
+    default_dump_dir,
+)
+
+__all__ = [
+    "DUMP_SCHEMA",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "default_dump_dir",
+]

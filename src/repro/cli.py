@@ -62,6 +62,14 @@ def _telemetry_parent() -> argparse.ArgumentParser:
                              "'link_flap:at=2.0,duration=0.5,port=0' "
                              "(repeatable; see 'repro faults' for the "
                              "vocabulary)")
+    audit = parent.add_argument_group("invariant auditing")
+    audit.add_argument("--no-audit", action="store_true",
+                       help="disable the runtime invariant auditor "
+                            "(on by default; see docs/robustness.md)")
+    audit.add_argument("--audit-interval", type=float, default=None,
+                       metavar="SEC",
+                       help="additionally audit every SEC simulated "
+                            "seconds (default: audit at run end only)")
     return parent
 
 
@@ -80,6 +88,26 @@ def _campaign_parent() -> argparse.ArgumentParser:
     group.add_argument("--no-cache", action="store_true",
                        help="simulate everything; neither read nor "
                             "write the cache")
+    robust = parent.add_argument_group("supervision")
+    robust.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="per-task wall-clock watchdog; an overdue "
+                             "worker is terminated and the task retried "
+                             "(default: no timeout)")
+    robust.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="extra attempts after the first for worker "
+                             "crashes/timeouts (default: %(default)s)")
+    robust.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="write an atomic campaign checkpoint after "
+                             "every task; resume an interrupted campaign "
+                             "with --resume FILE")
+    robust.add_argument("--resume", default=None, metavar="FILE",
+                        help="resume the campaign recorded in a "
+                             "checkpoint file; completed cells come from "
+                             "the cache (zero recomputation)")
+    robust.add_argument("--no-audit", action="store_true",
+                        help="disable the runtime invariant auditor "
+                             "inside executed jobs")
     return parent
 
 
@@ -145,8 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser(
         "sweep", parents=campaign,
         help="run a declarative sweep spec (base/grid/list JSON)")
-    sweep.add_argument("spec", metavar="SPEC.json",
-                       help="sweep spec file, or '-' for stdin")
+    sweep.add_argument("spec", metavar="SPEC.json", nargs="?", default=None,
+                       help="sweep spec file, or '-' for stdin "
+                            "(omit when resuming with --resume)")
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write expanded scenarios + results as JSON")
     sweep.add_argument("--metrics-dir", default=None, metavar="DIR",
@@ -318,7 +347,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _run_bench(args)
     result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
-                 profile=args.profile)
+                 profile=args.profile, audit=not args.no_audit,
+                 audit_interval=args.audit_interval)
     if args.command == "migrate":
         _print_migration(result, args.mode)
     else:
@@ -333,33 +363,86 @@ def _cache_for(args):
     return None if args.no_cache else ResultCache(args.cache_dir)
 
 
+def _supervise_for(args):
+    from repro.sweep.supervise import SuperviseConfig
+    return SuperviseConfig(task_timeout=args.task_timeout,
+                           max_retries=args.max_retries)
+
+
+def _load_resume(args, kind: str):
+    """The checkpoint behind ``--resume``, validated for this command."""
+    from repro.sweep.checkpoint import CampaignCheckpoint, CheckpointError
+    if args.checkpoint:
+        raise SystemExit("--resume already names the checkpoint file; "
+                         "drop --checkpoint")
+    try:
+        checkpoint = CampaignCheckpoint.load(args.resume)
+    except CheckpointError as exc:
+        raise SystemExit(str(exc))
+    if checkpoint.command.get("kind") != kind:
+        raise SystemExit(
+            f"checkpoint {args.resume} records a "
+            f"'{checkpoint.command.get('kind')}' campaign; resume it "
+            f"with 'repro {checkpoint.command.get('kind')}'")
+    return checkpoint
+
+
+def _finish_campaign(stats) -> int:
+    """The shared summary/exit-code tail of figures and sweep."""
+    print(stats.summary())
+    print(stats.task_summary())
+    if stats.failures:
+        print(f"error: {stats.failures} task(s) did not produce a "
+              "result (see task summary)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _say(message: str) -> None:
     print(message, file=sys.stderr)
 
 
 def _run_figures(args) -> int:
     from repro.core.report import format_table
+    from repro.sweep.checkpoint import CampaignCheckpoint
     from repro.sweep.figures import generate_figures, resolve_names
 
-    only: Optional[List[str]] = None
-    if args.only:
-        only = [name for chunk in args.only
-                for name in chunk.split(",") if name]
-    try:
-        names = resolve_names(only)
-    except ValueError as exc:
-        raise SystemExit(str(exc))
+    quick = args.quick
+    checkpoint = None
+    if args.resume:
+        if args.only:
+            raise SystemExit("--resume replays the checkpoint's figure "
+                             "selection; drop --only")
+        checkpoint = _load_resume(args, "figures")
+        names = list(checkpoint.command.get("names") or [])
+        quick = bool(checkpoint.command.get("quick"))
+        _say(f"resuming {len(checkpoint.completed)}/{checkpoint.total} "
+             f"completed tasks from {args.resume}")
+    else:
+        only: Optional[List[str]] = None
+        if args.only:
+            only = [name for chunk in args.only
+                    for name in chunk.split(",") if name]
+        try:
+            names = resolve_names(only)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.checkpoint:
+            checkpoint = CampaignCheckpoint(
+                args.checkpoint,
+                {"kind": "figures", "names": names, "quick": bool(quick)})
     artifacts, stats = generate_figures(
-        names, quick=args.quick, jobs=args.jobs, cache=_cache_for(args),
-        out_dir=args.out_dir, progress=_say)
+        names, quick=quick, jobs=args.jobs, cache=_cache_for(args),
+        out_dir=args.out_dir, progress=_say,
+        supervise=_supervise_for(args), checkpoint=checkpoint,
+        audit=not args.no_audit)
     for name in names:
         artifact = artifacts[name]
         print(format_table(f"{name}: {artifact['title']}",
                            artifact["columns"], artifact["rows"]))
     print(f"\nwrote {len(names)} artifacts to {args.out_dir}/",
           file=sys.stderr)
-    print(stats.summary())
-    return 0
+    return _finish_campaign(stats)
 
 
 def _run_bench(args) -> int:
@@ -421,29 +504,58 @@ def _run_faults(args) -> int:
 
 def _run_sweep(args) -> int:
     from repro.core.report import format_table
+    from repro.sweep.checkpoint import CampaignCheckpoint
     from repro.sweep.runner import run_sweep
     from repro.sweep.spec import SweepSpec
 
-    if args.spec == "-":
-        document = json.load(sys.stdin)
+    checkpoint = None
+    if args.resume:
+        if args.spec is not None:
+            raise SystemExit("--resume replays the checkpoint's spec; "
+                             "drop the SPEC.json argument")
+        checkpoint = _load_resume(args, "sweep")
+        document = checkpoint.command.get("spec")
+        _say(f"resuming {len(checkpoint.completed)}/{checkpoint.total} "
+             f"completed tasks from {args.resume}")
+    elif args.spec is None:
+        raise SystemExit("a sweep needs SPEC.json (or --resume FILE)")
     else:
-        with open(args.spec) as handle:
-            document = json.load(handle)
+        try:
+            if args.spec == "-":
+                document = json.load(sys.stdin)
+            else:
+                with open(args.spec) as handle:
+                    document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read sweep spec {args.spec}: {exc}")
     try:
         spec = SweepSpec.from_dict(document)
         scenarios = spec.expand()
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"bad sweep spec: {exc}")
+    if checkpoint is None and args.checkpoint:
+        checkpoint = CampaignCheckpoint(args.checkpoint,
+                                        {"kind": "sweep",
+                                         "spec": document})
     outcomes, stats = run_sweep(scenarios, jobs=args.jobs,
                                 cache=_cache_for(args),
                                 metrics_dir=args.metrics_dir,
-                                progress=_say)
-    rows = [[outcome.index, outcome.scenario.mode, outcome.key[:8],
-             "hit" if outcome.cached else "run",
-             outcome.result.throughput_gbps,
-             outcome.result.total_cpu_percent,
-             outcome.result.loss_rate * 100]
-            for outcome in outcomes]
+                                progress=_say,
+                                supervise=_supervise_for(args),
+                                checkpoint=checkpoint,
+                                audit=not args.no_audit)
+    rows = []
+    for o in outcomes:
+        if o.result is not None:
+            rows.append([o.index, o.scenario.mode, o.key[:8],
+                         "hit" if o.cached else "run",
+                         o.result.throughput_gbps,
+                         o.result.total_cpu_percent,
+                         o.result.loss_rate * 100])
+        else:
+            status = o.task.status if o.task else "missing"
+            rows.append([o.index, o.scenario.mode, o.key[:8],
+                         status.upper(), "-", "-", "-"])
     print(format_table(f"sweep: {len(outcomes)} scenarios",
                        ["#", "mode", "key", "cache", "Gbps", "CPU%",
                         "loss%"], rows))
@@ -451,15 +563,16 @@ def _run_sweep(args) -> int:
         payload = {
             "schema": "repro-sweep-results/1",
             "results": [{"scenario": o.scenario.to_dict(), "key": o.key,
-                         "cached": o.cached, "result": o.result.to_dict()}
+                         "cached": o.cached,
+                         "result": o.result.to_dict()
+                         if o.result is not None else None}
                         for o in outcomes],
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, sort_keys=True, indent=1)
             handle.write("\n")
         print(f"results    : wrote {args.out}", file=sys.stderr)
-    print(stats.summary())
-    return 0
+    return _finish_campaign(stats)
 
 
 def main() -> None:  # pragma: no cover - thin entry point

@@ -175,7 +175,10 @@ class ExperimentRunner:
                  telemetry: bool = False,
                  profile: bool = False,
                  seed: int = 42,
-                 faults: Optional[Sequence[Mapping]] = None):
+                 faults: Optional[Sequence[Mapping]] = None,
+                 audit: bool = True,
+                 audit_interval: Optional[float] = None,
+                 audit_context: Optional[Mapping] = None):
         self.costs = (costs or CostModel()).validate()
         self.warmup = warmup
         self.duration = duration
@@ -185,6 +188,11 @@ class ExperimentRunner:
         #: Declarative fault plan (validated spec dicts, see
         #: :mod:`repro.faults`); armed against every testbed built.
         self.faults = list(faults) if faults else None
+        #: Runtime invariant auditing (see :mod:`repro.audit`): opt-out
+        #: end-of-run conservation checks, optionally periodic.
+        self.audit = audit
+        self.audit_interval = audit_interval
+        self.audit_context = dict(audit_context) if audit_context else None
         #: The most recent testbed measured by :meth:`_measure`; the
         #: perf-benchmark harness reads ``last_bed.sim.events_executed``
         #: to turn a scenario's wall-clock into events/sec.
@@ -198,7 +206,16 @@ class ExperimentRunner:
         kwargs.setdefault("profile", self.profile)
         kwargs.setdefault("seed", self.seed)
         kwargs.setdefault("faults", self.faults)
+        kwargs.setdefault("audit", self.audit)
+        kwargs.setdefault("audit_interval", self.audit_interval)
+        kwargs.setdefault("audit_context", self.audit_context)
         return TestbedConfig(**kwargs)
+
+    def _final_audit(self, bed: Testbed) -> None:
+        """The end-of-run invariant pass (no-op when auditing is off)."""
+        auditor = getattr(bed, "auditor", None)
+        if auditor is not None:
+            auditor.audit(phase="end")
 
     def _policy_factory(
         self,
@@ -325,6 +342,7 @@ class ExperimentRunner:
         delivered["payload_bytes"] = 0
         sim.run(until=sim.now + self.duration)
         elapsed = bed.platform.end_measurement()
+        self._final_audit(bed)
         throughput = (delivered["payload_bytes"] * 8 / elapsed
                       if elapsed > 0 else 0.0)
         offered = sum(g.vf.tx_packets + g.vf.tx_backlog_drops
@@ -564,6 +582,7 @@ class ExperimentRunner:
         bed.platform.start_measurement()
         bed.sim.run(until=horizon)
         elapsed = bed.platform.end_measurement()
+        self._final_audit(bed)
         throughput = app.rx_bytes * 8 / elapsed if elapsed > 0 else 0.0
         offered = app.rx_packets + app.dropped_packets
         migration = {
@@ -631,6 +650,7 @@ class ExperimentRunner:
         interrupts_before = [d.interrupts_handled for d in drivers]
         sim.run(until=sim.now + self.duration)
         elapsed = bed.platform.end_measurement()
+        self._final_audit(bed)
         per_vm = [app.throughput_bps(elapsed) for app in apps]
         offered = sum(app.rx_packets + app.dropped_packets for app in apps)
         dropped = sum(app.dropped_packets for app in apps)

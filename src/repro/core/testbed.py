@@ -65,6 +65,18 @@ class TestbedConfig:
     #: dicts) armed against the testbed at build time.  None/empty
     #: builds the exact testbed it always did.
     faults: Optional[Sequence[Mapping]] = None
+    #: Install the runtime invariant auditor
+    #: (:class:`repro.audit.InvariantAuditor`).  Opt-out: the default
+    #: end-of-run audit is observation-only, so results stay
+    #: byte-identical to unaudited runs.
+    audit: bool = True
+    #: Additionally audit every N simulated seconds (None = run end
+    #: only).  Periodic audits consume event sequence numbers, so they
+    #: are opt-in.
+    audit_interval: Optional[float] = None
+    #: Context embedded in a violation's repro dump (the experiment
+    #: layer passes the scenario dict here).
+    audit_context: Optional[Mapping] = None
 
 
 @dataclass
@@ -133,6 +145,13 @@ class Testbed:
                 FaultPlan.from_specs(self.config.faults),
                 self.streams.fork("faults"))
             self.injector.install(self)
+        self.auditor = None
+        if self.config.audit:
+            from repro.audit import InvariantAuditor
+            self.auditor = InvariantAuditor(
+                self, context=self.config.audit_context)
+            if self.config.audit_interval:
+                self.auditor.install(self.config.audit_interval)
 
     # ------------------------------------------------------------------
     # construction

@@ -135,7 +135,10 @@ class _NetFunction:
         self.itr_floor_interval: float = 0.0
         self.mac: Optional[MacAddress] = None
         self.enabled = False
-        # Statistics.
+        # Statistics.  Conservation law (audited): every offered packet
+        # is accounted exactly once — rx_offered == rx_packets +
+        # rx_no_desc_drops + rx_dma_faults + rx_corrupt_drops.
+        self.rx_offered = 0
         self.rx_packets = 0
         self.rx_bytes = 0
         self.rx_no_desc_drops = 0
@@ -163,6 +166,7 @@ class _NetFunction:
     # ------------------------------------------------------------------
     def device_receive(self, burst: List[Packet]) -> int:
         """DMA a burst into this function's RX ring; returns accepted."""
+        self.rx_offered += len(burst)
         if not self.enabled:
             self.rx_no_desc_drops += len(burst)
             return 0

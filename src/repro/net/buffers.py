@@ -23,6 +23,10 @@ class BufferStats:
     enqueued: int = 0
     dequeued: int = 0
     dropped: int = 0
+    #: Packets discarded by :meth:`PacketBuffer.clear` (device reset);
+    #: counted so occupancy stays an exact conservation law —
+    #: ``len(buffer) == enqueued - dequeued - cleared`` always holds.
+    cleared: int = 0
     peak_depth: int = 0
 
     @property
@@ -99,4 +103,5 @@ class PacketBuffer:
 
     def clear(self) -> None:
         """Discard contents without counting drops (device reset)."""
+        self.stats.cleared += len(self._queue)
         self._queue.clear()

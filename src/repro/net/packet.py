@@ -123,11 +123,14 @@ class PacketPool:
       holder; it simply falls back to the garbage collector.
     """
 
-    __slots__ = ("_free", "_seq")
+    __slots__ = ("_free", "_seq", "acquired")
 
     def __init__(self) -> None:
         self._free: list = []
         self._seq = 0
+        #: Total packets ever handed out; the invariant auditor checks
+        #: it against ``next_seq`` and the free list's size.
+        self.acquired = 0
 
     @property
     def next_seq(self) -> int:
@@ -143,6 +146,7 @@ class PacketPool:
             raise ValueError("packet size must be positive")
         seq = self._seq
         self._seq = seq + count
+        self.acquired += count
         free = self._free
         new = Packet.__new__
         burst = []

@@ -365,6 +365,24 @@ class Simulator:
         """Total events executed since construction."""
         return self._events_executed
 
+    def queue_stats(self) -> dict:
+        """Read-only queue accounting for the invariant auditor.
+
+        Unlike :meth:`peek`, this never mutates the queues — no
+        cancelled-prefix popping, no wheel bucket loads — so calling it
+        mid-run cannot perturb the event stream.  The identity audited
+        against it: ``live + cancelled`` equals the entries physically
+        present across the heap, the wheel, and the unconsumed tail of
+        the current bucket (every entry is in exactly one tier).
+        """
+        return {
+            "live": self._live,
+            "cancelled": self._cancelled,
+            "heap": len(self._heap),
+            "wheel": self._wheel.count,
+            "current": len(self._current) - self._ci,
+        }
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------

@@ -10,6 +10,11 @@ content-addressed result cache.
   pool worker.
 * :mod:`repro.sweep.runner` — :func:`run_sweep`: the cache-aware,
   pool-parallel engine with a byte-identical determinism contract.
+* :mod:`repro.sweep.supervise` — :func:`run_supervised`: watchdog
+  timeouts, bounded crash retries, and worker-pool respawn under the
+  engine.
+* :mod:`repro.sweep.checkpoint` — :class:`CampaignCheckpoint`: the
+  atomic progress record behind ``repro sweep --resume``.
 * :mod:`repro.sweep.figures` — every paper figure (Figs. 6-21) as a
   registered campaign; backs both ``repro figures`` and the
   pytest-benchmark suite.
@@ -30,18 +35,28 @@ from repro.sweep.figures import (
     resolve_names,
     run_figure,
 )
+from repro.sweep.checkpoint import (CHECKPOINT_SCHEMA, CampaignCheckpoint,
+                                    CheckpointError)
 from repro.sweep.jobs import Job, build_jobs, execute_payload
 from repro.sweep.runner import Outcome, SweepStats, run_sweep
 from repro.sweep.spec import SweepSpec
+from repro.sweep.supervise import (SuperviseConfig, SuperviseStats,
+                                   TaskOutcome, run_supervised)
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CampaignCheckpoint",
+    "CheckpointError",
     "DEFAULT_CACHE_DIR",
     "FIGURES",
     "Job",
     "Outcome",
     "ResultCache",
+    "SuperviseConfig",
+    "SuperviseStats",
     "SweepSpec",
     "SweepStats",
+    "TaskOutcome",
     "build_jobs",
     "canonical_json",
     "costs_to_dict",
@@ -53,4 +68,5 @@ __all__ = [
     "resolve_names",
     "run_figure",
     "run_sweep",
+    "run_supervised",
 ]

@@ -1,0 +1,132 @@
+"""Campaign checkpoints: atomic, schema-versioned, resumable.
+
+A checkpoint is a small JSON document recording what one campaign was
+asked to do (``command`` — enough to reconstruct the scenario list)
+and which task keys have completed or terminally failed.  The runner
+updates it after *every* task, with the cache entry already written,
+so a SIGTERM/SIGKILL at any instant loses at most the task that was in
+flight: ``repro sweep --resume <checkpoint>`` (or ``repro figures
+--resume``) replays the same campaign, and every completed cell comes
+straight out of the content-addressed cache — zero recomputation,
+byte-identical artifacts (the cache, not the checkpoint, holds the
+results; the checkpoint is the restart recipe plus progress record).
+
+Writes are atomic (per-writer tmp name + rename) like cache entries,
+so a kill mid-update leaves the previous consistent checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+
+class CheckpointError(ValueError):
+    """An unreadable or foreign checkpoint file."""
+
+
+class CampaignCheckpoint:
+    """Progress record of one campaign, persisted after every task."""
+
+    def __init__(self, path: os.PathLike, command: Mapping[str, object],
+                 total: int = 0):
+        self.path = Path(path)
+        #: How to re-run this campaign: ``{"kind": "sweep"|"figures",
+        #: ...}`` with the spec document / figure names inline.
+        self.command: Dict[str, object] = dict(command)
+        self.total = total
+        #: Distinct task keys whose results are durably in the cache
+        #: (includes cache hits — a resume counts them as done too).
+        self.completed: List[str] = []
+        self._completed_set = set()
+        #: Terminally failed task keys -> their TaskOutcome dict.
+        self.failed: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    def mark_completed(self, key: str) -> None:
+        if key not in self._completed_set:
+            self._completed_set.add(key)
+            self.completed.append(key)
+            self.failed.pop(key, None)
+        self.save()
+
+    def mark_failed(self, key: str, outcome: Mapping[str, object]) -> None:
+        if key not in self._completed_set:
+            self.failed[key] = dict(outcome)
+        self.save()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "command": self.command,
+            "total": self.total,
+            "completed": list(self.completed),
+            "failed": dict(self.failed),
+        }
+
+    def save(self) -> None:
+        """Atomic write: tmp (pid+tid suffix) + rename."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(
+            f"{self.path.name}.tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(self.to_dict(), handle, sort_keys=True, indent=1)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "CampaignCheckpoint":
+        path = Path(path)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+        except ValueError as exc:
+            raise CheckpointError(f"checkpoint {path} is not valid JSON: "
+                                  f"{exc}")
+        if (not isinstance(document, dict)
+                or document.get("schema") != CHECKPOINT_SCHEMA):
+            raise CheckpointError(
+                f"checkpoint {path} has schema "
+                f"{document.get('schema') if isinstance(document, dict) else None!r}; "
+                f"this build reads {CHECKPOINT_SCHEMA!r}")
+        command = document.get("command")
+        if not isinstance(command, dict) or "kind" not in command:
+            raise CheckpointError(f"checkpoint {path} carries no "
+                                  "command record")
+        checkpoint = cls(path, command, total=int(document.get("total", 0)))
+        for key in document.get("completed") or []:
+            if key not in checkpoint._completed_set:
+                checkpoint._completed_set.add(key)
+                checkpoint.completed.append(key)
+        failed = document.get("failed")
+        if isinstance(failed, dict):
+            checkpoint.failed = {key: dict(value)
+                                 for key, value in failed.items()
+                                 if isinstance(value, dict)}
+        return checkpoint
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CampaignCheckpoint {self.path} "
+                f"{len(self.completed)}/{self.total} done, "
+                f"{len(self.failed)} failed>")

@@ -337,8 +337,10 @@ def migration_timeline_rows(result: RunResult,
 
 
 def _migration_rows(results: Dict[str, RunResult]) -> Rows:
+    timeline = results.get("timeline")
     return (["t (s)", "Mbps", "dom0%"],
-            migration_timeline_rows(results["timeline"]))
+            migration_timeline_rows(timeline) if timeline is not None
+            else [])
 
 
 # ----------------------------------------------------------------------
@@ -396,14 +398,18 @@ def resolve_names(only: Optional[Sequence[str]] = None) -> List[str]:
 
 def run_figure(name: str, *, quick: bool = False, jobs: int = 1,
                cache: Optional[ResultCache] = None,
-               costs: Optional[CostModel] = None) -> Dict[str, RunResult]:
+               costs: Optional[CostModel] = None,
+               audit: bool = True) -> Dict[str, RunResult]:
     """One figure's results, keyed by series label (the benchmarks'
-    entrypoint)."""
+    entrypoint).  Labels whose task failed under supervision are
+    absent from the mapping."""
     labeled = FIGURES[name].scenarios(quick)
     outcomes, _ = run_sweep([scenario for _, scenario in labeled],
-                            costs=costs, jobs=jobs, cache=cache)
+                            costs=costs, jobs=jobs, cache=cache,
+                            audit=audit)
     return {label: outcome.result
-            for (label, _), outcome in zip(labeled, outcomes)}
+            for (label, _), outcome in zip(labeled, outcomes)
+            if outcome.result is not None}
 
 
 def figure_artifact(name: str, results: Dict[str, RunResult],
@@ -432,6 +438,9 @@ def generate_figures(
     costs: Optional[CostModel] = None,
     out_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    supervise=None,
+    checkpoint=None,
+    audit: bool = True,
 ) -> tuple[Dict[str, Dict[str, object]], SweepStats]:
     """Regenerate a batch of figures through one shared campaign.
 
@@ -440,21 +449,33 @@ def generate_figures(
     shared by two figures simulate once.  Artifacts are written as
     ``<out_dir>/<name>.json`` with canonical formatting — byte-identical
     across ``--jobs`` settings and cache states.
+
+    A cell whose task terminally failed under supervision is *missing*
+    from its figure (warned through ``progress``) rather than fatal:
+    the remaining cells still render, and a later ``--resume`` of the
+    same campaign fills the hole without recomputing the rest.
     """
+    say = progress or (lambda message: None)
     batches: List[Tuple[str, LabeledScenarios]] = [
         (name, FIGURES[name].scenarios(quick)) for name in names]
     flat: List[Scenario] = [scenario
                             for _, labeled in batches
                             for _, scenario in labeled]
     outcomes, stats = run_sweep(flat, costs=costs, jobs=jobs, cache=cache,
-                                progress=progress)
+                                progress=progress, supervise=supervise,
+                                checkpoint=checkpoint, audit=audit)
     artifacts: Dict[str, Dict[str, object]] = {}
     cursor = 0
     for name, labeled in batches:
         window = outcomes[cursor:cursor + len(labeled)]
         cursor += len(labeled)
-        results = {label: outcome.result
-                   for (label, _), outcome in zip(labeled, window)}
+        results = {}
+        for (label, _), outcome in zip(labeled, window):
+            if outcome.result is None:
+                why = outcome.task.error if outcome.task else "no result"
+                say(f"warning: {name} is missing cell {label!r} ({why})")
+                continue
+            results[label] = outcome.result
         artifacts[name] = figure_artifact(name, results, quick)
         if out_dir is not None:
             root = Path(out_dir)

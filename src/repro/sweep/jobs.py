@@ -8,12 +8,20 @@ simulator objects from a worker.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.api import Scenario, run
 from repro.core.costs import CostModel
 from repro.sweep.cache import costs_to_dict, job_key
+
+#: Chaos hook (CI's chaos-harness job): when this names a directory,
+#: each task key crashes its worker hard (``os._exit``) exactly once —
+#: a marker file remembers which keys already died — exercising the
+#: supervisor's respawn/retry path end to end.
+CHAOS_ENV = "REPRO_SWEEP_CHAOS_DIR"
 
 
 @dataclass(frozen=True)
@@ -25,14 +33,24 @@ class Job:
     key: str
 
     def payload(self, costs_dict: Mapping[str, object],
-                metrics_path: Optional[str] = None) -> Dict[str, object]:
-        """The picklable dict :func:`execute_payload` consumes."""
+                metrics_path: Optional[str] = None,
+                audit: bool = True) -> Dict[str, object]:
+        """The picklable dict :func:`execute_payload` consumes.
+
+        ``key`` rides along for supervision bookkeeping (chaos
+        markers, worker-side diagnostics); it is derived from the
+        scenario+costs content, so including it adds no information
+        the payload didn't already carry.
+        """
         payload: Dict[str, object] = {
             "scenario": self.scenario.to_dict(),
             "costs": dict(costs_dict),
+            "key": self.key,
         }
         if metrics_path is not None:
             payload["metrics_path"] = metrics_path
+        if not audit:
+            payload["audit"] = False
         return payload
 
 
@@ -52,10 +70,30 @@ def execute_payload(payload: Mapping[str, object]) -> Dict[str, object]:
     produces the same result dict no matter which worker runs it, in
     what order, or whether it runs in-process (``--jobs 1``).
     """
+    _maybe_chaos_crash(payload.get("key"))
     scenario = Scenario.from_dict(payload["scenario"])
     costs = CostModel(**payload["costs"])
     metrics_path = payload.get("metrics_path")
-    result = run(scenario, costs=costs, telemetry=metrics_path is not None)
+    result = run(scenario, costs=costs, telemetry=metrics_path is not None,
+                 audit=payload.get("audit", True))
     if metrics_path is not None:
         result.telemetry.write_metrics(metrics_path, result.duration)
     return result.to_dict()
+
+
+def _maybe_chaos_crash(key: Optional[str]) -> None:
+    """Die hard once per task key when the chaos hook is armed.
+
+    The marker is created *before* exiting, so the retry of the same
+    key runs clean — every task crashes exactly once, deterministically,
+    which is what the CI chaos-harness asserts against.
+    """
+    chaos_dir = os.environ.get(CHAOS_ENV)
+    if not chaos_dir or not key:
+        return
+    marker = Path(chaos_dir) / f"{key}.crashed"
+    if marker.exists():
+        return
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.touch()
+    os._exit(17)

@@ -1,11 +1,19 @@
-"""The campaign engine: cache-aware, pool-parallel scenario execution.
+"""The campaign engine: cache-aware, pool-parallel, supervised.
 
 One call — :func:`run_sweep` — takes a list of scenarios and returns
 their results in input order, having (1) served every previously-seen
 configuration straight from the content-addressed cache, (2) executed
 each *distinct* remaining configuration exactly once (duplicates within
 a campaign collapse onto one simulation), and (3) fanned the distinct
-misses out over a ``ProcessPoolExecutor`` when ``jobs > 1``.
+misses out over a supervised ``ProcessPoolExecutor`` when ``jobs > 1``
+— worker crashes are retried with backoff, hangs hit a watchdog
+timeout, and a broken pool is respawned (see
+:mod:`repro.sweep.supervise`).
+
+Crash safety: each result is written to the cache (and the optional
+campaign checkpoint updated) *as it completes*, not at the end — a
+campaign killed at any instant keeps every finished cell, and
+``repro sweep --resume`` recomputes none of them.
 
 Determinism contract: the returned results — and therefore any JSON
 artifact derived from them — are byte-identical across ``jobs=1`` and
@@ -13,12 +21,13 @@ artifact derived from them — are byte-identical across ``jobs=1`` and
 deterministic per seed; the engine's duty is not to launder that
 through scheduling, so results are keyed by job index (never by
 completion order) and every result, fresh or cached, passes through the
-same ``to_dict``/``from_dict`` normalization.
+same ``to_dict``/``from_dict`` normalization.  Tasks that ultimately
+fail return ``Outcome.result = None`` (plus a ``TaskOutcome`` saying
+why) instead of poisoning the ordering.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -26,7 +35,10 @@ from repro.api import Scenario
 from repro.core.costs import CostModel
 from repro.core.experiment import RunResult
 from repro.sweep.cache import ResultCache, costs_to_dict
+from repro.sweep.checkpoint import CampaignCheckpoint
 from repro.sweep.jobs import Job, build_jobs, execute_payload
+from repro.sweep.supervise import (SuperviseConfig, SuperviseStats,
+                                   TaskOutcome, run_supervised)
 
 
 @dataclass
@@ -39,10 +51,24 @@ class SweepStats:
     #: distinct simulations actually executed (duplicate scenarios in
     #: one campaign collapse onto one run).
     executed: int = 0
+    #: Task-outcome counts across the executed jobs (supervision).
+    ok: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    #: Worker-pool respawns caused by crashes/timeouts.
+    respawns: int = 0
+    #: Cache entries quarantined as corrupt during this campaign.
+    corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
+
+    @property
+    def failures(self) -> int:
+        """Tasks that ended without a result."""
+        return self.timed_out + self.failed
 
     def summary(self) -> str:
         """The stable, machine-parseable summary line."""
@@ -50,16 +76,29 @@ class SweepStats:
                 f"executed={self.executed} total={self.total} "
                 f"hit_rate={self.hit_rate * 100:.1f}%")
 
+    def task_summary(self) -> str:
+        """The supervision counterpart of :meth:`summary`."""
+        return (f"task summary: ok={self.ok} retried={self.retried} "
+                f"timed_out={self.timed_out} failed={self.failed} "
+                f"respawns={self.respawns} corrupt={self.corrupt}")
+
 
 @dataclass
 class Outcome:
-    """One scenario's result, with its provenance."""
+    """One scenario's result, with its provenance.
+
+    ``result`` is None when the task ultimately failed under
+    supervision; ``task`` then carries the terminal
+    :class:`~repro.sweep.supervise.TaskOutcome` (it is None for cache
+    hits, which execute nothing).
+    """
 
     index: int
     scenario: Scenario
     key: str
-    result: RunResult
+    result: Optional[RunResult]
     cached: bool
+    task: Optional[TaskOutcome] = None
 
 
 def run_sweep(
@@ -70,12 +109,19 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     metrics_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    supervise: Optional[SuperviseConfig] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    audit: bool = True,
 ) -> tuple[List[Outcome], SweepStats]:
     """Execute a campaign; outcomes come back in input order.
 
     ``metrics_dir`` turns on telemetry inside each *executed* job and
     writes one ``<key>.metrics.json`` per job there (cache hits skip
-    simulation, hence produce no new metrics file).
+    simulation, hence produce no new metrics file).  ``supervise``
+    overrides the default watchdog/retry policy; ``checkpoint`` is
+    updated after every task so an interrupted campaign resumes with
+    zero recomputation; ``audit=False`` disables the runtime invariant
+    auditor inside the executed jobs.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -83,10 +129,13 @@ def run_sweep(
     costs_dict = costs_to_dict(costs)
     job_list = build_jobs(scenarios, costs)
     stats = SweepStats(total=len(job_list))
+    if checkpoint is not None:
+        checkpoint.total = len({job.key for job in job_list})
     results: Dict[int, RunResult] = {}
     cached: Dict[int, bool] = {}
 
     misses: List[Job] = []
+    hit_keys = set()
     for job in job_list:
         entry = cache.get(job.key) if cache is not None else None
         if entry is not None:
@@ -94,11 +143,15 @@ def run_sweep(
                 results[job.index] = RunResult.from_dict(entry)
                 cached[job.index] = True
                 stats.hits += 1
+                hit_keys.add(job.key)
                 continue
             except (KeyError, ValueError):
-                pass  # corrupt entry: fall through to re-simulate
+                pass  # unreadable entry: fall through to re-simulate
         misses.append(job)
     stats.misses = len(misses)
+    if checkpoint is not None:
+        for key in hit_keys:
+            checkpoint.mark_completed(key)
 
     # Collapse duplicate configurations: one simulation per distinct
     # key, its result shared by every job that asked for it.
@@ -119,36 +172,48 @@ def run_sweep(
         root.mkdir(parents=True, exist_ok=True)
         return str(root / f"{job.key}.metrics.json")
 
-    payloads = [job.payload(costs_dict, metrics_path(job))
-                for job in ordered]
-    fresh: Dict[str, dict] = {}
-    if jobs > 1 and len(ordered) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs,
-                                                 len(ordered))) as pool:
-            # chunksize=1 is deliberate: jobs are whole simulations
-            # (seconds each), so per-job dispatch keeps the pool
-            # load-balanced; results are keyed by job index, so the
-            # chunking policy can never affect output bytes.
-            for job, result_dict in zip(ordered,
-                                        pool.map(execute_payload, payloads,
-                                                 chunksize=1)):
-                fresh[job.key] = result_dict
-                say(f"  done {job.scenario.mode}#{job.index} "
-                    f"[{job.key[:12]}]")
-    else:
-        for job, payload in zip(ordered, payloads):
-            fresh[job.key] = execute_payload(payload)
-            say(f"  done {job.scenario.mode}#{job.index} [{job.key[:12]}]")
+    tasks = [(job.key, job.payload(costs_dict, metrics_path(job),
+                                   audit=audit))
+             for job in ordered]
 
+    def on_result(key: str, task: TaskOutcome,
+                  result_dict: Optional[dict]) -> None:
+        """Persist each result the moment it lands (crash safety)."""
+        job = distinct[key]
+        if result_dict is not None:
+            if cache is not None:
+                cache.put(key, job.scenario.to_dict(), costs_dict,
+                          result_dict)
+            if checkpoint is not None:
+                checkpoint.mark_completed(key)
+            say(f"  done {job.scenario.mode}#{job.index} [{key[:12]}]")
+        else:
+            if checkpoint is not None:
+                checkpoint.mark_failed(key, task.to_dict())
+            say(f"  FAILED {job.scenario.mode}#{job.index} [{key[:12]}]: "
+                f"{task.error}")
+
+    fresh, task_outcomes, respawns = run_supervised(
+        execute_payload, tasks, jobs=jobs, config=supervise,
+        on_result=on_result, say=say)
+
+    task_stats = SuperviseStats.of(list(task_outcomes.values()), respawns)
+    stats.ok = task_stats.ok
+    stats.retried = task_stats.retried
+    stats.timed_out = task_stats.timed_out
+    stats.failed = task_stats.failed
+    stats.respawns = task_stats.respawns
     if cache is not None:
-        for key, result_dict in fresh.items():
-            cache.put(key, distinct[key].scenario.to_dict(), costs_dict,
-                      result_dict)
+        stats.corrupt = cache.corruption
+
     for job in misses:
-        results[job.index] = RunResult.from_dict(fresh[job.key])
+        if job.key in fresh:
+            results[job.index] = RunResult.from_dict(fresh[job.key])
         cached[job.index] = False
 
     outcomes = [Outcome(index=job.index, scenario=job.scenario, key=job.key,
-                        result=results[job.index], cached=cached[job.index])
+                        result=results.get(job.index),
+                        cached=cached[job.index],
+                        task=task_outcomes.get(job.key))
                 for job in job_list]
     return outcomes, stats

@@ -1,12 +1,22 @@
 """Unit tests for the content-addressed result cache and its keys."""
 
 import json
+import subprocess
+import sys
+import threading
 
 import pytest
 
 from repro.api import Scenario
 from repro.core.costs import CostModel
 from repro.sweep import ResultCache, canonical_json, costs_to_dict, job_key
+
+
+def _dead_pid() -> int:
+    """A pid that provably names no live process (spawned and reaped)."""
+    process = subprocess.Popen([sys.executable, "-c", "pass"])
+    process.wait()
+    return process.pid
 
 
 def _key(scenario, costs=None):
@@ -109,17 +119,30 @@ class TestResultCache:
 
     def test_crash_debris_is_swept_and_reads_as_clean_miss(self, tmp_path):
         # A writer killed between creating its tmp file and the atomic
-        # rename leaves `<key>.tmp.<pid>` behind.  A fresh ResultCache
-        # sweeps the debris and the entry is an ordinary miss.
+        # rename leaves `<key>.tmp.<pid>.<tid>` behind.  A fresh
+        # ResultCache sweeps the dead writer's debris and the entry is
+        # an ordinary miss.
         key = _key(Scenario(mode="sriov"))
         shard = tmp_path / key[:2]
         shard.mkdir(parents=True)
-        debris = shard / f"{key}.tmp.12345"
+        debris = shard / f"{key}.tmp.{_dead_pid()}.140001"
         debris.write_text('{"schema": "repro-cache-entry/1", "half-writ')
         cache = ResultCache(tmp_path)
         assert not debris.exists()
         assert cache.get(key) is None
         assert len(cache) == 0
+
+    def test_sweep_keeps_a_live_writers_tmp(self, tmp_path):
+        # A tmp whose embedded pid is alive belongs to a concurrent
+        # sweep mid-put; deleting it would break that writer's rename.
+        import os
+        key = _key(Scenario(mode="sriov"))
+        shard = tmp_path / key[:2]
+        shard.mkdir(parents=True)
+        inflight = shard / f"{key}.tmp.{os.getpid()}.1"
+        inflight.write_text("half-written by a live process")
+        ResultCache(tmp_path)
+        assert inflight.exists()
 
     def test_sweep_leaves_real_entries_alone(self, tmp_path):
         scenario = Scenario(mode="sriov")
@@ -127,10 +150,104 @@ class TestResultCache:
         first = ResultCache(tmp_path)
         first.put(key, scenario.to_dict(), costs_to_dict(None),
                   self._result_dict())
-        (tmp_path / key[:2] / f"{key}.tmp.999").write_text("junk")
+        (tmp_path / key[:2] / f"{key}.tmp.{_dead_pid()}.2").write_text(
+            "junk")
         second = ResultCache(tmp_path)
         assert second.get(key) == self._result_dict()
         assert len(second) == 1
+
+    def test_truncated_entry_is_quarantined_and_recomputable(
+            self, tmp_path):
+        # Torn write (power loss): the entry fails JSON parsing, moves
+        # to corrupt/, counts as corruption, and the slot accepts a
+        # fresh put.
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        path = cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                         self._result_dict())
+        path.write_text(path.read_text()[:40])  # truncate
+        assert cache.get(key) is None
+        assert cache.corruption == 1
+        assert not path.exists()
+        assert len(cache.quarantined) == 1
+        assert cache.quarantined[0].parent == cache.quarantine_dir()
+        # Transparent recompute: a new put lands and reads back clean.
+        cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                  self._result_dict())
+        assert cache.get(key) == self._result_dict()
+        assert cache.corruption == 1
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        # A bit-flip inside the result payload parses fine but fails
+        # the sha256/length footer.
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        path = cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                         self._result_dict())
+        entry = json.loads(path.read_text())
+        entry["result"]["rx_bytes"] = 999999  # silent corruption
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.corruption == 1
+        assert list(cache.quarantine_dir().iterdir())
+
+    def test_legacy_schema_is_a_plain_miss_not_corruption(self, tmp_path):
+        # A pre-footer /1 entry cannot be verified; it reads as a miss
+        # but is NOT quarantined (nothing is provably wrong with it).
+        cache = ResultCache(tmp_path)
+        key = _key(Scenario(mode="sriov"))
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": "repro-cache-entry/1",
+                                    "key": key,
+                                    "result": self._result_dict()}))
+        assert cache.get(key) is None
+        assert cache.corruption == 0
+        assert path.exists()
+
+    def test_quarantined_entries_leave_len_unchanged(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        path = cache.put(key, scenario.to_dict(), costs_to_dict(None),
+                         self._result_dict())
+        assert len(cache) == 1
+        path.write_text("garbage")
+        cache.get(key)
+        assert len(cache) == 0  # corrupt/ files don't count as entries
+
+    def test_two_threads_writing_the_same_key_leave_a_valid_entry(
+            self, tmp_path):
+        # Concurrent sweeps sharing $REPRO_CACHE_DIR race puts of the
+        # same content; per-writer tmp names mean both renames succeed
+        # and the surviving entry verifies.
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(mode="sriov")
+        key = _key(scenario)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def writer():
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    cache.put(key, scenario.to_dict(),
+                              costs_to_dict(None), self._result_dict())
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.get(key) == self._result_dict()
+        assert cache.corruption == 0
+        shard = tmp_path / key[:2]
+        assert not list(shard.glob("*.tmp.*"))  # no debris left behind
 
     def test_env_var_resolved_at_construction(self, tmp_path, monkeypatch):
         # $REPRO_CACHE_DIR set after import must still be honoured:
