@@ -181,7 +181,8 @@ class Scenario:
 def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
         telemetry: bool = False, profile: bool = False,
         audit: bool = True,
-        audit_interval: Optional[float] = None) -> RunResult:
+        audit_interval: Optional[float] = None,
+        observer=None) -> RunResult:
     """Execute one scenario and return its :class:`RunResult`.
 
     ``costs`` overrides the calibrated :class:`CostModel`; it is the
@@ -192,7 +193,10 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
     ``audit``/``audit_interval`` control the runtime invariant auditor
     (:mod:`repro.audit`) — also outside the key: the default
     end-of-run audit is observation-only and fault-free audited runs
-    are byte-identical to unaudited ones.
+    are byte-identical to unaudited ones.  ``observer`` is a
+    testbed-construction hook called as ``observer(bed)`` (the
+    campaign telemetry streamer attaches its heartbeat through it);
+    like telemetry it must never touch the simulation.
     """
     runner = ExperimentRunner(costs=costs, warmup=scenario.warmup,
                               duration=scenario.duration,
@@ -200,7 +204,8 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
                               seed=scenario.seed, faults=scenario.faults,
                               audit=audit, audit_interval=audit_interval,
                               audit_context={"scenario": scenario.to_dict(),
-                                             "seed": scenario.seed})
+                                             "seed": scenario.seed},
+                              observer=observer)
     return _dispatch(runner, scenario)
 
 

@@ -108,6 +108,17 @@ def _campaign_parent() -> argparse.ArgumentParser:
     robust.add_argument("--no-audit", action="store_true",
                         help="disable the runtime invariant auditor "
                              "inside executed jobs")
+    obs = parent.add_argument_group("campaign observability")
+    obs.add_argument("--dashboard", action="store_true",
+                     help="live in-terminal campaign view (task grid, "
+                          "throughput, ETA); degrades to periodic "
+                          "one-line summaries when stderr is not a TTY")
+    obs.add_argument("--journal", default=None, metavar="FILE",
+                     help="append every telemetry record to a "
+                          "campaign journal (JSONL; render it with "
+                          "'repro report').  Default with --checkpoint/"
+                          "--resume: campaign.jsonl next to the "
+                          "checkpoint file")
     return parent
 
 
@@ -181,6 +192,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-dir", default=None, metavar="DIR",
                        help="enable telemetry in every executed job and "
                             "write one <key>.metrics.json per job")
+
+    report = commands.add_parser(
+        "report",
+        help="render a campaign journal as self-contained static HTML")
+    report.add_argument("journal", metavar="JOURNAL.jsonl",
+                        help="the campaign.jsonl a --journal/--dashboard "
+                             "campaign wrote")
+    report.add_argument("--out", default=None, metavar="FILE",
+                        help="output HTML path (default: the journal "
+                             "path with .html)")
+    report.add_argument("--baseline", default=None,
+                        metavar="JOURNAL.jsonl",
+                        help="a prior campaign journal to diff against "
+                             "(per-cell throughput/runtime deltas)")
+    report.add_argument("--check", action="store_true",
+                        help="strictly validate the journal's schema "
+                             "and exit without writing HTML")
 
     faults = commands.add_parser(
         "faults",
@@ -344,6 +372,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "bench":
         return _run_bench(args)
     result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
@@ -387,8 +417,39 @@ def _load_resume(args, kind: str):
     return checkpoint
 
 
-def _finish_campaign(stats) -> int:
+def _hub_for(args):
+    """The TelemetryHub behind --dashboard/--journal (None without)."""
+    if not (args.dashboard or args.journal):
+        return None
+    from pathlib import Path
+
+    from repro.obs.campaign import TelemetryHub
+    from repro.obs.campaign.dashboard import Dashboard
+    journal = args.journal
+    anchor = args.resume or args.checkpoint
+    if journal is None and anchor:
+        journal = str(Path(anchor).resolve().parent / "campaign.jsonl")
+    spool = None
+    if journal is None:
+        # Dashboard without a journal: worker telemetry still streams,
+        # through a throwaway spool the hub removes on finalize.
+        import tempfile
+        spool = tempfile.mkdtemp(prefix="repro-spool-")
+    dashboard = Dashboard() if args.dashboard else None
+    if journal:
+        _say(f"journal    : {journal}")
+    return TelemetryHub(journal_path=journal, spool_dir=spool,
+                        dashboard=dashboard)
+
+
+def _finish_campaign(stats, hub=None) -> int:
     """The shared summary/exit-code tail of figures and sweep."""
+    if hub is not None:
+        hub.finalize(stats)
+        if hub.journal_errors:
+            print(f"warning: {hub.journal_errors} journal write "
+                  "error(s); the campaign journal is incomplete",
+                  file=sys.stderr)
     print(stats.summary())
     print(stats.task_summary())
     if stats.failures:
@@ -431,18 +492,19 @@ def _run_figures(args) -> int:
             checkpoint = CampaignCheckpoint(
                 args.checkpoint,
                 {"kind": "figures", "names": names, "quick": bool(quick)})
+    hub = _hub_for(args)
     artifacts, stats = generate_figures(
         names, quick=quick, jobs=args.jobs, cache=_cache_for(args),
         out_dir=args.out_dir, progress=_say,
         supervise=_supervise_for(args), checkpoint=checkpoint,
-        audit=not args.no_audit)
+        audit=not args.no_audit, hub=hub)
     for name in names:
         artifact = artifacts[name]
         print(format_table(f"{name}: {artifact['title']}",
                            artifact["columns"], artifact["rows"]))
     print(f"\nwrote {len(names)} artifacts to {args.out_dir}/",
           file=sys.stderr)
-    return _finish_campaign(stats)
+    return _finish_campaign(stats, hub)
 
 
 def _run_bench(args) -> int:
@@ -467,6 +529,22 @@ def _run_bench(args) -> int:
             print(f"REGRESSION: {regression}", file=sys.stderr)
         return 1
     print(f"no events/sec regression beyond {args.tolerance:.0%}")
+    return 0
+
+
+def _run_report(args) -> int:
+    from repro.obs.campaign.report import (JournalError, load_journal,
+                                           write_report)
+
+    try:
+        if args.check:
+            records = load_journal(args.journal, strict=True)
+            print(f"ok: {len(records)} journal records")
+            return 0
+        out = write_report(args.journal, args.out, args.baseline)
+    except JournalError as exc:
+        raise SystemExit(str(exc))
+    print(f"report     : wrote {out}", file=sys.stderr)
     return 0
 
 
@@ -537,13 +615,15 @@ def _run_sweep(args) -> int:
         checkpoint = CampaignCheckpoint(args.checkpoint,
                                         {"kind": "sweep",
                                          "spec": document})
+    hub = _hub_for(args)
     outcomes, stats = run_sweep(scenarios, jobs=args.jobs,
                                 cache=_cache_for(args),
                                 metrics_dir=args.metrics_dir,
                                 progress=_say,
                                 supervise=_supervise_for(args),
                                 checkpoint=checkpoint,
-                                audit=not args.no_audit)
+                                audit=not args.no_audit,
+                                hub=hub)
     rows = []
     for o in outcomes:
         if o.result is not None:
@@ -572,7 +652,7 @@ def _run_sweep(args) -> int:
             json.dump(payload, handle, sort_keys=True, indent=1)
             handle.write("\n")
         print(f"results    : wrote {args.out}", file=sys.stderr)
-    return _finish_campaign(stats)
+    return _finish_campaign(stats, hub)
 
 
 def main() -> None:  # pragma: no cover - thin entry point

@@ -178,7 +178,8 @@ class ExperimentRunner:
                  faults: Optional[Sequence[Mapping]] = None,
                  audit: bool = True,
                  audit_interval: Optional[float] = None,
-                 audit_context: Optional[Mapping] = None):
+                 audit_context: Optional[Mapping] = None,
+                 observer: Optional[Callable] = None):
         self.costs = (costs or CostModel()).validate()
         self.warmup = warmup
         self.duration = duration
@@ -193,6 +194,9 @@ class ExperimentRunner:
         self.audit = audit
         self.audit_interval = audit_interval
         self.audit_context = dict(audit_context) if audit_context else None
+        #: Testbed-construction hook (see ``TestbedConfig.observer``);
+        #: observation-only, installed into every testbed built.
+        self.observer = observer
         #: The most recent testbed measured by :meth:`_measure`; the
         #: perf-benchmark harness reads ``last_bed.sim.events_executed``
         #: to turn a scenario's wall-clock into events/sec.
@@ -209,6 +213,7 @@ class ExperimentRunner:
         kwargs.setdefault("audit", self.audit)
         kwargs.setdefault("audit_interval", self.audit_interval)
         kwargs.setdefault("audit_context", self.audit_context)
+        kwargs.setdefault("observer", self.observer)
         return TestbedConfig(**kwargs)
 
     def _final_audit(self, bed: Testbed) -> None:

@@ -15,7 +15,7 @@ each port j".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.costs import CostModel
 from repro.core.optimizations import OptimizationConfig
@@ -77,6 +77,11 @@ class TestbedConfig:
     #: Context embedded in a violation's repro dump (the experiment
     #: layer passes the scenario dict here).
     audit_context: Optional[Mapping] = None
+    #: Construction hook, called as ``observer(bed)`` once the testbed
+    #: is fully assembled.  Observation-only by contract: the campaign
+    #: telemetry streamer uses it to grab ``bed.sim`` for heartbeat
+    #: sampling without ever scheduling an event.
+    observer: Optional[Callable[["Testbed"], None]] = None
 
 
 @dataclass
@@ -152,6 +157,8 @@ class Testbed:
                 self, context=self.config.audit_context)
             if self.config.audit_interval:
                 self.auditor.install(self.config.audit_interval)
+        if self.config.observer is not None:
+            self.config.observer(self)
 
     # ------------------------------------------------------------------
     # construction

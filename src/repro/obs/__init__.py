@@ -20,12 +20,22 @@ Figs. 20-21.  This package is the reproduction's equivalent layer:
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade a testbed
   installs, exposed via the CLI's ``--metrics-json`` / ``--trace-out``
   / ``--profile`` flags.
+* :mod:`repro.obs.campaign` — campaign-scale observability: streaming
+  worker telemetry into a :class:`TelemetryHub`, the live
+  ``--dashboard`` view, the ``campaign.jsonl`` journal and the
+  ``repro report`` static-HTML renderer.
 
 Everything defaults off: platforms carry null registries/tracers whose
 methods are no-ops, so hot paths trace and count unconditionally at
 negligible cost.
 """
 
+from repro.obs.campaign import (
+    JOURNAL_SCHEMA,
+    SNAPSHOT_SCHEMA,
+    SnapshotEmitter,
+    TelemetryHub,
+)
 from repro.obs.export import (
     chrome_trace_events,
     trace_to_chrome_json,
@@ -47,6 +57,10 @@ __all__ = [
     "CycleLedger",
     "EXIT_PREFIX",
     "EngineProfiler",
+    "JOURNAL_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotEmitter",
+    "TelemetryHub",
     "MetricsError",
     "MetricsRegistry",
     "MetricsScope",

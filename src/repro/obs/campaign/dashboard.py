@@ -1,0 +1,261 @@
+"""The live campaign dashboard: pure-ANSI, stdlib-only, TTY-aware.
+
+Rendering strategy is chosen once at construction:
+
+* **TTY mode** (stderr is a terminal): a full-screen-ish panel redrawn
+  in place with ANSI cursor-home + erase-line sequences — task grid
+  (one glyph per cell), fleet throughput sparkline, top-N slowest
+  cells, fault and audit counters, ETA.  stdin (when it is also a
+  TTY) is put into cbreak so single keypresses work:
+
+  ======  =========================================
+  key     action
+  ======  =========================================
+  ``q``   leave the dashboard (drop to line mode)
+  ``s``   toggle the slowest-cells panel
+  ``f``   toggle the fault/metric counters panel
+  ======  =========================================
+
+* **line mode** (not a TTY — CI, ``2>log``, ``--dashboard`` forced in
+  a pipeline): one plain summary line every few seconds, e.g.::
+
+    campaign: 12/16 done (2 running, 1 failed) | 57.3k ev/s | eta 41s
+
+Both modes are throttled (a render at most every ``min_interval`` host
+seconds) so dashboard cost never shows up in campaign wall time, and
+both write to stderr only — stdout stays the machine-parseable surface
+(tables, ``cache summary:``, ``task summary:``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional
+
+#: Cell-state glyphs for the task grid, in legend order.
+GLYPHS = [("ok", "✓", "32"),          # green check
+          ("retried", "r", "33"),          # yellow
+          ("running", "▶", "36"),     # cyan
+          ("pending", "·", "90"),     # dim dot
+          ("timed_out", "T", "31"),        # red
+          ("failed", "F", "31"),           # red
+          ("quarantined", "Q", "35")]      # magenta
+
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+CSI = "\x1b["
+
+
+def sparkline(samples: List[float], width: int = 32) -> str:
+    """The last ``width`` samples as unicode block ticks."""
+    tail = samples[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return SPARK_TICKS[0] * len(tail)
+    return "".join(
+        SPARK_TICKS[min(len(SPARK_TICKS) - 1,
+                        int(value / top * (len(SPARK_TICKS) - 1)))]
+        for value in tail)
+
+
+def format_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M ev/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k ev/s"
+    return f"{rate:.0f} ev/s"
+
+
+def format_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "eta ?"
+    if eta >= 90:
+        return f"eta {eta / 60:.1f}m"
+    return f"eta {eta:.0f}s"
+
+
+class Dashboard:
+    """Renders a :class:`~repro.obs.campaign.hub.TelemetryHub`."""
+
+    def __init__(self, stream=None, *, force_tty: Optional[bool] = None,
+                 min_interval: float = 0.25, line_interval: float = 2.0,
+                 top_n: int = 5, clock=time.monotonic):
+        self.stream = stream if stream is not None else sys.stderr
+        self.is_tty = (force_tty if force_tty is not None
+                       else bool(getattr(self.stream, "isatty",
+                                         lambda: False)()))
+        self.min_interval = min_interval if self.is_tty else line_interval
+        self.top_n = top_n
+        self._clock = clock
+        self._last_render = 0.0
+        self._lines_drawn = 0
+        self.show_slowest = True
+        self.show_faults = True
+        self.renders = 0
+        self._stdin_raw = None
+        if self.is_tty:
+            self._enter_cbreak()
+
+    # ------------------------------------------------------------------
+    # keyboard (TTY only, best-effort)
+    # ------------------------------------------------------------------
+    def _enter_cbreak(self) -> None:
+        try:
+            import termios
+            import tty
+            if not sys.stdin.isatty():
+                return
+            self._stdin_raw = termios.tcgetattr(sys.stdin.fileno())
+            tty.setcbreak(sys.stdin.fileno())
+        except Exception:  # pragma: no cover - no termios / closed stdin
+            self._stdin_raw = None
+
+    def _exit_cbreak(self) -> None:
+        if self._stdin_raw is None:
+            return
+        try:  # pragma: no cover - TTY-only path
+            import termios
+            termios.tcsetattr(sys.stdin.fileno(), termios.TCSADRAIN,
+                              self._stdin_raw)
+        except Exception:
+            pass
+        self._stdin_raw = None
+
+    def _poll_keys(self) -> None:
+        if self._stdin_raw is None:
+            return
+        try:  # pragma: no cover - TTY-only path
+            import select
+            while select.select([sys.stdin], [], [], 0)[0]:
+                key = sys.stdin.read(1)
+                if key == "q":
+                    self._teardown_screen()
+                    self.is_tty = False
+                    self.min_interval = max(self.min_interval, 2.0)
+                elif key == "s":
+                    self.show_slowest = not self.show_slowest
+                elif key == "f":
+                    self.show_faults = not self.show_faults
+                else:
+                    break
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def maybe_render(self, hub) -> None:
+        now = self._clock()
+        if now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self._poll_keys()
+        self.renders += 1
+        if self.is_tty:
+            self._render_panel(hub)
+        else:
+            self._render_line(hub)
+
+    def finalize(self, hub) -> None:
+        """Last render + terminal restoration."""
+        self._last_render = 0.0
+        self.renders += 1
+        if self.is_tty:
+            self._render_panel(hub)
+            self.stream.write("\n")
+            self._teardown_screen(clear=False)
+        else:
+            self._render_line(hub)
+        self._exit_cbreak()
+        try:
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def summary_line(self, hub) -> str:
+        counts = hub.status_counts()
+        done = sum(counts[state] for state in
+                   ("ok", "retried", "timed_out", "failed"))
+        bad = counts["timed_out"] + counts["failed"]
+        parts = [f"campaign: {done}/{hub.total} done "
+                 f"({counts['running']} running, {bad} failed)"]
+        if hub.cache_hits():
+            parts.append(f"{hub.cache_hits()} cached")
+        rate = hub.fleet_events_per_sec()
+        if rate:
+            parts.append(format_rate(rate))
+        parts.append(format_eta(hub.eta_seconds()))
+        return " | ".join(parts)
+
+    def _render_line(self, hub) -> None:
+        try:
+            self.stream.write(self.summary_line(hub) + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def _grid(self, hub) -> List[str]:
+        glyph_for: Dict[str, str] = {
+            state: f"{CSI}{color}m{glyph}{CSI}0m"
+            for state, glyph, color in GLYPHS}
+        cells = [glyph_for.get(cell.status, "?")
+                 for _, cell in sorted(hub.cells.items())]
+        cells += [glyph_for["pending"]] * max(0, hub.total - len(cells))
+        width = 64
+        return ["  " + "".join(cells[i:i + width])
+                for i in range(0, len(cells), width)] or ["  (no cells)"]
+
+    def _render_panel(self, hub) -> None:
+        counts = hub.status_counts()
+        lines = [f"{CSI}1mcampaign dashboard{CSI}0m  "
+                 + self.summary_line(hub)]
+        lines += self._grid(hub)
+        legend = "  ".join(f"{CSI}{color}m{glyph}{CSI}0m {state}"
+                           for state, glyph, color in GLYPHS
+                           if counts.get(state))
+        lines.append("  " + legend)
+        history = [rate for _, rate in hub.throughput_history]
+        if history:
+            lines.append(f"  throughput {sparkline(history)} "
+                         f"{format_rate(history[-1])}")
+        if self.show_slowest:
+            slowest = hub.completed_runtimes()[:self.top_n]
+            if slowest:
+                lines.append("  slowest cells:")
+                lines += [f"    {key[:12]}  {runtime:6.2f}s"
+                          for key, runtime in slowest]
+        if self.show_faults and hub.fault_counts:
+            fired = ", ".join(f"{name.split('.', 1)[1]}={value:g}"
+                              for name, value
+                              in sorted(hub.fault_counts.items()))
+            lines.append(f"  faults: {fired}")
+        # Previous frame taller than this one: wipe the leftovers, and
+        # remember the full height written so the next cursor-up lands
+        # back on the first line.
+        wipe = max(0, self._lines_drawn - len(lines))
+        try:
+            out = []
+            if self._lines_drawn:
+                out.append(f"{CSI}{self._lines_drawn}F")  # cursor up-home
+            for line in lines:
+                out.append(f"{CSI}2K" + line + "\n")      # erase + draw
+            out.extend(f"{CSI}2K\n" for _ in range(wipe))
+            self.stream.write("".join(out))
+            self.stream.flush()
+        except (OSError, ValueError):
+            return
+        self._lines_drawn = len(lines) + wipe
+
+    def _teardown_screen(self, clear: bool = True) -> None:
+        if self._lines_drawn and clear:
+            try:
+                self.stream.write(f"{CSI}{self._lines_drawn}F"
+                                  + (f"{CSI}2K\n" * self._lines_drawn)
+                                  + f"{CSI}{self._lines_drawn}F")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+        self._lines_drawn = 0

@@ -131,8 +131,8 @@ class MetricsRegistry:
                     "max": instrument.maximum,
                     "mean": instrument.mean(now)}
         if kind == "series":
-            doc = {"type": "series", "count": len(instrument),
-                   "sum": sum(instrument.values)}
+            doc = {"type": "series"}
+            doc.update(instrument.summary(percentiles=(50, 99)))
             if len(instrument):
                 doc["first_time"] = instrument.times[0]
                 doc["last_time"] = instrument.times[-1]

@@ -209,6 +209,50 @@ class Series:
         hi = bisect.bisect_left(self._times, end)
         return sum(self._values[lo:hi])
 
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the recorded *values* (order
+        statistics with linear interpolation, ignoring timestamps).
+
+        Unlike :meth:`Histogram.percentile` this is exact — a Series
+        keeps every sample — which is what the campaign hub's
+        cross-cell aggregates need: a fleet of tens of cells would
+        alias badly through fixed-width bins.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty: "
+                             "no percentiles")
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self, percentiles: Sequence[float] = (50, 90, 99)
+                ) -> Dict[str, float]:
+        """One dict summarizing the recorded values: ``count``/``sum``
+        always, plus ``min``/``max``/``mean`` and a ``p<q>`` entry per
+        requested percentile when the series is non-empty.
+
+        Keys are deterministic for a given argument list, so the dict
+        is safe to embed in byte-compared JSON documents.
+        """
+        doc: Dict[str, float] = {"count": len(self._values),
+                                 "sum": sum(self._values)}
+        if not self._values:
+            return doc
+        doc["min"] = min(self._values)
+        doc["max"] = max(self._values)
+        doc["mean"] = doc["sum"] / len(self._values)
+        for q in percentiles:
+            label = f"{q:g}"
+            doc[f"p{label}"] = self.percentile(q)
+        return doc
+
     def bucketize(self, start: float, end: float, width: float) -> List[Tuple[float, float]]:
         """Aggregate sample values into fixed-width buckets.
 

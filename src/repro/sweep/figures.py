@@ -441,6 +441,7 @@ def generate_figures(
     supervise=None,
     checkpoint=None,
     audit: bool = True,
+    hub=None,
 ) -> tuple[Dict[str, Dict[str, object]], SweepStats]:
     """Regenerate a batch of figures through one shared campaign.
 
@@ -463,7 +464,8 @@ def generate_figures(
                             for _, scenario in labeled]
     outcomes, stats = run_sweep(flat, costs=costs, jobs=jobs, cache=cache,
                                 progress=progress, supervise=supervise,
-                                checkpoint=checkpoint, audit=audit)
+                                checkpoint=checkpoint, audit=audit,
+                                hub=hub)
     artifacts: Dict[str, Dict[str, object]] = {}
     cursor = 0
     for name, labeled in batches:

@@ -34,13 +34,16 @@ class Job:
 
     def payload(self, costs_dict: Mapping[str, object],
                 metrics_path: Optional[str] = None,
-                audit: bool = True) -> Dict[str, object]:
+                audit: bool = True,
+                spool_dir: Optional[str] = None) -> Dict[str, object]:
         """The picklable dict :func:`execute_payload` consumes.
 
         ``key`` rides along for supervision bookkeeping (chaos
         markers, worker-side diagnostics); it is derived from the
         scenario+costs content, so including it adds no information
-        the payload didn't already carry.
+        the payload didn't already carry.  ``spool_dir`` arms the
+        campaign telemetry streamer — observation-only, so it never
+        enters the cache key either.
         """
         payload: Dict[str, object] = {
             "scenario": self.scenario.to_dict(),
@@ -51,6 +54,8 @@ class Job:
             payload["metrics_path"] = metrics_path
         if not audit:
             payload["audit"] = False
+        if spool_dir is not None:
+            payload["spool_dir"] = spool_dir
         return payload
 
 
@@ -74,10 +79,30 @@ def execute_payload(payload: Mapping[str, object]) -> Dict[str, object]:
     scenario = Scenario.from_dict(payload["scenario"])
     costs = CostModel(**payload["costs"])
     metrics_path = payload.get("metrics_path")
-    result = run(scenario, costs=costs, telemetry=metrics_path is not None,
-                 audit=payload.get("audit", True))
+    spool_dir = payload.get("spool_dir")
+    emitter = None
+    observer = None
+    telemetry = metrics_path is not None
+    if spool_dir:
+        from repro.obs.campaign.snapshot import SnapshotEmitter
+        emitter = SnapshotEmitter(str(spool_dir), payload["key"])
+        emitter.task_start(payload["scenario"])
+        observer = emitter.observe_testbed
+        # The task_end snapshot carries the metrics registry, so the
+        # streamer turns telemetry on; results stay byte-identical
+        # because telemetry is observation-only by contract.
+        telemetry = True
+    try:
+        result = run(scenario, costs=costs, telemetry=telemetry,
+                     audit=payload.get("audit", True), observer=observer)
+    except BaseException:
+        if emitter is not None:
+            emitter.close()
+        raise
     if metrics_path is not None:
         result.telemetry.write_metrics(metrics_path, result.duration)
+    if emitter is not None:
+        emitter.task_end(result)
     return result.to_dict()
 
 

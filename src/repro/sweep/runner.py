@@ -28,6 +28,7 @@ why) instead of poisoning the ordering.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,8 +38,8 @@ from repro.core.experiment import RunResult
 from repro.sweep.cache import ResultCache, costs_to_dict
 from repro.sweep.checkpoint import CampaignCheckpoint
 from repro.sweep.jobs import Job, build_jobs, execute_payload
-from repro.sweep.supervise import (SuperviseConfig, SuperviseStats,
-                                   TaskOutcome, run_supervised)
+from repro.sweep.supervise import (SuperviseConfig, TaskOutcome,
+                                   run_supervised)
 
 
 @dataclass
@@ -60,6 +61,10 @@ class SweepStats:
     respawns: int = 0
     #: Cache entries quarantined as corrupt during this campaign.
     corrupt: int = 0
+    #: Total campaign wall-clock in host seconds (cache scan included).
+    wall_s: float = 0.0
+    #: Most tasks observed in flight at once.
+    peak_workers: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,10 +82,16 @@ class SweepStats:
                 f"hit_rate={self.hit_rate * 100:.1f}%")
 
     def task_summary(self) -> str:
-        """The supervision counterpart of :meth:`summary`."""
+        """The supervision counterpart of :meth:`summary`.
+
+        New fields append after ``corrupt=`` — CI greps match prefixes
+        of this line, so the field order is load-bearing.
+        """
         return (f"task summary: ok={self.ok} retried={self.retried} "
                 f"timed_out={self.timed_out} failed={self.failed} "
-                f"respawns={self.respawns} corrupt={self.corrupt}")
+                f"respawns={self.respawns} corrupt={self.corrupt} "
+                f"wall_s={self.wall_s:.2f} "
+                f"peak_workers={self.peak_workers}")
 
 
 @dataclass
@@ -112,6 +123,7 @@ def run_sweep(
     supervise: Optional[SuperviseConfig] = None,
     checkpoint: Optional[CampaignCheckpoint] = None,
     audit: bool = True,
+    hub=None,
 ) -> tuple[List[Outcome], SweepStats]:
     """Execute a campaign; outcomes come back in input order.
 
@@ -121,29 +133,44 @@ def run_sweep(
     overrides the default watchdog/retry policy; ``checkpoint`` is
     updated after every task so an interrupted campaign resumes with
     zero recomputation; ``audit=False`` disables the runtime invariant
-    auditor inside the executed jobs.
+    auditor inside the executed jobs.  ``hub`` attaches a
+    :class:`~repro.obs.campaign.hub.TelemetryHub`: executed jobs
+    stream worker telemetry into its spool, and cache/supervision
+    events flow into its journal and dashboard.  The hub is
+    observation-only — results, cache entries, checkpoints and every
+    derived artifact are byte-identical with it on or off.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    started_wall = time.monotonic()
     say = progress or (lambda message: None)
     costs_dict = costs_to_dict(costs)
     job_list = build_jobs(scenarios, costs)
     stats = SweepStats(total=len(job_list))
     if checkpoint is not None:
         checkpoint.total = len({job.key for job in job_list})
+    if hub is not None:
+        hub.campaign_start(total=len({job.key for job in job_list}),
+                           workers=jobs)
     results: Dict[int, RunResult] = {}
     cached: Dict[int, bool] = {}
 
     misses: List[Job] = []
     hit_keys = set()
     for job in job_list:
+        corrupt_before = cache.corruption if cache is not None else 0
         entry = cache.get(job.key) if cache is not None else None
+        if hub is not None and cache is not None \
+                and cache.corruption > corrupt_before:
+            hub.cache_quarantined(job.key)
         if entry is not None:
             try:
                 results[job.index] = RunResult.from_dict(entry)
                 cached[job.index] = True
                 stats.hits += 1
                 hit_keys.add(job.key)
+                if hub is not None:
+                    hub.cache_hit(job.key)
                 continue
             except (KeyError, ValueError):
                 pass  # unreadable entry: fall through to re-simulate
@@ -172,8 +199,10 @@ def run_sweep(
         root.mkdir(parents=True, exist_ok=True)
         return str(root / f"{job.key}.metrics.json")
 
+    spool_dir = (str(hub.spool_dir)
+                 if hub is not None and hub.spool_dir is not None else None)
     tasks = [(job.key, job.payload(costs_dict, metrics_path(job),
-                                   audit=audit))
+                                   audit=audit, spool_dir=spool_dir))
              for job in ordered]
 
     def on_result(key: str, task: TaskOutcome,
@@ -193,16 +222,17 @@ def run_sweep(
             say(f"  FAILED {job.scenario.mode}#{job.index} [{key[:12]}]: "
                 f"{task.error}")
 
-    fresh, task_outcomes, respawns = run_supervised(
+    fresh, task_outcomes, task_stats = run_supervised(
         execute_payload, tasks, jobs=jobs, config=supervise,
-        on_result=on_result, say=say)
+        on_result=on_result, say=say, hub=hub)
 
-    task_stats = SuperviseStats.of(list(task_outcomes.values()), respawns)
     stats.ok = task_stats.ok
     stats.retried = task_stats.retried
     stats.timed_out = task_stats.timed_out
     stats.failed = task_stats.failed
     stats.respawns = task_stats.respawns
+    stats.peak_workers = task_stats.peak_workers
+    stats.wall_s = time.monotonic() - started_wall
     if cache is not None:
         stats.corrupt = cache.corruption
 

@@ -110,21 +110,32 @@ class SuperviseStats:
     timed_out: int = 0
     failed: int = 0
     respawns: int = 0
+    #: Total campaign wall-clock across the batch, in host seconds.
+    wall_s: float = 0.0
+    #: Most tasks observed in flight at once (1 for in-process runs).
+    peak_workers: int = 0
 
     @property
     def failures(self) -> int:
         return self.timed_out + self.failed
 
     def summary(self) -> str:
-        """One line, machine-parseable (the CLI prints it; CI greps)."""
+        """One line, machine-parseable (the CLI prints it; CI greps).
+
+        New fields append after ``respawns=`` — existing consumers
+        match prefixes of this line, so the order is load-bearing.
+        """
         return (f"task summary: ok={self.ok} retried={self.retried} "
                 f"timed_out={self.timed_out} failed={self.failed} "
-                f"respawns={self.respawns}")
+                f"respawns={self.respawns} wall_s={self.wall_s:.2f} "
+                f"peak_workers={self.peak_workers}")
 
     @classmethod
     def of(cls, outcomes: Sequence[TaskOutcome],
-           respawns: int = 0) -> "SuperviseStats":
-        stats = cls(respawns=respawns)
+           respawns: int = 0, wall_s: float = 0.0,
+           peak_workers: int = 0) -> "SuperviseStats":
+        stats = cls(respawns=respawns, wall_s=wall_s,
+                    peak_workers=peak_workers)
         for outcome in outcomes:
             if outcome.status == STATUS_OK:
                 stats.ok += 1
@@ -146,18 +157,27 @@ def run_supervised(
     on_result: Optional[Callable[[str, TaskOutcome, Optional[dict]],
                                  None]] = None,
     say: Optional[Callable[[str], None]] = None,
-) -> Tuple[Dict[str, dict], Dict[str, TaskOutcome], int]:
+    hub=None,
+) -> Tuple[Dict[str, dict], Dict[str, TaskOutcome], SuperviseStats]:
     """Run ``fn(payload)`` for every (key, payload) task, supervised.
 
-    Returns ``(results, outcomes, respawns)``: results keyed by task
-    key (absent for tasks that ultimately failed), a TaskOutcome per
-    task, and the number of worker-pool respawns.  ``on_result`` fires
-    once per task as it reaches a terminal state — the runner uses it
-    to write the cache entry and the campaign checkpoint immediately,
-    so a kill mid-campaign preserves every completed cell.
+    Returns ``(results, outcomes, stats)``: results keyed by task key
+    (absent for tasks that ultimately failed), a TaskOutcome per task,
+    and the batch :class:`SuperviseStats` (outcome counts, pool
+    respawns, total wall time, peak concurrent workers).  ``on_result``
+    fires once per task as it reaches a terminal state — the runner
+    uses it to write the cache entry and the campaign checkpoint
+    immediately, so a kill mid-campaign preserves every completed
+    cell.  ``hub`` is an optional
+    :class:`~repro.obs.campaign.hub.TelemetryHub`: it is told about
+    submissions and terminal outcomes and polled from the supervision
+    loop so worker spool records stream in live.  Supervision is
+    observation-only from the engine's view either way — results stay
+    keyed by task, never by completion order.
     """
     cfg = config or SuperviseConfig()
     tell = say or (lambda message: None)
+    started = time.monotonic()
     results: Dict[str, dict] = {}
     outcomes = {key: TaskOutcome(key=key) for key, _ in tasks}
 
@@ -167,6 +187,8 @@ def run_supervised(
         outcome.error = error
         if on_result is not None:
             on_result(key, outcome, results.get(key))
+        if hub is not None:
+            hub.task_terminal(outcome)
 
     if jobs <= 1 or len(tasks) <= 1:
         # In-process: no watchdog (a thread cannot preempt itself) and
@@ -174,6 +196,8 @@ def run_supervised(
         # same deterministic-failure capture and outcome surface.
         for key, payload in tasks:
             outcomes[key].attempts = 1
+            if hub is not None:
+                hub.task_running(key, 1)
             try:
                 results[key] = fn(payload)
             except Exception as exc:  # noqa: BLE001 - outcome surface
@@ -181,12 +205,17 @@ def run_supervised(
                        f"{type(exc).__name__}: {exc}")
             else:
                 finish(key, STATUS_OK)
-        return results, outcomes, 0
+        return results, outcomes, SuperviseStats.of(
+            list(outcomes.values()), wall_s=time.monotonic() - started,
+            peak_workers=1 if tasks else 0)
 
-    return _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell)
+    return _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs,
+                     tell, hub, started)
 
 
-def _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell):
+def _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell,
+              hub=None, started: Optional[float] = None):
+    started = time.monotonic() if started is None else started
     pending: List[Tuple[str, dict]] = list(tasks)
     # Backoff queue: (ready_time, tiebreak, key, payload).
     backoff: List[Tuple[float, int, str, dict]] = []
@@ -195,6 +224,7 @@ def _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell):
     width = min(jobs, len(tasks))
     executor = ProcessPoolExecutor(max_workers=width)
     respawns = 0
+    peak_workers = 0
     inflight: Dict[object, Tuple[str, float]] = {}
 
     def transient_failure(key: str, kind: str, charge: bool = True) -> None:
@@ -239,6 +269,11 @@ def _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell):
                 outcomes[key].attempts += 1
                 future = executor.submit(fn, payload)
                 inflight[future] = (key, time.monotonic())
+                if hub is not None:
+                    hub.task_running(key, outcomes[key].attempts)
+            peak_workers = max(peak_workers, len(inflight))
+            if hub is not None:
+                hub.poll()
             if not inflight:
                 if backoff:
                     time.sleep(max(0.0, min(cfg.poll_interval,
@@ -293,7 +328,9 @@ def _run_pool(fn, tasks, cfg, results, outcomes, finish, jobs, tell):
             respawn_pool()
     finally:
         _shutdown_pool(executor)
-    return results, outcomes, respawns
+    return results, outcomes, SuperviseStats.of(
+        list(outcomes.values()), respawns,
+        wall_s=time.monotonic() - started, peak_workers=peak_workers)
 
 
 def _shutdown_pool(executor: ProcessPoolExecutor) -> None:

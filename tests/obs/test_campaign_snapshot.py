@@ -1,0 +1,203 @@
+"""Unit tests for the worker-side telemetry streamer (spool records)."""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.campaign.snapshot import (DEFAULT_HEARTBEAT, HUB_KINDS,
+                                         JOURNAL_SCHEMA, SNAPSHOT_SCHEMA,
+                                         SnapshotEmitter, SnapshotError,
+                                         WORKER_KINDS, result_summary,
+                                         validate_record)
+
+
+def spool_lines(spool_dir):
+    records = []
+    for path in sorted(Path(spool_dir).glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            records.append(json.loads(line))
+    return records
+
+
+class TestValidateRecord:
+    def _worker(self, kind="progress", **extra):
+        return {"schema": SNAPSHOT_SCHEMA, "kind": kind, "key": "k",
+                **extra}
+
+    def test_accepts_worker_record(self):
+        record = self._worker()
+        assert validate_record(record) is record
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SnapshotError):
+            validate_record(["not", "a", "dict"])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SnapshotError):
+            validate_record(self._worker(kind="bogus"))
+
+    def test_rejects_wrong_schema(self):
+        bad = self._worker()
+        bad["schema"] = "something-else/9"
+        with pytest.raises(SnapshotError):
+            validate_record(bad)
+
+    def test_rejects_missing_key(self):
+        bad = self._worker()
+        del bad["key"]
+        with pytest.raises(SnapshotError):
+            validate_record(bad)
+
+    def test_hub_kinds_only_in_journal_mode(self):
+        record = {"kind": "cache_hit", "key": "k", "wall": 1.0, "seq": 1}
+        assert validate_record(record, journal=True) is record
+        with pytest.raises(SnapshotError):
+            validate_record(record)  # spool mode: hub kinds rejected
+
+    def test_journal_requires_wall_and_seq(self):
+        record = self._worker()
+        with pytest.raises(SnapshotError):
+            validate_record(record, journal=True)
+        record["wall"] = 12.0
+        record["seq"] = 3
+        assert validate_record(record, journal=True) is record
+
+    def test_campaign_records_need_no_key(self):
+        record = {"kind": "campaign_start", "schema": JOURNAL_SCHEMA,
+                  "wall": 0.0, "seq": 1}
+        assert validate_record(record, journal=True) is record
+
+    def test_kind_vocabularies_are_disjoint(self):
+        assert not set(WORKER_KINDS) & set(HUB_KINDS)
+
+
+class TestResultSummary:
+    def test_compacts_the_dashboard_columns(self):
+        doc = result_summary({
+            "throughput_bps": 5e9, "loss_rate": 0.01,
+            "interrupt_hz": 2000.0, "vm_count": 10, "duration": 0.4,
+            "cpu": {"dom0": 20.0, "guest": 30.0, "xen": 5.0},
+            "extras": {"huge": list(range(1000))},
+        })
+        assert doc == {"throughput_bps": 5e9, "cpu_percent": 55.0,
+                       "loss_rate": 0.01, "interrupt_hz": 2000.0,
+                       "vm_count": 10, "duration": 0.4}
+
+    def test_defaults_for_missing_fields(self):
+        doc = result_summary({})
+        assert doc["throughput_bps"] == 0.0
+        assert doc["cpu_percent"] == 0.0
+
+
+class FakeSim:
+    """Two scalar attributes, like the real Simulator's hot counters."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.events_executed = 0
+
+
+class FakeBed:
+    def __init__(self):
+        self.sim = FakeSim()
+
+
+class TestSnapshotEmitter:
+    def test_task_start_record(self, tmp_path):
+        emitter = SnapshotEmitter(str(tmp_path), "abc123")
+        emitter.task_start({"mode": "sriov", "vm_count": 2})
+        emitter.close()
+        [record] = spool_lines(tmp_path)
+        assert record["kind"] == "task_start"
+        assert record["schema"] == SNAPSHOT_SCHEMA
+        assert record["key"] == "abc123"
+        assert record["pid"] == os.getpid()
+        assert record["scenario"]["vm_count"] == 2
+
+    def test_spool_filename_carries_pid(self, tmp_path):
+        emitter = SnapshotEmitter(str(tmp_path), "k1")
+        emitter.task_start({})
+        emitter.close()
+        [path] = list(tmp_path.glob("*.jsonl"))
+        assert path.name == f"k1.{os.getpid()}.jsonl"
+
+    def test_heartbeat_thread_samples_progress(self, tmp_path):
+        emitter = SnapshotEmitter(str(tmp_path), "k", heartbeat=0.02)
+        bed = FakeBed()
+        emitter.observe_testbed(bed)
+        bed.sim.now = 1.5
+        bed.sim.events_executed = 500
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            progress = [r for r in spool_lines(tmp_path)
+                        if r["kind"] == "progress"
+                        and r["events_executed"] == 500]
+            if progress:
+                break
+            time.sleep(0.01)
+        emitter.close()
+        assert progress, "no progress heartbeat within 2s"
+        assert progress[0]["sim_now"] == 1.5
+        assert progress[0]["events_per_sec"] >= 0.0
+        assert validate_record(progress[0])
+
+    def test_observe_testbed_is_idempotent(self, tmp_path):
+        # Migration runs build two testbeds; the second observe call
+        # swaps the simulator but must not spawn a second thread.
+        emitter = SnapshotEmitter(str(tmp_path), "k", heartbeat=60.0)
+        emitter.observe_testbed(FakeBed())
+        first = emitter._thread
+        second_bed = FakeBed()
+        emitter.observe_testbed(second_bed)
+        assert emitter._thread is first
+        assert emitter._sim is second_bed.sim
+        emitter.close()
+
+    def test_close_stops_the_heartbeat(self, tmp_path):
+        emitter = SnapshotEmitter(str(tmp_path), "k", heartbeat=0.01)
+        emitter.observe_testbed(FakeBed())
+        thread = emitter._thread
+        emitter.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert threading.active_count() >= 1  # nothing leaked hard
+
+    def test_unwritable_spool_never_raises(self, tmp_path):
+        target = tmp_path / "a-file-not-a-dir"
+        target.write_text("occupied")
+        emitter = SnapshotEmitter(str(target / "sub"), "k")
+        # Every public call is a no-op after the failed open.
+        emitter.task_start({})
+        emitter.observe_testbed(FakeBed())
+        emitter.close()
+        assert emitter._broken
+
+    def test_default_heartbeat_is_subsecond(self):
+        assert 0 < DEFAULT_HEARTBEAT < 1.0
+
+    def test_task_end_without_telemetry(self, tmp_path):
+        class Result:
+            telemetry = None
+            exit_counts = {"apic-access-eoi": 3}
+
+            def to_dict(self):
+                return {"throughput_bps": 1e9, "cpu": {"dom0": 5.0},
+                        "loss_rate": 0.0, "interrupt_hz": 100.0,
+                        "vm_count": 1, "duration": 0.1}
+
+        emitter = SnapshotEmitter(str(tmp_path), "k")
+        emitter.observe_testbed(FakeBed())
+        emitter.task_end(Result())
+        records = spool_lines(tmp_path)
+        end = records[-1]
+        assert end["kind"] == "task_end"
+        assert end["result"]["throughput_bps"] == 1e9
+        assert end["metrics"] == {}
+        assert end["exit_counts"] == {"apic-access-eoi": 3}
+        # task_end closes the spool: later writes are silently dropped.
+        emitter.task_start({})
+        assert spool_lines(tmp_path) == records

@@ -69,6 +69,36 @@ def test_jsonl_roundtrip():
     assert rows[0]["detail"]["vector"] == 64
 
 
+def test_chrome_export_of_evicted_stream():
+    """A ring buffer that evicted a span's B still exports cleanly:
+    the orphan E keeps its phase, timestamps stay microseconds, and
+    the per-category metadata rows still lead the document."""
+    from repro.sim import Simulator
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer(Simulator(), capacity=3)
+    tracer.enable_all()
+    tracer.begin("irq", "deliver", vector=64)
+    tracer.emit("apic", "eoi")
+    tracer.emit("dma", "igb0.dma", bytes=1500)
+    tracer.end("irq", "deliver")  # evicts the matching B
+    assert tracer.evicted == 1
+
+    entries = json.loads(trace_to_chrome_json(tracer.events()))
+    metas = [e for e in entries if e["ph"] == "M"]
+    body = [e for e in entries if e["ph"] != "M"]
+    # The evicted B's category ("irq") is still present — its orphan E
+    # survived — so it still gets a thread_name row.
+    assert {m["args"]["name"] for m in metas} == {"irq", "apic", "dma"}
+    assert entries[: len(metas)] == metas
+    assert [e["ph"] for e in body] == ["i", "i", "E"]
+    assert body[-1]["name"] == "deliver"
+    # JSONL of the same evicted stream round-trips record-for-record.
+    rows = [json.loads(line)
+            for line in trace_to_jsonl(tracer.events()).splitlines()]
+    assert [r["phase"] for r in rows] == ["i", "i", "E"]
+
+
 def test_write_trace_picks_format_by_extension(tmp_path):
     events = synthetic_events()
     chrome = tmp_path / "t.json"

@@ -156,3 +156,67 @@ class TestSeries:
         buckets = series.bucketize(0.0, 2.5, 1.0)
         assert len(buckets) == 3
         assert buckets[-1] == (2.0, 5.0)
+
+
+class TestSeriesPercentile:
+    def _series(self, values):
+        series = Series("s")
+        for index, value in enumerate(values):
+            series.record(float(index), float(value))
+        return series
+
+    def test_endpoints_and_median(self):
+        series = self._series([10, 20, 30, 40, 50])
+        assert series.percentile(0) == 10.0
+        assert series.percentile(50) == 30.0
+        assert series.percentile(100) == 50.0
+
+    def test_linear_interpolation_between_ranks(self):
+        # rank = (n-1) * q/100; for 4 samples p50 sits halfway
+        # between the 2nd and 3rd order statistics.
+        series = self._series([1, 2, 3, 4])
+        assert series.percentile(50) == pytest.approx(2.5)
+        assert series.percentile(25) == pytest.approx(1.75)
+
+    def test_order_independent(self):
+        asc = self._series([1, 2, 3, 4, 5])
+        shuffled = self._series([3, 1, 5, 2, 4])
+        for q in (0, 25, 50, 90, 99, 100):
+            assert asc.percentile(q) == shuffled.percentile(q)
+
+    def test_single_sample(self):
+        series = self._series([7])
+        assert series.percentile(0) == 7.0
+        assert series.percentile(99) == 7.0
+
+    def test_rejects_out_of_range_q(self):
+        series = self._series([1])
+        with pytest.raises(ValueError):
+            series.percentile(-1)
+        with pytest.raises(ValueError):
+            series.percentile(100.1)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            Series("empty").percentile(50)
+
+    def test_summary_document(self):
+        series = self._series([10, 20, 30, 40])
+        doc = series.summary()
+        assert doc["count"] == 4
+        assert doc["sum"] == 100.0
+        assert doc["min"] == 10.0
+        assert doc["max"] == 40.0
+        assert doc["mean"] == 25.0
+        assert doc["p50"] == pytest.approx(25.0)
+        assert doc["p90"] == pytest.approx(37.0)
+        assert set(doc) == {"count", "sum", "min", "max", "mean",
+                            "p50", "p90", "p99"}
+
+    def test_summary_custom_percentiles(self):
+        doc = self._series([1, 2, 3]).summary(percentiles=(25, 75))
+        assert set(doc) == {"count", "sum", "min", "max", "mean",
+                            "p25", "p75"}
+
+    def test_summary_of_empty_series(self):
+        assert Series("e").summary() == {"count": 0, "sum": 0}

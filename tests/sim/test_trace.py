@@ -141,6 +141,38 @@ def test_counts_by_name_tracks_evictions():
     assert tracer.counts_by_name("c") == walked
 
 
+def test_span_eviction_accounting():
+    """A span's B can be evicted while its E survives; the running
+    counters stay exact through the mixed-phase churn."""
+    sim, tracer = make_tracer(capacity=2)
+    tracer.enable_all()
+    tracer.begin("irq", "deliver", vector=64)   # B
+    tracer.emit("c", "fill0")
+    tracer.emit("c", "fill1")                   # evicts the B
+    tracer.end("irq", "deliver")                # orphan E, evicts fill0
+    assert tracer.emitted == 4
+    assert tracer.evicted == 2
+    assert len(tracer) == tracer.emitted - tracer.evicted
+    assert [e.phase for e in tracer.events()] == ["i", "E"]
+    # The evicted B no longer counts; the surviving orphan E does.
+    assert tracer.counts_by_name("irq") == {"deliver": 1}
+
+
+def test_interleaved_spans_evict_in_emit_order():
+    """Eviction is strictly FIFO over phases: with two interleaved
+    spans in a 3-slot ring, the outer B goes first, never the newest
+    E."""
+    sim, tracer = make_tracer(capacity=3)
+    tracer.enable_all()
+    tracer.begin("irq", "outer")
+    tracer.begin("mbx", "inner")
+    tracer.end("mbx", "inner")
+    tracer.end("irq", "outer")  # outer B was evicted to admit this
+    assert tracer.evicted == 1
+    names = [(e.name, e.phase) for e in tracer.events()]
+    assert names == [("inner", "B"), ("inner", "E"), ("outer", "E")]
+
+
 def test_clear_resets_running_counts():
     sim, tracer = make_tracer(capacity=2)
     tracer.enable_all()

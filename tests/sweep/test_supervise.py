@@ -54,12 +54,15 @@ def _tasks(count, **extra):
 
 class TestSerialPath:
     def test_results_and_outcomes(self):
-        results, outcomes, respawns = run_supervised(
+        results, outcomes, stats = run_supervised(
             _double, _tasks(3), jobs=1)
         assert results == {f"task{i}": {"value": i * 2} for i in range(3)}
         assert all(o.status == STATUS_OK and o.attempts == 1
                    for o in outcomes.values())
-        assert respawns == 0
+        assert stats.respawns == 0
+        assert stats.ok == 3
+        assert stats.peak_workers == 1
+        assert stats.wall_s >= 0.0
 
     def test_exception_becomes_failed_outcome(self):
         results, outcomes, _ = run_supervised(
@@ -80,28 +83,30 @@ class TestSerialPath:
 
 class TestPool:
     def test_clean_pool_run(self):
-        results, outcomes, respawns = run_supervised(
+        results, outcomes, stats = run_supervised(
             _double, _tasks(4), jobs=2, config=SuperviseConfig(**FAST))
         assert results == {f"task{i}": {"value": i * 2} for i in range(4)}
         assert all(o.status == STATUS_OK for o in outcomes.values())
-        assert respawns == 0
+        assert stats.respawns == 0
+        assert 1 <= stats.peak_workers <= 2
+        assert stats.wall_s > 0.0
 
     def test_worker_crash_is_retried_and_recovers(self, tmp_path):
-        results, outcomes, respawns = run_supervised(
+        results, outcomes, stats = run_supervised(
             _crash_once, _tasks(2, dir=str(tmp_path)), jobs=2,
             config=SuperviseConfig(**FAST))
         assert results == {f"task{i}": {"value": i} for i in range(2)}
-        assert respawns >= 1
+        assert stats.respawns >= 1
         # At least one task died and came back; none terminally failed.
         assert any(o.status == STATUS_RETRIED for o in outcomes.values())
         assert all(o.ok for o in outcomes.values())
 
     def test_persistent_crash_exhausts_retries(self):
-        results, outcomes, respawns = run_supervised(
+        results, outcomes, stats = run_supervised(
             _always_crash, _tasks(2), jobs=2,
             config=SuperviseConfig(max_retries=1, **FAST))
         assert results == {}
-        assert respawns >= 1
+        assert stats.respawns >= 1
         for outcome in outcomes.values():
             assert outcome.status == STATUS_FAILED
             assert outcome.attempts == 2  # first try + one retry
@@ -109,12 +114,12 @@ class TestPool:
     def test_hang_hits_the_watchdog(self):
         # Two tasks: a single task takes the serial in-process path,
         # which has no watchdog (a thread cannot preempt itself).
-        results, outcomes, respawns = run_supervised(
+        results, outcomes, stats = run_supervised(
             _hang, _tasks(2), jobs=2,
             config=SuperviseConfig(task_timeout=0.5, max_retries=0,
                                    **FAST))
         assert results == {}
-        assert respawns >= 1
+        assert stats.respawns >= 1
         for outcome in outcomes.values():
             assert outcome.status == STATUS_TIMED_OUT
             assert "timed out" in outcome.error
@@ -160,6 +165,27 @@ class TestConfig:
                 stats.failed, stats.respawns) == (1, 1, 1, 1, 3)
         assert stats.failures == 2
         assert "ok=1" in stats.summary()
+
+    def test_summary_line_format(self):
+        # The line is machine-parseable and its field order is
+        # load-bearing: CI greps match a prefix ending at respawns=,
+        # so wall_s/peak_workers must append after it, never reorder.
+        stats = SuperviseStats(ok=2, retried=1, respawns=4,
+                               wall_s=12.345, peak_workers=8)
+        line = stats.summary()
+        assert line == ("task summary: ok=2 retried=1 timed_out=0 "
+                        "failed=0 respawns=4 wall_s=12.35 "
+                        "peak_workers=8")
+        import re
+        assert re.search(r"task summary: .*failed=0 respawns=[0-9]+",
+                         line)
+
+    def test_run_supervised_populates_wall_and_peak(self):
+        _, _, stats = run_supervised(
+            _double, _tasks(4), jobs=2, config=SuperviseConfig(**FAST))
+        assert f"peak_workers={stats.peak_workers}" in stats.summary()
+        assert stats.peak_workers >= 1
+        assert stats.wall_s > 0.0
 
 
 class TestOutcome:
