@@ -25,6 +25,7 @@ front of it.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
@@ -40,8 +41,26 @@ from repro.core.optimizations import OptimizationConfig
 from repro.net.packet import Protocol
 from repro.vmm.domain import DomainKind, GuestKernel
 
+__all__ = [
+    "MODES",
+    "SCHEMA_VERSION",
+    "VARIANTS",
+    "RunResult",
+    "Scenario",
+    "run",
+]
+
 #: Experiment families (which measurement loop runs).
-MODES = ("sriov", "sriov_tx", "native", "pv", "vmdq", "intervm", "migrate")
+MODES = ("sriov", "sriov_tx", "native", "pv", "vmdq", "intervm", "migrate",
+         "cluster")
+
+#: The Scenario dict-schema version this build reads and writes.
+#: Version 1 is the original single-host surface; version 2 added the
+#: multi-host fields (``hosts``/``fabric``/``flows``).  Single-host
+#: dicts are emitted *without* a version tag — they are identical under
+#: both versions, and omitting it keeps their cache keys byte-identical
+#: to every result ever cached.
+SCHEMA_VERSION = 2
 
 #: Modes that take a ``variant`` refinement, and its allowed values
 #: (first entry is the default).
@@ -109,8 +128,29 @@ class Scenario:
     #: no faults — and is *omitted* from :meth:`to_dict`, so fault-free
     #: scenarios hash to exactly the cache keys they always had.
     faults: Optional[Sequence[Mapping]] = None
+    #: cluster mode: per-host placement, a list of
+    #: :class:`repro.core.host.HostSpec` dicts.  Required for (and
+    #: exclusive to) ``mode="cluster"``; omitted from :meth:`to_dict`
+    #: when absent so single-host cache keys never move.
+    hosts: Optional[Sequence[Mapping]] = None
+    #: cluster mode: the ToR fabric, a
+    #: :class:`repro.net.fabric.FabricSpec` dict (None = defaults).
+    fabric: Optional[Mapping] = None
+    #: cluster mode: the tenant traffic matrix, a list of
+    #: :class:`repro.core.host.FlowSpec` dicts.
+    flows: Optional[Sequence[Mapping]] = None
+    #: Dict-schema version (see :data:`SCHEMA_VERSION`).  Accepted on
+    #: input as 1 or 2 and normalized to the current version; emitted
+    #: only for multi-host scenarios.
+    schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self):
+        if self.schema_version not in (1, SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported scenario schema_version "
+                f"{self.schema_version!r}: this build reads versions 1 "
+                f"and {SCHEMA_VERSION} (a newer repro wrote this dict?)")
+        object.__setattr__(self, "schema_version", SCHEMA_VERSION)
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}: "
                              f"use one of {', '.join(MODES)}")
@@ -149,6 +189,58 @@ class Scenario:
             object.__setattr__(self, "faults", plan.to_list())
         else:
             object.__setattr__(self, "faults", None)
+        self._normalize_cluster_fields()
+
+    def _normalize_cluster_fields(self) -> None:
+        """Validate + canonicalize ``hosts``/``fabric``/``flows``.
+
+        Like ``faults``, each is normalized through its spec dataclass
+        (defaults filled, unknown keys rejected) and empty collapses to
+        None, so every multi-host scenario has exactly one dict form.
+        """
+        from repro.core.host import FlowSpec, HostSpec
+        from repro.net.fabric import FabricSpec
+        if self.mode != "cluster":
+            for fname in ("hosts", "fabric", "flows"):
+                if getattr(self, fname):
+                    raise ValueError(
+                        f"{fname}= is a cluster-mode field; mode "
+                        f"{self.mode!r} does not take it")
+                object.__setattr__(self, fname, None)
+            return
+        if not self.hosts:
+            raise ValueError("mode='cluster' needs hosts=: a list of "
+                             "host spec dicts, e.g. "
+                             "[{'name': 'h0', 'vm_count': 2}, ...]")
+        if self.faults:
+            raise ValueError("faults= targets the single-host harness; "
+                             "cluster mode does not inject faults yet")
+        host_specs = [HostSpec.from_dict(entry, index)
+                      for index, entry in enumerate(self.hosts)]
+        names = [spec.name for spec in host_specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names: {sorted(names)}")
+        vm_counts = {spec.name: spec.vm_count for spec in host_specs}
+        flow_specs = [FlowSpec.from_dict(entry)
+                      for entry in (self.flows or ())]
+        for flow in flow_specs:
+            for role, host, vm in (("src", flow.src_host, flow.src_vm),
+                                   ("dst", flow.dst_host, flow.dst_vm)):
+                if host not in vm_counts:
+                    raise ValueError(
+                        f"flow {role}_host {host!r} is not a declared "
+                        f"host (hosts: {sorted(vm_counts)})")
+                if vm >= vm_counts[host]:
+                    raise ValueError(
+                        f"flow {role}_vm {vm} out of range: host "
+                        f"{host!r} places {vm_counts[host]} VMs")
+        object.__setattr__(self, "hosts",
+                           [spec.to_dict() for spec in host_specs])
+        object.__setattr__(self, "fabric",
+                           FabricSpec.from_dict(self.fabric).to_dict())
+        object.__setattr__(self, "flows",
+                           [spec.to_dict() for spec in flow_specs]
+                           if flow_specs else None)
 
     def with_(self, **changes) -> "Scenario":
         """A copy with the given fields changed (sweep-axis helper)."""
@@ -157,14 +249,18 @@ class Scenario:
     def to_dict(self) -> Dict[str, object]:
         """All fields, as the canonical JSON-able dict.
 
-        ``faults`` is omitted when empty: the field postdates the
-        result cache, and leaving it out keeps every fault-free
-        scenario's content key byte-identical to what it hashed before
-        fault injection existed.
+        Fields that postdate the result cache — ``faults`` and the
+        multi-host trio — are omitted when empty, and the version tag
+        only appears alongside multi-host fields: every single-host,
+        fault-free scenario keeps the exact content key it hashed
+        before those fields existed.
         """
         data = dataclasses.asdict(self)
-        if not data.get("faults"):
-            del data["faults"]
+        for fname in ("faults", "hosts", "fabric", "flows"):
+            if not data.get(fname):
+                del data[fname]
+        if "hosts" not in data:
+            del data["schema_version"]
         return data
 
     @classmethod
@@ -174,7 +270,15 @@ class Scenario:
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+            hints = []
+            for name in sorted(unknown):
+                match = difflib.get_close_matches(name, known, n=1)
+                hints.append(f"{name!r}" +
+                             (f" (did you mean {match[0]!r}?)"
+                              if match else ""))
+            raise ValueError(
+                f"unknown scenario fields: {', '.join(hints)} — valid "
+                f"fields are {', '.join(sorted(known))}")
         return cls(**data)
 
 
@@ -182,7 +286,8 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
         telemetry: bool = False, profile: bool = False,
         audit: bool = True,
         audit_interval: Optional[float] = None,
-        observer=None) -> RunResult:
+        observer=None,
+        parallel_hosts: bool = False) -> RunResult:
     """Execute one scenario and return its :class:`RunResult`.
 
     ``costs`` overrides the calibrated :class:`CostModel`; it is the
@@ -197,7 +302,16 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
     testbed-construction hook called as ``observer(bed)`` (the
     campaign telemetry streamer attaches its heartbeat through it);
     like telemetry it must never touch the simulation.
+
+    ``parallel_hosts`` applies to ``mode="cluster"`` only: it moves
+    each host's engine into its own worker process.  It is an execution
+    knob, not part of the scenario — serial and parallel runs return
+    byte-identical results and share one cache key.
     """
+    if scenario.mode == "cluster":
+        from repro.cluster import run_cluster
+        return run_cluster(scenario, costs=costs, telemetry=telemetry,
+                           audit=audit, parallel_hosts=parallel_hosts)
     runner = ExperimentRunner(costs=costs, warmup=scenario.warmup,
                               duration=scenario.duration,
                               telemetry=telemetry, profile=profile,
@@ -216,6 +330,10 @@ def _dispatch(runner: ExperimentRunner, scenario: Scenario) -> RunResult:
     (the perf-benchmark harness reads ``runner.last_bed``) can supply
     their own.
     """
+    if scenario.mode == "cluster":
+        from repro.cluster import run_cluster
+        return run_cluster(scenario, costs=runner.costs,
+                           telemetry=runner.telemetry, audit=runner.audit)
     kind = _KINDS[scenario.kind]
     opts = (OptimizationConfig(**scenario.opts)
             if scenario.opts is not None else None)

@@ -8,6 +8,7 @@ Examples::
     python -m repro vmdq --vms 40
     python -m repro intervm --mode sriov --message-bytes 4000
     python -m repro migrate --mode dnis
+    python -m repro cluster --hosts 2 --vms-per-host 2 --process-hosts
     python -m repro figures --only fig15 --jobs 4
     python -m repro sweep campaign.json --jobs 8 --out results.json
 
@@ -165,6 +166,36 @@ def build_parser() -> argparse.ArgumentParser:
                                   parents=obs)
     migrate.add_argument("--mode", choices=["pv", "dnis"], default="dnis")
     migrate.add_argument("--start-at", type=float, default=4.5)
+
+    cluster = commands.add_parser(
+        "cluster", parents=obs,
+        help="multi-host scale-out over a modeled ToR fabric (fig22)")
+    cluster.add_argument("--hosts", type=int, default=2,
+                         help="SR-IOV hosts under the ToR "
+                              "(default: %(default)s)")
+    cluster.add_argument("--vms-per-host", type=int, default=2,
+                         help="guests per host, one VF port each "
+                              "(default: %(default)s)")
+    cluster.add_argument("--uplink-gbps", type=float, default=10.0,
+                         help="per-host ToR uplink bandwidth "
+                              "(default: %(default)s)")
+    cluster.add_argument("--latency-us", type=float, default=20.0,
+                         help="one-way fabric latency in microseconds; "
+                              "also the engines' sync lookahead "
+                              "(default: %(default)s)")
+    cluster.add_argument("--offered-mbps", type=float, default=400.0,
+                         help="offered load per tenant flow "
+                              "(default: %(default)s)")
+    cluster.add_argument("--message-bytes", type=int, default=1500,
+                         help="tenant message size (default: %(default)s)")
+    cluster.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                         default="udp")
+    cluster.add_argument("--process-hosts", action="store_true",
+                         help="one worker process per host (byte-"
+                              "identical to the default in-process mode)")
+    cluster.add_argument("--seed", type=int, default=42,
+                         help="base seed; each host derives its own "
+                              "stream from it")
 
     campaign = [_campaign_parent()]
     figures = commands.add_parser(
@@ -351,6 +382,24 @@ def _scenario_for(args) -> Scenario:
     if args.command == "migrate":
         return Scenario(mode="migrate", variant=args.mode,
                         start_at=args.start_at, faults=faults)
+    if args.command == "cluster":
+        # Ring traffic matrix: every guest j on host i streams to
+        # guest j on host i+1, so each uplink carries symmetric load.
+        hosts = [{"name": f"h{i}", "vm_count": args.vms_per_host,
+                  "ports": args.vms_per_host}
+                 for i in range(args.hosts)]
+        flows = [{"src_host": f"h{i}",
+                  "dst_host": f"h{(i + 1) % args.hosts}",
+                  "src_vm": j, "dst_vm": j,
+                  "offered_bps": args.offered_mbps * 1e6,
+                  "message_bytes": args.message_bytes,
+                  "protocol": args.protocol}
+                 for i in range(args.hosts)
+                 for j in range(args.vms_per_host)]
+        return Scenario(mode="cluster", hosts=hosts, flows=flows,
+                        fabric={"uplink_gbps": args.uplink_gbps,
+                                "latency_s": args.latency_us * 1e-6},
+                        seed=args.seed, **common)
     raise AssertionError(f"no scenario for {args.command!r}")
 
 
@@ -376,6 +425,8 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         return _run_report(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "cluster":
+        return _run_cluster(args)
     result = run(_scenario_for(args), telemetry=_wants_telemetry(args),
                  profile=args.profile, audit=not args.no_audit,
                  audit_interval=args.audit_interval)
@@ -385,6 +436,52 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         print_result(result)
     _export_observability(args, result.telemetry, result.profiler,
                           result.duration)
+    return 0
+
+
+def _run_cluster(args) -> int:
+    """The ``cluster`` subcommand: one multi-host scenario, with a
+    per-host breakdown and fabric counters after the aggregate."""
+    from repro.core.report import format_table
+    if args.trace_out:
+        raise SystemExit("--trace-out is single-host only: per-host "
+                         "event traces are not merged (use "
+                         "--metrics-json for cluster observability)")
+    if args.profile:
+        raise SystemExit("--profile is single-host only: each cluster "
+                         "host runs its own engine")
+    if args.audit_interval is not None:
+        raise SystemExit("--audit-interval is single-host only; "
+                         "cluster hosts audit at run end (drop the "
+                         "flag or use --no-audit)")
+    if args.metrics_json and args.process_hosts:
+        raise SystemExit("--metrics-json needs the in-process mode: "
+                         "drop --process-hosts (results are "
+                         "byte-identical either way)")
+    result = run(_scenario_for(args), telemetry=bool(args.metrics_json),
+                 audit=not args.no_audit,
+                 parallel_hosts=args.process_hosts)
+    print_result(result)
+    cluster = result.extras["cluster"]
+    rows = [[name, host["vm_count"], host["throughput_bps"] / 1e9,
+             sum(host["cpu"].values()), host["dropped_packets"],
+             host["uplink_tx_frames"], host["events_executed"]]
+            for name, host in sorted(cluster["hosts"].items())]
+    print(format_table("per-host", ["host", "VMs", "Gbps", "CPU%",
+                                    "drops", "uplink TX", "events"],
+                       rows))
+    fabric = cluster["fabric"]
+    print(f"fabric     : {fabric['uplink_gbps']:g} Gbps uplinks, "
+          f"{fabric['latency_s'] * 1e6:g} us latency; "
+          f"forwarded {fabric['forwarded']} frames "
+          f"({fabric['forwarded_bytes']} B), dropped "
+          f"{fabric['dropped']}, unknown-dst {fabric['unknown_dst']}; "
+          f"{cluster['sync_windows']} sync windows "
+          f"({'process' if args.process_hosts else 'in-process'} hosts)",
+          file=sys.stderr)
+    if args.metrics_json and result.telemetry is not None:
+        result.telemetry.write_metrics(args.metrics_json, result.duration)
+        print(f"metrics    : wrote {args.metrics_json}", file=sys.stderr)
     return 0
 
 

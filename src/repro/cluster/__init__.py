@@ -1,0 +1,13 @@
+"""Multi-host cluster execution: N testbeds, one ToR, one timeline.
+
+``mode="cluster"`` scenarios declare hosts (:class:`repro.core.host
+.HostSpec`), a fabric (:class:`repro.net.fabric.FabricSpec`) and a
+tenant traffic matrix (:class:`repro.core.host.FlowSpec`).
+:func:`run_cluster` executes them — serially in one process, or with
+one worker process per host — and both execution modes produce
+byte-identical :class:`~repro.core.experiment.RunResult`\\ s.
+"""
+
+from repro.cluster.runner import run_cluster
+
+__all__ = ["run_cluster"]

@@ -1,0 +1,291 @@
+"""The cluster coordinator: lockstep windows, ToR routing, aggregation.
+
+One coordinator owns the :class:`~repro.net.fabric.ToRSwitch` and a set
+of host runners — in-process :class:`~repro.core.host.Host` wrappers, or
+:class:`~repro.cluster.process.ProcessHost` workers.  Each round it
+
+1. asks the :class:`~repro.sim.sync.LockstepBarrier` for the next safe
+   horizon (global min of next events and pending fabric arrivals, plus
+   the fabric-latency lookahead),
+2. hands every host its due deliveries and advances it to the horizon
+   (all hosts at once in process mode — that is the intra-scenario
+   parallelism), and
+3. routes the egress records that surfaced through the ToR, in a
+   globally sorted order, producing the next round's arrivals.
+
+Every quantity that reaches the result is computed from plain data in
+the coordinator or summed from per-host dicts, so serial and
+process-per-host runs are byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.costs import CostModel
+from repro.core.experiment import (
+    DEFAULT_DURATION,
+    DEFAULT_WARMUP,
+    RunResult,
+)
+from repro.core.host import FlowSpec, Host, HostSpec
+from repro.net.fabric import FabricSpec, ToRSwitch
+from repro.sim.sync import LockstepBarrier
+
+
+class InProcessHost:
+    """The serial host runner: a thin veneer over :class:`Host` that
+    matches the worker-process runner's begin/finish step protocol."""
+
+    def __init__(self, spec: HostSpec, index: int, *, costs, base_seed,
+                 audit, telemetry):
+        self.host = Host(spec, index, costs=costs, base_seed=base_seed,
+                         audit=audit, telemetry=telemetry)
+        self._step = None
+
+    def mac_table(self) -> Dict[int, int]:
+        return self.host.mac_table()
+
+    def configure_flows(self, flows: List[dict]) -> None:
+        self.host.configure_flows(flows)
+
+    def peek(self) -> Optional[float]:
+        return self.host.peek()
+
+    def advance_begin(self, window_end: float, inbound: List[dict]) -> None:
+        self._step = self.host.advance(window_end, inbound)
+
+    def advance_finish(self):
+        step, self._step = self._step, None
+        return step
+
+    def start_measurement(self) -> None:
+        self.host.start_measurement()
+
+    def collect(self) -> dict:
+        return self.host.collect()
+
+    def close(self) -> None:
+        pass
+
+
+class ClusterTelemetry:
+    """Merged observability over every host's namespaced facade.
+
+    Supports the metrics-document surface the CLI exports; per-host
+    instrument names arrive pre-prefixed (``host.<name>.…``) so a plain
+    dict union is collision-free.
+    """
+
+    def __init__(self, hosts: List[Host]):
+        self._hosts = hosts
+
+    def metrics_document(self, elapsed: float) -> dict:
+        metrics: Dict[str, dict] = {}
+        cycles: Dict[str, dict] = {}
+        exits: Dict[str, dict] = {}
+        for host in self._hosts:
+            telemetry = host.telemetry
+            document = telemetry.metrics_document(elapsed)
+            metrics.update(document["metrics"])
+            cycles[host.spec.name] = document["cycles"]
+            exits[host.spec.name] = document["exits"]
+        return {
+            "schema": "repro-obs/1",
+            "window": {"elapsed": elapsed,
+                       "sim_time_end": self._hosts[0].sim.now},
+            "metrics": metrics,
+            "cycles": cycles,
+            "exits": exits,
+        }
+
+    def metrics_json(self, elapsed: float) -> str:
+        import json
+        return json.dumps(self.metrics_document(elapsed), indent=2,
+                          sort_keys=True)
+
+    def write_metrics(self, path: str, elapsed: float) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.metrics_json(elapsed))
+
+
+class ClusterCoordinator:
+    """Drives N host runners through conservative lockstep windows."""
+
+    def __init__(self, runners, tor: ToRSwitch, lookahead: float):
+        self.runners = runners
+        self.tor = tor
+        self.barrier = LockstepBarrier(lookahead)
+        #: Routed fabric messages not yet injected into their hosts.
+        self.pending: List[dict] = []
+        self.peeks: List[Optional[float]] = [r.peek() for r in runners]
+
+    def run(self, until: float) -> None:
+        """Advance every host exactly to ``until`` (resumable: pending
+        fabric messages beyond ``until`` carry over to the next call)."""
+        while True:
+            window = self.barrier.next_window(
+                until, self.peeks, [m["arrival"] for m in self.pending])
+            due = [m for m in self.pending if m["arrival"] <= window]
+            self.pending = [m for m in self.pending
+                            if m["arrival"] > window]
+            due.sort(key=lambda m: (m["arrival"], m["src_host"], m["seq"]))
+            inbound: Dict[int, List[dict]] = {}
+            for message in due:
+                inbound.setdefault(message["dst_host"], []).append(message)
+            # Fan out first, then gather: with process runners every
+            # host simulates its window concurrently.
+            for index, runner in enumerate(self.runners):
+                runner.advance_begin(window, inbound.get(index, []))
+            outbound: List[dict] = []
+            for index, runner in enumerate(self.runners):
+                egress, peek = runner.advance_finish()
+                self.peeks[index] = peek
+                outbound.extend(egress)
+            outbound.sort(key=lambda m: (m["t"], m["src_host"], m["seq"]))
+            for message in outbound:
+                routed = self.tor.route(message)
+                if routed is not None:
+                    self.pending.append(routed)
+            if window >= until:
+                return
+
+
+def run_cluster(scenario, *, costs: Optional[CostModel] = None,
+                parallel_hosts: bool = False,
+                telemetry: bool = False,
+                audit: bool = True) -> RunResult:
+    """Execute one ``mode="cluster"`` scenario.
+
+    ``parallel_hosts`` selects process-per-host execution; it is a run
+    input (like ``costs``), **not** a Scenario field, so both modes
+    share one cache key — which is honest, because they produce
+    byte-identical results.  ``telemetry`` wires a namespaced
+    per-host facade (serial mode only: live registries cannot cross the
+    worker pipes).
+    """
+    if scenario.mode != "cluster":
+        raise ValueError(f"run_cluster needs mode='cluster', "
+                         f"not {scenario.mode!r}")
+    if telemetry and parallel_hosts:
+        raise ValueError("telemetry is observation-only and lives in the "
+                         "host processes: use serial mode "
+                         "(parallel_hosts=False) to collect it")
+    host_specs = [HostSpec.from_dict(h, i)
+                  for i, h in enumerate(scenario.hosts)]
+    fabric = FabricSpec.from_dict(scenario.fabric)
+    flow_specs = [FlowSpec.from_dict(f) for f in (scenario.flows or ())]
+    host_index = {spec.name: i for i, spec in enumerate(host_specs)}
+
+    costs = (costs or CostModel()).validate()
+    if parallel_hosts:
+        from repro.cluster.process import ProcessHost
+        runners = [ProcessHost(spec, i, costs=costs,
+                               base_seed=scenario.seed, audit=audit)
+                   for i, spec in enumerate(host_specs)]
+    else:
+        runners = [InProcessHost(spec, i, costs=costs,
+                                 base_seed=scenario.seed, audit=audit,
+                                 telemetry=telemetry)
+                   for i, spec in enumerate(host_specs)]
+    try:
+        # Program the ToR from every host's VF table, then resolve the
+        # traffic matrix to concrete destination MACs per source host.
+        tor = ToRSwitch(fabric, len(runners))
+        mac_tables = [runner.mac_table() for runner in runners]
+        for index, table in enumerate(mac_tables):
+            for mac_value in table.values():
+                tor.learn(mac_value, index)
+        flows_by_host: Dict[int, List[dict]] = {}
+        for flow_id, flow in enumerate(flow_specs, start=1):
+            src = host_index[flow.src_host]
+            dst = host_index[flow.dst_host]
+            resolved = {
+                "src_vm": flow.src_vm,
+                "dst_mac": mac_tables[dst][flow.dst_vm],
+                "offered_bps": flow.offered_bps,
+                "message_bytes": flow.message_bytes,
+                "protocol": flow.protocol,
+                "flow_id": flow_id,
+            }
+            flows_by_host.setdefault(src, []).append(resolved)
+        for index, runner in enumerate(runners):
+            runner.configure_flows(flows_by_host.get(index, []))
+        coordinator = ClusterCoordinator(runners, tor, fabric.latency_s)
+        coordinator.run(scenario.warmup)
+        tor.reset_counters()
+        for runner in runners:
+            runner.start_measurement()
+        coordinator.run(scenario.warmup + scenario.duration)
+        host_results = [runner.collect() for runner in runners]
+    finally:
+        for runner in runners:
+            runner.close()
+
+    return _aggregate(scenario, host_results, tor, coordinator,
+                      fabric, runners if telemetry else None)
+
+
+def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
+               coordinator: ClusterCoordinator, fabric: FabricSpec,
+               telemetry_runners) -> RunResult:
+    elapsed = max(r["elapsed"] for r in host_results)
+    per_vm: List[float] = []
+    cpu: Dict[str, float] = {}
+    exit_cycles: Dict[str, float] = {}
+    exit_counts: Dict[str, int] = {}
+    offered = dropped = 0
+    interrupt_delta = driver_count = 0
+    latency_sum = 0.0
+    latency_count = 0
+    latency_p99 = 0.0
+    for result in host_results:
+        per_vm.extend(result["per_vm_throughput_bps"])
+        for account, percent in result["cpu"].items():
+            cpu[account] = cpu.get(account, 0.0) + percent
+        for kind, cycles in result["exit_cycles"].items():
+            exit_cycles[kind] = exit_cycles.get(kind, 0.0) + cycles
+        for kind, count in result["exit_counts"].items():
+            exit_counts[kind] = exit_counts.get(kind, 0) + count
+        offered += result["offered_packets"]
+        dropped += result["dropped_packets"]
+        interrupt_delta += result["interrupt_delta"]
+        driver_count += result["driver_count"]
+        latency_sum += result["latency_sum"]
+        latency_count += result["latency_count"]
+        latency_p99 = max(latency_p99, result["latency_p99"])
+    fabric_counters = tor.counters()
+    # Fabric tail-drops (and unroutable frames) were offered traffic
+    # that never reached a receiver's books.
+    fabric_lost = fabric_counters["dropped"] + fabric_counters["unknown_dst"]
+    offered += fabric_lost
+    dropped += fabric_lost
+    telemetry_facade = None
+    if telemetry_runners is not None:
+        hosts = [runner.host for runner in telemetry_runners]
+        if all(host.telemetry is not None for host in hosts):
+            telemetry_facade = ClusterTelemetry(hosts)
+    return RunResult(
+        vm_count=len(per_vm),
+        duration=elapsed,
+        throughput_bps=sum(per_vm),
+        per_vm_throughput_bps=per_vm,
+        cpu=cpu,
+        loss_rate=dropped / offered if offered else 0.0,
+        interrupt_hz=(interrupt_delta / driver_count / elapsed
+                      if driver_count and elapsed > 0 else 0.0),
+        exit_cycles_per_second={kind: cycles / elapsed
+                                for kind, cycles in exit_cycles.items()
+                                if elapsed > 0},
+        exit_counts=exit_counts,
+        latency_mean=latency_sum / latency_count if latency_count else 0.0,
+        latency_p99=latency_p99,
+        extras={
+            "cluster": {
+                "hosts": {result["name"]: result for result in host_results},
+                "fabric": {**fabric_counters, **fabric.to_dict()},
+                "sync_windows": coordinator.barrier.windows,
+            },
+        },
+        telemetry=telemetry_facade,
+    )

@@ -10,7 +10,6 @@ interrupt rates, and (for Fig. 7) the VM-exit cycle breakdown.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -222,29 +221,26 @@ class ExperimentRunner:
         if auditor is not None:
             auditor.audit(phase="end")
 
-    def _policy_factory(
+    def _policy_callable(
         self,
         policy: Optional[Mapping],
-        policy_factory: Optional[Callable[[], CoalescingPolicy]],
+        policy_factory: object = None,
     ) -> Optional[Callable[[], CoalescingPolicy]]:
-        """Resolve the two policy-selection styles into one factory.
+        """Turn a declarative policy spec into a per-guest factory.
 
-        ``policy`` is the declarative spec dict (picklable, cacheable);
-        ``policy_factory`` is the legacy closure style, still honored
-        but deprecated because closures cannot cross the sweep engine's
-        process pool.  Returns None when neither is given so callers
-        keep their per-experiment defaults.
+        ``policy_factory`` closures were deprecated through the v1 API
+        cycle (they cannot cross the sweep engine's process pool) and
+        are now removed; passing one is a hard error with the
+        migration spelled out.  Returns None when no spec is given so
+        callers keep their per-experiment defaults.
         """
-        if policy is not None and policy_factory is not None:
-            raise ValueError("pass either policy= (spec dict) or "
-                             "policy_factory=, not both")
         if policy_factory is not None:
-            warnings.warn(
-                "policy_factory= is deprecated: pass a declarative "
-                "policy= spec such as {'kind': 'fixed_itr', 'hz': 2000} "
-                "so scenarios stay picklable and cacheable",
-                DeprecationWarning, stacklevel=3)
-            return policy_factory
+            raise TypeError(
+                "policy_factory= was removed (it was deprecated because "
+                "closures cannot be pickled, cached, or swept): pass a "
+                "declarative policy= spec instead, e.g. "
+                "policy={'kind': 'fixed_itr', 'hz': 2000} or "
+                "policy={'kind': 'aic'} — see docs/api.md")
         if policy is not None:
             return lambda: policy_from_spec(policy, self.costs)
         return None
@@ -273,8 +269,8 @@ class ExperimentRunner:
             opts=opts if opts is not None else OptimizationConfig.all(),
             native=native, nic=nic,
         )
+        policy_factory = self._policy_callable(policy, policy_factory)
         bed = Testbed(config)
-        policy_factory = self._policy_factory(policy, policy_factory)
         if policy_factory is None:
             # The §5.3 optimization switch selects the driver's policy:
             # AIC when on, the VF driver's 2 kHz default otherwise.
@@ -314,9 +310,9 @@ class ExperimentRunner:
         """
         from repro.net.link import Link
         config = self._config(ports=ports, opts=OptimizationConfig.all())
-        bed = Testbed(config)
-        policy_factory = (self._policy_factory(policy, policy_factory)
+        policy_factory = (self._policy_callable(policy, policy_factory)
                           or (lambda: FixedItr(2000)))
+        bed = Testbed(config)
         delivered = {"packets": 0, "payload_bytes": 0}
 
         def client_sink(packet):
@@ -426,12 +422,12 @@ class ExperimentRunner:
         if sender not in ("guest", "dom0"):
             raise ValueError(f"sender must be 'guest' or 'dom0', not {sender!r}")
         config = self._config(ports=1, opts=OptimizationConfig.all())
-        bed = Testbed(config)
         # Inter-VM rates exceed the line rate, so the driver must scale
         # its interrupt frequency with them — AIC by default (§5.3's
         # Fig. 10 is exactly this scenario).
-        policy_factory = (self._policy_factory(policy, policy_factory)
+        policy_factory = (self._policy_callable(policy, policy_factory)
                           or (lambda: AdaptiveCoalescing(self.costs)))
+        bed = Testbed(config)
         if sender == "guest":
             tx_guest = bed.add_sriov_guest(kind, policy=policy_factory())
             transmit = tx_guest.driver.transmit

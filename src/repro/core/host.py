@@ -1,0 +1,355 @@
+"""One rack slot: a :class:`~repro.core.testbed.Testbed` with a fabric
+uplink.
+
+The paper's server becomes a *host* the moment it joins a cluster
+scenario: same platform, same SR-IOV NICs and guests, plus (a) a MAC
+realm so its locally administered addresses are fleet-unique, (b) wire
+uplinks whose TX side feeds the ToR fabric instead of vanishing, and
+(c) an ingress path that replays fabric deliveries into the right
+port's wire receive.
+
+A Host still owns its own :class:`~repro.sim.engine.Simulator`; the
+cluster coordinator (:mod:`repro.cluster`) advances many of them in
+conservative lockstep windows (:mod:`repro.sim.sync`).  Everything a
+Host exchanges with the coordinator is plain data — spec dicts in,
+egress-record dicts out — so the exact same Host runs in-process or
+behind a worker-process pipe with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.costs import CostModel
+from repro.core.optimizations import OptimizationConfig
+from repro.core.testbed import SriovGuest, Testbed, TestbedConfig
+from repro.drivers.coalescing import AdaptiveCoalescing, policy_from_spec
+from repro.net.link import Link
+from repro.net.mac import MacAddress
+from repro.net.netperf import NetperfStream
+from repro.net.packet import DEFAULT_MTU, Protocol
+from repro.vmm.domain import DomainKind, GuestKernel
+
+_KINDS = {"hvm": DomainKind.HVM, "pvm": DomainKind.PVM}
+_KERNELS = {k.value: k for k in GuestKernel}
+_PROTOCOLS = {p.value: p for p in Protocol}
+
+
+def derive_host_seed(base: int, name: str) -> int:
+    """A host's private RNG seed: deterministic in (scenario seed, host
+    name), decorrelated across hosts, identical across processes."""
+    return (base * 2654435761 + zlib.crc32(name.encode("utf-8"))) % (1 << 32)
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Declarative per-host placement (one ``Scenario.hosts`` entry)."""
+
+    name: str
+    vm_count: int = 2
+    kind: str = "hvm"
+    kernel: str = "2.6.28"
+    ports: int = 1
+    vfs_per_port: int = 7
+    #: Coalescing-policy spec for this host's guests; None keeps the
+    #: adaptive default.
+    policy: Optional[Mapping] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("host name must be non-empty")
+        if self.vm_count < 1:
+            raise ValueError(f"host {self.name!r} needs at least one VM")
+        if self.ports < 1 or self.vfs_per_port < 1:
+            raise ValueError(f"host {self.name!r}: ports and vfs_per_port "
+                             "must be positive")
+        if self.vm_count > self.ports * self.vfs_per_port:
+            raise ValueError(
+                f"host {self.name!r} places {self.vm_count} VMs but has "
+                f"only {self.ports * self.vfs_per_port} VFs")
+        if self.kind not in _KINDS:
+            raise ValueError(f"host {self.name!r} kind must be one of "
+                             f"{sorted(_KINDS)}, not {self.kind!r}")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"host {self.name!r} kernel must be one of "
+                             f"{sorted(_KERNELS)}, not {self.kernel!r}")
+        if self.policy is not None:
+            object.__setattr__(self, "policy", dict(self.policy))
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name, "vm_count": self.vm_count,
+            "kind": self.kind, "kernel": self.kernel,
+            "ports": self.ports, "vfs_per_port": self.vfs_per_port,
+        }
+        if self.policy is not None:
+            data["policy"] = dict(self.policy)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping, index: int = 0) -> "HostSpec":
+        known = {"name", "vm_count", "kind", "kernel", "ports",
+                 "vfs_per_port", "policy"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown host fields: {unknown} "
+                             f"(valid fields: {sorted(known)})")
+        fields = {k: data[k] for k in known if k in data}
+        fields.setdefault("name", f"h{index}")
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One tenant traffic-matrix entry (one ``Scenario.flows`` item).
+
+    A flow is a netperf stream from one placed VM to another, addressed
+    by (host name, VM index).  Same-host flows ride the NIC's internal
+    switch; cross-host flows leave on the source port's uplink and
+    traverse the ToR fabric.
+    """
+
+    src_host: str
+    dst_host: str
+    src_vm: int = 0
+    dst_vm: int = 0
+    offered_bps: float = 400e6
+    message_bytes: int = 1500
+    protocol: str = "udp"
+
+    def __post_init__(self):
+        if not self.src_host or not self.dst_host:
+            raise ValueError("flow src_host and dst_host must be non-empty")
+        if self.src_vm < 0 or self.dst_vm < 0:
+            raise ValueError("flow VM indexes must be non-negative")
+        if self.offered_bps <= 0:
+            raise ValueError("flow offered_bps must be positive")
+        if self.message_bytes < 1:
+            raise ValueError("flow message_bytes must be positive")
+        if self.protocol not in _PROTOCOLS:
+            raise ValueError(f"flow protocol must be one of "
+                             f"{sorted(_PROTOCOLS)}, not {self.protocol!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"src_host": self.src_host, "dst_host": self.dst_host,
+                "src_vm": self.src_vm, "dst_vm": self.dst_vm,
+                "offered_bps": float(self.offered_bps),
+                "message_bytes": self.message_bytes,
+                "protocol": self.protocol}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlowSpec":
+        known = {"src_host", "dst_host", "src_vm", "dst_vm",
+                 "offered_bps", "message_bytes", "protocol"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown flow fields: {unknown} "
+                             f"(valid fields: {sorted(known)})")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+class Host:
+    """A built testbed participating in a cluster run."""
+
+    def __init__(self, spec: HostSpec, index: int, *,
+                 costs: Optional[CostModel] = None,
+                 base_seed: int = 42,
+                 audit: bool = True,
+                 telemetry: bool = False):
+        if index < 0 or index > 0xFE:
+            raise ValueError("a fabric supports at most 255 hosts")
+        self.spec = spec
+        self.index = index
+        config = TestbedConfig(
+            ports=spec.ports,
+            vfs_per_port=spec.vfs_per_port,
+            costs=(costs or CostModel()).validate(),
+            opts=OptimizationConfig.all(),
+            seed=derive_host_seed(base_seed, spec.name),
+            # Realm 0 is the historical single-host address space;
+            # cluster members start at 1 so no host collides with it
+            # (or with each other).
+            mac_realm=index + 1,
+            audit=audit,
+        )
+        self.bed = Testbed(config)
+        self.sim = self.bed.sim
+        self.telemetry = None
+        if telemetry:
+            from repro.obs.telemetry import Telemetry
+            self.telemetry = Telemetry(self.sim,
+                                       namespace=f"host.{spec.name}")
+            self.telemetry.attach_platform(self.bed.platform)
+            for port in self.bed.ports:
+                self.telemetry.attach_port(port)
+        policy_spec = spec.policy
+        costs_v = config.costs
+
+        def make_policy():
+            if policy_spec is not None:
+                return policy_from_spec(policy_spec, costs_v)
+            return AdaptiveCoalescing(costs_v)
+
+        self.guests: List[SriovGuest] = [
+            self.bed.add_sriov_guest(_KINDS[spec.kind],
+                                     _KERNELS[spec.kernel], make_policy())
+            for _ in range(spec.vm_count)
+        ]
+        #: Egress records collected since the last :meth:`advance`.
+        self._outbound: List[dict] = []
+        self._egress_seq = 0
+        self._mac_to_port = {guest.vf.mac.value: guest.port
+                             for guest in self.guests}
+        for port in self.bed.ports:
+            uplink = Link(self.sim, rate_bps=port.LINE_RATE_BPS,
+                          name=f"{spec.name}.{port.name}.uplink")
+            uplink.connect(self._egress)
+            port.attach_uplink(uplink)
+        self._interrupts_before: List[int] = []
+        self.uplink_tx_frames = 0
+
+    # ------------------------------------------------------------------
+    # wiring the coordinator sees
+    # ------------------------------------------------------------------
+    def mac_table(self) -> Dict[int, int]:
+        """``{vm index: VF MAC as int}`` for this host's guests."""
+        return {i: guest.vf.mac.value
+                for i, guest in enumerate(self.guests)}
+
+    def configure_flows(self, flows: List[dict]) -> None:
+        """Start the netperf streams this host originates.
+
+        Each entry carries ``src_vm``, ``dst_mac`` (already resolved by
+        the coordinator from the cluster-wide MAC table), ``offered_bps``,
+        ``message_bytes``, ``protocol`` and ``flow_id``.
+        """
+        for flow in flows:
+            guest = self.guests[flow["src_vm"]]
+            mtu = min(int(flow["message_bytes"]), DEFAULT_MTU)
+            NetperfStream(
+                self.sim, guest.driver.transmit, guest.vf.mac,
+                MacAddress(flow["dst_mac"]), flow["offered_bps"],
+                _PROTOCOLS[flow["protocol"]], mtu=mtu,
+                flow_id=flow["flow_id"],
+                burst_interval=self.bed._burst_interval_for(
+                    flow["offered_bps"]),
+                name=f"{self.spec.name}.flow{flow['flow_id']}",
+                pool=self.bed.packet_pool,
+            ).start()
+
+    # ------------------------------------------------------------------
+    # lockstep stepping
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        return self.sim.peek()
+
+    def advance(self, window_end: float, inbound: List[dict]):
+        """Inject fabric deliveries, run to the window end, and return
+        ``(egress records, next-event peek)``.
+
+        ``inbound`` must arrive pre-sorted by (arrival, source host,
+        sequence): ties then execute in schedule order, which the engine
+        keeps FIFO, so delivery order is globally deterministic.
+        """
+        for message in inbound:
+            port = self._mac_to_port.get(message["dst"])
+            if port is not None:
+                self.sim.schedule_at(message["arrival"], self._ingress,
+                                     message, port)
+        self.sim.run(until=window_end)
+        outbound = self._outbound
+        self._outbound = []
+        return outbound, self.sim.peek()
+
+    def _egress(self, packet) -> None:
+        """Uplink TX sink: serialize the frame for the fabric.
+
+        ``t`` is the moment the frame clears this host's wire — the
+        coordinator's ToR model adds fabric latency and serialization on
+        top.  Records are plain data so they cross process boundaries
+        (and the float bits in them survive pickling exactly).
+        """
+        self.uplink_tx_frames += 1
+        self._outbound.append({
+            "t": self.sim.now,
+            "src_host": self.index,
+            "seq": self._egress_seq,
+            "src": packet.src.value,
+            "dst": packet.dst.value,
+            "size": packet.size_bytes,
+            "vlan": packet.vlan,
+            "protocol": packet.protocol.value,
+            "flow_id": packet.flow_id,
+            "created_at": packet.created_at,
+        })
+        self._egress_seq += 1
+
+    def _ingress(self, message: dict, port) -> None:
+        """Fabric delivery: rebuild the frame from this host's pool and
+        hand it to the owning port's wire side.  ``created_at`` is the
+        original send time, so end-to-end latency spans the fabric."""
+        burst = self.bed.packet_pool.acquire_burst(
+            1, MacAddress(message["src"]), MacAddress(message["dst"]),
+            message["size"], vlan=message["vlan"],
+            protocol=_PROTOCOLS[message["protocol"]],
+            flow_id=message["flow_id"], created_at=message["created_at"])
+        port.wire_receive(burst)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def start_measurement(self) -> None:
+        self.bed.platform.start_measurement()
+        for guest in self.guests:
+            guest.app.reset()
+        self._interrupts_before = [guest.driver.interrupts_handled
+                                   for guest in self.guests]
+
+    def collect(self) -> dict:
+        """End the window and report this host's share of the result —
+        plain sums and counts, so the coordinator can aggregate exactly."""
+        elapsed = self.bed.platform.end_measurement()
+        auditor = getattr(self.bed, "auditor", None)
+        if auditor is not None:
+            auditor.audit(phase="end")
+        apps = [guest.app for guest in self.guests]
+        per_vm = [app.throughput_bps(elapsed) for app in apps]
+        offered = sum(app.rx_packets + app.dropped_packets for app in apps)
+        dropped = sum(app.dropped_packets for app in apps)
+        interrupt_delta = sum(
+            guest.driver.interrupts_handled - before
+            for guest, before in zip(self.guests, self._interrupts_before))
+        exit_cycles: Dict[str, float] = {}
+        exit_counts: Dict[str, int] = {}
+        for kind, (count, cycles) in \
+                self.bed.platform.ledger.exit_breakdown().items():
+            if cycles > 0:
+                exit_cycles[kind] = cycles
+            if count:
+                exit_counts[kind] = count
+        latency_count = sum(app.latency.count for app in apps)
+        latency_sum = sum(app.latency.mean * app.latency.count
+                          for app in apps)
+        latency_p99 = max((app.latency.percentile(99) for app in apps
+                           if app.latency.count), default=0.0)
+        return {
+            "name": self.spec.name,
+            "vm_count": len(self.guests),
+            "elapsed": elapsed,
+            "throughput_bps": sum(per_vm),
+            "per_vm_throughput_bps": per_vm,
+            "cpu": self.bed.platform.utilization_breakdown(),
+            "offered_packets": offered,
+            "dropped_packets": dropped,
+            "interrupt_delta": interrupt_delta,
+            "driver_count": len(self.guests),
+            "exit_cycles": exit_cycles,
+            "exit_counts": exit_counts,
+            "latency_sum": latency_sum,
+            "latency_count": latency_count,
+            "latency_p99": latency_p99,
+            "uplink_tx_frames": self.uplink_tx_frames,
+            "events_executed": self.sim.events_executed,
+        }

@@ -82,6 +82,11 @@ class TestbedConfig:
     #: telemetry streamer uses it to grab ``bed.sim`` for heartbeat
     #: sampling without ever scheduling an event.
     observer: Optional[Callable[["Testbed"], None]] = None
+    #: MAC realm byte (bits 24-31 of every locally administered MAC the
+    #: testbed hands out).  Multi-host clusters give each host its own
+    #: realm so VF and client MACs are fleet-unique; the default 0
+    #: reproduces the historical single-host addresses bit for bit.
+    mac_realm: int = 0
 
 
 @dataclass
@@ -142,7 +147,9 @@ class Testbed:
         self._build_ports()
         self.sriov_guests: List[SriovGuest] = []
         self.pv_guests: List[PvGuest] = []
-        self._client_macs = iter(range(0x02_0000_FF0000, 0x02_0000_FFFFFF))
+        realm_bits = self.config.mac_realm << 24
+        self._client_macs = iter(range(0x02_0000_FF0000 | realm_bits,
+                                       0x02_0000_FFFFFF | realm_bits))
         self.injector = None
         if self.config.faults:
             from repro.faults import FaultInjector, FaultPlan
@@ -181,7 +188,8 @@ class Testbed:
             self.platform.root_complex.attach(port.pf.pci, bus=index + 1,
                                               device=0)
             port.interrupt_sink = self.platform.deliver_msi
-            pf_driver = PfDriver(self.platform, self._dom0, port)
+            pf_driver = PfDriver(self.platform, self._dom0, port,
+                                 mac_realm=self.config.mac_realm)
             pf_driver.start()
             pf_driver.enable_sriov(self.config.vfs_per_port)
             self.iovm.surface_vfs(port)

@@ -39,14 +39,14 @@ class PfDriver:
     """One port's igb instance, running in dom0 (or the native host)."""
 
     def __init__(self, platform, dom0: Domain, port: Igb82576Port,
-                 name: str = ""):
+                 name: str = "", mac_realm: int = 0):
         self.platform = platform
         self.sim = platform.sim
         self.costs = platform.costs
         self.dom0 = dom0
         self.port = port
         self.name = name or f"igb.{port.name}"
-        self.mac_allocator = MacAllocator(port.index)
+        self.mac_allocator = MacAllocator(port.index, realm=mac_realm)
         self.napi = NapiContext()
         self.app = NetserverApp(platform.costs, name=f"{self.name}.pf-app")
         self.rx_vector: Optional[int] = None

@@ -1,0 +1,149 @@
+"""The top-of-rack fabric: what connects SR-IOV hosts to each other.
+
+The paper evaluates one server; a rack of them needs a switch.  This
+module models the minimal deterministic ToR: every host hangs off one
+uplink (its NIC ports' wire side), and the switch forwards frames
+between hosts with a fixed one-way latency plus store-and-forward
+serialization at the fabric rate, tail-dropping when a destination's
+egress queue is over-booked.
+
+The switch deliberately has **no event engine of its own**.  It is pure
+arithmetic over timestamps, driven by the cluster coordinator
+(:mod:`repro.cluster`): host engines hand it egress records, it answers
+with arrival times.  That keeps it trivially correct under the
+conservative lockstep synchronization — the same code computes the same
+floats whether the hosts run serially in one process or one process
+each — and makes the fabric latency the synchronization lookahead
+(SimBricks' insight: engines may free-run inside one link delay because
+nothing can cross the fabric faster than it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.net.packet import DEFAULT_MTU, wire_bytes
+
+#: Default fabric port speed: a 10 GbE ToR in front of 1 GbE hosts.
+DEFAULT_UPLINK_GBPS = 10.0
+#: Default one-way ToR latency (cut-through switch + a few meters of
+#: copper); also the conservative-sync lookahead, so it must be > 0.
+DEFAULT_LATENCY_S = 5e-6
+#: Default per-egress-port queue bound, in MTU-sized frames.
+DEFAULT_QUEUE_FRAMES = 256
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Declarative fabric description (the ``Scenario.fabric`` field).
+
+    Plain JSON-able values only, like every Scenario field: the dict
+    form is the canonical form the sweep cache hashes.
+    """
+
+    uplink_gbps: float = DEFAULT_UPLINK_GBPS
+    latency_s: float = DEFAULT_LATENCY_S
+    queue_frames: int = DEFAULT_QUEUE_FRAMES
+
+    def __post_init__(self):
+        if self.uplink_gbps <= 0:
+            raise ValueError("fabric uplink_gbps must be positive")
+        if self.latency_s <= 0:
+            raise ValueError(
+                "fabric latency_s must be positive: it is the conservative "
+                "synchronization lookahead between host engines")
+        if self.queue_frames < 1:
+            raise ValueError("fabric queue_frames must be at least 1")
+
+    @property
+    def rate_bps(self) -> float:
+        return self.uplink_gbps * 1e9
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"uplink_gbps": float(self.uplink_gbps),
+                "latency_s": float(self.latency_s),
+                "queue_frames": int(self.queue_frames)}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping]) -> "FabricSpec":
+        if not data:
+            return cls()
+        known = {"uplink_gbps", "latency_s", "queue_frames"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fabric fields: {unknown} "
+                             f"(valid fields: {sorted(known)})")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+class ToRSwitch:
+    """Deterministic store-and-forward arithmetic between host uplinks.
+
+    ``route`` maps one egress record — ``{"t": wire time at the source
+    host's uplink, "dst": destination MAC as int, ...}`` — to the same
+    record with ``"dst_host"`` and ``"arrival"`` filled in, or ``None``
+    when the frame is dropped (unknown destination, or the egress queue
+    bound exceeded).  Per-destination egress serialization is booked in
+    call order, so callers must route frames in a globally deterministic
+    order (the coordinator sorts by (time, source host, sequence)).
+    """
+
+    def __init__(self, spec: FabricSpec, host_count: int):
+        self.spec = spec
+        self._mac_to_host: Dict[int, int] = {}
+        #: When each destination's fabric egress port goes idle.
+        self._free_at: List[float] = [0.0] * host_count
+        #: Deepest tolerated egress backlog, in seconds of line time.
+        self._queue_bound_s = (spec.queue_frames *
+                               wire_bytes(DEFAULT_MTU) * 8 / spec.rate_bps)
+        self.forwarded = 0
+        self.forwarded_bytes = 0
+        self.dropped = 0
+        self.unknown_dst = 0
+
+    # ------------------------------------------------------------------
+    # MAC learning (static: programmed from each host's VF table)
+    # ------------------------------------------------------------------
+    def learn(self, mac_value: int, host_index: int) -> None:
+        if not 0 <= host_index < len(self._free_at):
+            raise ValueError(f"host index {host_index} out of range")
+        self._mac_to_host[mac_value] = host_index
+
+    def host_for(self, mac_value: int) -> Optional[int]:
+        return self._mac_to_host.get(mac_value)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def route(self, message: dict) -> Optional[dict]:
+        dst_host = self._mac_to_host.get(message["dst"])
+        if dst_host is None:
+            self.unknown_dst += 1
+            return None
+        ready = message["t"] + self.spec.latency_s
+        start = max(ready, self._free_at[dst_host])
+        if start - ready > self._queue_bound_s:
+            self.dropped += 1
+            return None
+        frame_bytes = wire_bytes(message["size"], message["vlan"])
+        self._free_at[dst_host] = start + frame_bytes * 8 / self.spec.rate_bps
+        self.forwarded += 1
+        self.forwarded_bytes += frame_bytes
+        message["dst_host"] = dst_host
+        message["arrival"] = self._free_at[dst_host]
+        return message
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (measurement-window bookkeeping);
+        the egress ``free_at`` bookings are simulation state and stay."""
+        self.forwarded = 0
+        self.forwarded_bytes = 0
+        self.dropped = 0
+        self.unknown_dst = 0
+
+    def counters(self) -> Dict[str, int]:
+        return {"forwarded": self.forwarded,
+                "forwarded_bytes": self.forwarded_bytes,
+                "dropped": self.dropped,
+                "unknown_dst": self.unknown_dst}

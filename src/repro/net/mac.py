@@ -81,10 +81,12 @@ class MacAllocator:
     #: Locally-administered (bit 1), unicast (bit 0 clear) OUI prefix.
     _BASE = 0x02_00_00_00_00_00
 
-    def __init__(self, port_index: int = 0):
+    def __init__(self, port_index: int = 0, realm: int = 0):
         if port_index < 0 or port_index > 0xFF:
             raise ValueError("port index must fit in one octet")
-        self._next = self._BASE | (port_index << 16)
+        if realm < 0 or realm > 0xFF:
+            raise ValueError("realm must fit in one octet")
+        self._next = self._BASE | (realm << 24) | (port_index << 16)
         self._port_limit = self._next + 0x10000
 
     def allocate(self) -> MacAddress:

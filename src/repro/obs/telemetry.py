@@ -41,9 +41,17 @@ class Telemetry:
 
     def __init__(self, sim: Simulator,
                  trace_capacity: int = DEFAULT_TRACE_CAPACITY,
-                 categories: Optional[Iterable[str]] = None):
+                 categories: Optional[Iterable[str]] = None,
+                 namespace: str = ""):
         self.sim = sim
         self.registry = MetricsRegistry()
+        #: Metric-name prefix for everything this facade wires (multi-
+        #: host runs give each host ``host.<name>`` so per-host metrics
+        #: stay distinguishable when documents are merged).  Empty
+        #: string preserves the historical flat names.
+        self.namespace = namespace
+        self._scope = (self.registry.scope(namespace) if namespace
+                       else self.registry)
         self.tracer = Tracer(sim, capacity=trace_capacity)
         if categories is None:
             self.tracer.enable_all()
@@ -62,11 +70,11 @@ class Telemetry:
         (ports, guests, drivers) is wired automatically.
         """
         platform.trace = self.tracer
-        platform.metrics = self.registry
+        platform.metrics = self._scope
         self.platform = platform
         if hasattr(platform, "blocked_interrupts"):
-            self.registry.gauge("vmm.blocked_interrupts",
-                                lambda: platform.blocked_interrupts)
+            self._scope.gauge("vmm.blocked_interrupts",
+                              lambda: platform.blocked_interrupts)
 
     def attach_port(self, port) -> None:
         """Export one NIC port's device counters and trace its DMA path
@@ -78,7 +86,7 @@ class Telemetry:
         """
         index = getattr(port, "index", None)
         label = f"nic.port{index}" if index is not None else f"nic.{port.name}"
-        scope = self.registry.scope(label)
+        scope = self._scope.scope(label)
         scope.gauge("wire_rx_pkts", lambda: port.wire_rx_packets)
         if hasattr(port, "wire_tx_packets"):
             scope.gauge("wire_tx_pkts", lambda: port.wire_tx_packets)

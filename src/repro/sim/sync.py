@@ -1,0 +1,59 @@
+"""Conservative synchronization between independent event engines.
+
+Multi-host scenarios give every host its own :class:`~repro.sim.engine
+.Simulator`.  The engines stay causally consistent the SimBricks way:
+nothing crosses the fabric in less than the uplink latency ``L``, so
+each engine may free-run up to ``min(next event anywhere) + L`` without
+risk of receiving a message from its past.  :class:`LockstepBarrier`
+computes those windows; the cluster coordinator drives every host to
+each window end, exchanges the messages that surfaced, and repeats.
+
+Two properties the rest of the stack leans on:
+
+* **No time travel.**  Any message emitted at time ``t`` inside a
+  window arrives at ``t + L`` or later; the window ends at or before
+  ``floor + L`` where ``floor <= t``, so arrivals always land at or
+  after every engine's clock.  ``schedule_at`` never sees the past.
+* **Determinism.**  Window boundaries depend only on event timestamps
+  and pending arrivals — pure float arithmetic, identical whether the
+  hosts step serially in one process or in parallel worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class LockstepBarrier:
+    """Window calculator for conservatively synchronized engines."""
+
+    def __init__(self, lookahead: float):
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive (it is the "
+                             "minimum cross-engine message latency)")
+        self.lookahead = lookahead
+        #: Synchronization rounds computed so far (observability only).
+        self.windows = 0
+
+    def next_window(self, until: float,
+                    peeks: Iterable[Optional[float]],
+                    pending_arrivals: Iterable[float]) -> Optional[float]:
+        """The next safe horizon, or None when nothing remains.
+
+        ``peeks`` are each engine's next-event timestamp (None for an
+        idle engine); ``pending_arrivals`` are cross-engine messages
+        already routed but not yet injected.  Returns ``until`` when no
+        work precedes the horizon — the caller runs everyone to
+        ``until`` and stops — and None when additionally every engine
+        is already at ``until``.
+        """
+        floor = None
+        for candidate in list(peeks) + list(pending_arrivals):
+            if candidate is None or candidate > until:
+                continue
+            if floor is None or candidate < floor:
+                floor = candidate
+        if floor is None:
+            return until
+        self.windows += 1
+        return min(until, floor + self.lookahead)

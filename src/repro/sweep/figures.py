@@ -1,8 +1,9 @@
 """The figure registry: every paper figure as a named campaign.
 
-Each entry maps a figure name ("fig06" … "fig21") to the labeled
+Each entry maps a figure name ("fig06" … "fig22") to the labeled
 scenarios that generate its data and a row builder that renders the
-series the paper plots.  The pytest-benchmark suite
+series the paper plots (fig22 extends the paper: cross-host scale-out
+over the modeled ToR fabric).  The pytest-benchmark suite
 (``benchmarks/bench_fig*.py``) and the ``repro figures`` CLI both run
 through here, so there is exactly one definition of what each figure
 measures.
@@ -225,6 +226,37 @@ def _fig21_scenarios(quick: bool) -> LabeledScenarios:
                                   start_at=0.5 if quick else 4.5))]
 
 
+def _fig22_hosts(pairs: int) -> List[dict]:
+    # One VF port per guest, as in the paper's aggregate-10GbE rigs, so
+    # the 1 GbE port links never cap the cross-host scaling curve.
+    return [{"name": name, "vm_count": pairs, "ports": pairs}
+            for name in ("h0", "h1")]
+
+
+def _fig22_flows(pairs: int) -> List[dict]:
+    flows = []
+    for vm in range(pairs):
+        flows.append({"src_host": "h0", "dst_host": "h1",
+                      "src_vm": vm, "dst_vm": vm, "offered_bps": 400e6})
+        flows.append({"src_host": "h1", "dst_host": "h0",
+                      "src_vm": vm, "dst_vm": vm, "offered_bps": 400e6})
+    return flows
+
+
+def _fig22_scenarios(quick: bool) -> LabeledScenarios:
+    # Beyond the paper: two SR-IOV hosts under one 10 GbE ToR, scaling
+    # bidirectional 400 Mbps tenant pairs until the fabric matters.
+    counts = [1, 2] if quick else [1, 2, 4, 7]
+    base = Scenario(mode="cluster", hosts=_fig22_hosts(1),
+                    flows=_fig22_flows(1),
+                    fabric={"uplink_gbps": 10.0, "latency_s": 2e-5},
+                    warmup=0.1 if quick else 0.3,
+                    duration=0.05 if quick else 0.2)
+    return [(str(count), base.with_(hosts=_fig22_hosts(count),
+                                    flows=_fig22_flows(count)))
+            for count in counts]
+
+
 def _fig21f_scenarios(quick: bool) -> LabeledScenarios:
     # The DNIS timeline again, but the VF's physical line flaps while
     # the guest is still on the VF: the bond must fail over to the PV
@@ -336,6 +368,17 @@ def migration_timeline_rows(result: RunResult,
     return rows
 
 
+def _fig22_rows(results: Dict[str, RunResult]) -> Rows:
+    rows = []
+    for label, r in results.items():
+        fabric = r.extras["cluster"]["fabric"]
+        rows.append([label, r.throughput_gbps, r.loss_rate * 100,
+                     r.latency_mean * 1e6, fabric["forwarded"],
+                     fabric["dropped"] + fabric["unknown_dst"]])
+    return (["flow pairs", "Gbps", "loss%", "lat us", "fabric frames",
+             "fabric drops"], rows)
+
+
 def _migration_rows(results: Dict[str, RunResult]) -> Rows:
     timeline = results.get("timeline")
     return (["t (s)", "Mbps", "dom0%"],
@@ -381,6 +424,9 @@ FIGURES: Dict[str, Figure] = {
         Figure("fig21f", "DNIS migration timeline under an injected "
                          "VF link flap",
                _fig21f_scenarios, _migration_rows),
+        Figure("fig22", "cross-host SR-IOV scaling over a 10 GbE ToR "
+                        "(extension beyond the paper)",
+               _fig22_scenarios, _fig22_rows),
     ]
 }
 

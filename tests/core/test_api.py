@@ -100,7 +100,12 @@ class TestScenarioRoundTrip:
 
     def test_every_mode_constructs(self):
         for mode in MODES:
-            Scenario(mode=mode)
+            if mode == "cluster":
+                # Cluster is the one mode with a required field: the
+                # placement cannot be defaulted.
+                Scenario(mode=mode, hosts=[{"name": "h0"}, {"name": "h1"}])
+            else:
+                Scenario(mode=mode)
 
 
 class TestRunResultRoundTrip:
@@ -161,23 +166,29 @@ class TestPolicySpecs:
         with pytest.raises(ValueError, match="kind"):
             policy_from_spec({"kind": "psychic"})
 
-    def test_policy_factory_still_works_but_warns(self):
+    def test_policy_factory_is_removed_with_a_hard_error(self):
         runner = ExperimentRunner(warmup=0.2, duration=0.1)
-        with pytest.deprecated_call():
-            result = runner.run_sriov(
-                1, ports=1, policy_factory=lambda: FixedItr(2000))
+        factory = lambda: FixedItr(2000)
+        calls = [
+            lambda: runner.run_sriov(1, ports=1, policy_factory=factory),
+            lambda: runner.run_sriov_tx(1, ports=1, policy_factory=factory),
+            lambda: runner.run_native(1, ports=1, policy_factory=factory),
+            lambda: runner.run_intervm_sriov(policy_factory=factory),
+        ]
+        for call in calls:
+            with pytest.raises(TypeError,
+                               match="policy_factory= was removed"):
+                call()
+
+    def test_policy_spec_replaces_the_removed_factory(self):
+        runner = ExperimentRunner(warmup=0.2, duration=0.1)
+        result = runner.run_sriov(1, ports=1,
+                                  policy={"kind": "fixed_itr", "hz": 2000})
         spec_result = run(Scenario(mode="sriov", vm_count=1, ports=1,
                                    policy={"kind": "fixed_itr",
                                            "hz": 2000},
                                    warmup=0.2, duration=0.1))
         assert result.throughput_bps == spec_result.throughput_bps
-
-    def test_policy_and_policy_factory_together_rejected(self):
-        runner = ExperimentRunner(warmup=0.2, duration=0.1)
-        with pytest.raises(ValueError, match="policy"):
-            runner.run_sriov(1, ports=1,
-                             policy={"kind": "fixed_itr", "hz": 2000},
-                             policy_factory=lambda: FixedItr(2000))
 
 
 def test_figures_cli_smoke(tmp_path, capsys):

@@ -1,0 +1,147 @@
+"""The public API surface, pinned.
+
+Three contracts that must not drift silently:
+
+* what ``repro.api`` / ``repro`` export (the names examples and user
+  code may import),
+* the v2 Scenario schema — multi-host fields round-trip through JSON
+  and version mismatches fail helpfully,
+* the content-addressed cache keys of seed scenarios — a warm sweep
+  cache must survive API refactors byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+import repro
+import repro.api
+from repro.api import SCHEMA_VERSION, Scenario
+from repro.sweep import costs_to_dict, job_key
+
+
+class TestExportedNames:
+    def test_api_all_is_exactly_the_published_surface(self):
+        assert repro.api.__all__ == ["MODES", "SCHEMA_VERSION",
+                                     "VARIANTS", "RunResult",
+                                     "Scenario", "run"]
+
+    def test_package_all_is_exactly_the_published_surface(self):
+        assert repro.__all__ == ["CostModel", "DomainKind",
+                                 "ExperimentRunner", "GuestKernel",
+                                 "OptimizationConfig", "RunResult",
+                                 "Scenario", "Testbed", "TestbedConfig",
+                                 "__version__", "run"]
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+
+def _cluster_scenario() -> Scenario:
+    return Scenario(
+        mode="cluster",
+        hosts=[{"name": "left", "vm_count": 2},
+               {"name": "right", "vm_count": 1, "ports": 2,
+                "policy": {"kind": "fixed_itr", "hz": 2000}}],
+        fabric={"uplink_gbps": 25.0, "latency_s": 1e-5},
+        flows=[{"src_host": "left", "dst_host": "right",
+                "src_vm": 1, "offered_bps": 2e8}],
+        warmup=0.1, duration=0.05)
+
+
+class TestScenarioSchemaV2:
+    def test_multi_host_fields_round_trip_through_json(self):
+        scenario = _cluster_scenario()
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert Scenario.from_dict(data) == scenario
+
+    def test_faulted_scenario_round_trips_through_json(self):
+        scenario = Scenario(mode="migrate", variant="dnis",
+                            faults=[{"kind": "link_flap", "at": 2.0}])
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
+    def test_single_host_dict_has_no_version_or_cluster_fields(self):
+        data = Scenario(mode="sriov").to_dict()
+        for name in ("schema_version", "hosts", "fabric", "flows"):
+            assert name not in data
+
+    def test_v1_dicts_still_load(self):
+        # Every dict ever written before the version tag existed is a
+        # v1 dict; it must construct unchanged.
+        scenario = Scenario(mode="sriov", vm_count=3)
+        data = scenario.to_dict()
+        assert "schema_version" not in data
+        assert Scenario.from_dict(data) == scenario
+        assert Scenario.from_dict({**data, "schema_version": 1}) \
+            == scenario
+
+    def test_future_schema_version_fails_helpfully(self):
+        with pytest.raises(ValueError, match="newer repro"):
+            Scenario(mode="sriov", schema_version=SCHEMA_VERSION + 1)
+
+    def test_unknown_keys_get_a_spelling_hint(self):
+        with pytest.raises(ValueError,
+                           match="did you mean 'fabric'"):
+            Scenario.from_dict({"mode": "cluster",
+                                "hosts": [{"name": "h0"}],
+                                "fabrik": {}})
+
+    def test_cluster_fields_rejected_outside_cluster_mode(self):
+        with pytest.raises(ValueError, match="cluster-mode field"):
+            Scenario(mode="sriov", hosts=[{"name": "h0"}])
+
+    def test_cluster_mode_rejects_faults(self):
+        with pytest.raises(ValueError, match="single-host"):
+            Scenario(mode="cluster", hosts=[{"name": "h0"}],
+                     faults=[{"kind": "link_flap", "at": 1.0}])
+
+
+class TestSeedCacheKeys:
+    """Golden content keys: a refactor that changes any of these
+    invalidates every user's warm result cache.  Computed once from the
+    seed tree and pinned."""
+
+    PINNED = {
+        "default":
+            "3e410f796dd9f50e1fb81f0a55d7154312274866ae790890b386edf2f"
+            "482972c",
+        "fig15_cell":
+            "6ea923600166e6da02e0e6e9683e3a9ff90597dc5280822f1390eac50"
+            "ccdfcc7",
+        "migrate_dnis":
+            "1013b3e7a2f7a9512ad35cb595bae9d11f9564325af7386a7175e1f73"
+            "6f37ee5",
+        "intervm_pv":
+            "8bc327a756f91032b57fb5e1bd66d23a87ea60a096634cf37cb537002"
+            "04ead2f",
+        "faulted":
+            "905e30b07709b224259e922ce04bd5745d98de4872493e5b4c336bc48"
+            "304a3a5",
+    }
+
+    def _scenarios(self):
+        return {
+            "default": Scenario(),
+            "fig15_cell": Scenario(mode="sriov", kind="hvm",
+                                   policy={"kind": "fixed_itr",
+                                           "hz": 2000},
+                                   warmup=0.6, duration=0.4,
+                                   vm_count=10),
+            "migrate_dnis": Scenario(mode="migrate", variant="dnis"),
+            "intervm_pv": Scenario(mode="intervm", variant="pv",
+                                   kind="pvm", message_bytes=4000),
+            "faulted": Scenario(faults=[{"kind": "link_flap",
+                                         "at": 2.0}]),
+        }
+
+    def test_seed_scenario_keys_are_unchanged(self):
+        for label, scenario in self._scenarios().items():
+            key = job_key(scenario.to_dict(), costs_to_dict(None))
+            assert key == self.PINNED[label], (
+                f"cache key for {label!r} drifted: every warm cache "
+                f"would be invalidated (got {key})")

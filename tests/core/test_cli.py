@@ -138,6 +138,29 @@ class TestSmokeRuns:
         assert "migration events" in out
         assert "downtime" in out
 
+    def test_cluster_run(self, tmp_path, capsys):
+        import json
+        metrics = tmp_path / "metrics.json"
+        code = run_cli(["--warmup", "0.05", "--duration", "0.05",
+                        "cluster", "--hosts", "2", "--vms-per-host", "1",
+                        "--metrics-json", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-host" in out
+        assert "h0" in out and "h1" in out
+        doc = json.loads(metrics.read_text())
+        assert any(name.startswith("host.h1.")
+                   for name in doc["metrics"])
+
+    def test_cluster_rejects_single_host_observability(self):
+        for flag in (["--trace-out", "t.jsonl"], ["--profile"],
+                     ["--audit-interval", "0.1"]):
+            with pytest.raises(SystemExit, match="single-host"):
+                run_cli(["cluster"] + flag)
+        with pytest.raises(SystemExit, match="in-process"):
+            run_cli(["cluster", "--process-hosts",
+                     "--metrics-json", "m.json"])
+
     def test_migration_run_with_fault_and_metrics(self, tmp_path, capsys):
         import json
         metrics = tmp_path / "metrics.json"

@@ -1,0 +1,103 @@
+"""Unit tests for the ToR fabric model (spec + switch arithmetic)."""
+
+import pytest
+
+from repro.net.fabric import (
+    DEFAULT_LATENCY_S,
+    DEFAULT_QUEUE_FRAMES,
+    DEFAULT_UPLINK_GBPS,
+    FabricSpec,
+    ToRSwitch,
+)
+from repro.net.mac import VLAN_NONE
+from repro.net.packet import wire_bytes
+
+
+def _message(t=0.0, dst=0x02_0100_000001, size=1500, vlan=VLAN_NONE,
+             **extra):
+    message = {"t": t, "src_host": 0, "seq": 0, "src": 0x02_0100_000000,
+               "dst": dst, "size": size, "vlan": vlan,
+               "protocol": "udp", "flow_id": 1, "created_at": t}
+    message.update(extra)
+    return message
+
+
+class TestFabricSpec:
+    def test_defaults(self):
+        spec = FabricSpec()
+        assert spec.uplink_gbps == DEFAULT_UPLINK_GBPS
+        assert spec.latency_s == DEFAULT_LATENCY_S
+        assert spec.queue_frames == DEFAULT_QUEUE_FRAMES
+        assert spec.rate_bps == DEFAULT_UPLINK_GBPS * 1e9
+
+    def test_round_trip(self):
+        spec = FabricSpec(uplink_gbps=25.0, latency_s=1e-5,
+                          queue_frames=64)
+        assert FabricSpec.from_dict(spec.to_dict()) == spec
+        assert FabricSpec.from_dict(None) == FabricSpec()
+        assert FabricSpec.from_dict({}) == FabricSpec()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="latency_ms"):
+            FabricSpec.from_dict({"latency_ms": 1.0})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="uplink_gbps"):
+            FabricSpec(uplink_gbps=0)
+        with pytest.raises(ValueError, match="lookahead"):
+            FabricSpec(latency_s=0)
+        with pytest.raises(ValueError, match="queue_frames"):
+            FabricSpec(queue_frames=0)
+
+
+class TestToRSwitch:
+    def test_forwarding_adds_latency_plus_serialization(self):
+        spec = FabricSpec(uplink_gbps=10.0, latency_s=5e-6)
+        tor = ToRSwitch(spec, host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        routed = tor.route(_message(t=1.0))
+        assert routed["dst_host"] == 1
+        assert routed["arrival"] == pytest.approx(
+            1.0 + 5e-6 + wire_bytes(1500) * 8 / 10e9)
+        assert tor.counters() == {"forwarded": 1,
+                                  "forwarded_bytes": wire_bytes(1500),
+                                  "dropped": 0, "unknown_dst": 0}
+
+    def test_egress_port_serializes_in_call_order(self):
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        first = tor.route(_message(t=0.0))
+        second = tor.route(_message(t=0.0))
+        # Same instant, same destination: the second frame queues
+        # behind the first on the egress port.
+        assert second["arrival"] == pytest.approx(
+            first["arrival"] + wire_bytes(1500) * 8 / FabricSpec().rate_bps)
+
+    def test_unknown_destination_is_dropped_and_counted(self):
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        assert tor.route(_message(dst=0x02_0900_00BEEF)) is None
+        assert tor.counters()["unknown_dst"] == 1
+        assert tor.counters()["forwarded"] == 0
+
+    def test_overbooked_egress_queue_tail_drops(self):
+        tor = ToRSwitch(FabricSpec(queue_frames=2), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        outcomes = [tor.route(_message(t=0.0)) for _ in range(8)]
+        delivered = [m for m in outcomes if m is not None]
+        assert 0 < len(delivered) < 8
+        assert tor.counters()["dropped"] == 8 - len(delivered)
+
+    def test_reset_counters_keeps_port_bookings(self):
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        first = tor.route(_message(t=0.0))
+        tor.reset_counters()
+        assert tor.counters()["forwarded"] == 0
+        # The egress booking survives: the next frame still queues.
+        second = tor.route(_message(t=0.0))
+        assert second["arrival"] > first["arrival"]
+
+    def test_learn_rejects_out_of_range_host(self):
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        with pytest.raises(ValueError, match="out of range"):
+            tor.learn(0x02_0100_000001, 2)

@@ -1,0 +1,49 @@
+"""Unit tests for the conservative lockstep window calculator."""
+
+import pytest
+
+from repro.sim.sync import LockstepBarrier
+
+
+class TestLockstepBarrier:
+    def test_lookahead_must_be_positive(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            LockstepBarrier(0.0)
+        with pytest.raises(ValueError, match="lookahead"):
+            LockstepBarrier(-1e-6)
+
+    def test_window_is_earliest_event_plus_lookahead(self):
+        barrier = LockstepBarrier(1e-5)
+        assert barrier.next_window(1.0, [0.2, 0.5], []) == \
+            pytest.approx(0.2 + 1e-5)
+
+    def test_idle_engines_are_ignored(self):
+        barrier = LockstepBarrier(1e-5)
+        assert barrier.next_window(1.0, [None, 0.3, None], []) == \
+            pytest.approx(0.3 + 1e-5)
+
+    def test_pending_arrivals_bound_the_window_too(self):
+        # A routed-but-undelivered message is work below the horizon
+        # even when every engine's own queue is empty.
+        barrier = LockstepBarrier(1e-5)
+        assert barrier.next_window(1.0, [None, None], [0.1]) == \
+            pytest.approx(0.1 + 1e-5)
+        assert barrier.next_window(1.0, [0.5], [0.1]) == \
+            pytest.approx(0.1 + 1e-5)
+
+    def test_no_work_below_horizon_runs_to_until(self):
+        barrier = LockstepBarrier(1e-5)
+        assert barrier.next_window(1.0, [None, None], []) == 1.0
+        assert barrier.next_window(1.0, [2.0], [1.5]) == 1.0
+
+    def test_window_clamps_at_until(self):
+        barrier = LockstepBarrier(0.5)
+        assert barrier.next_window(1.0, [0.9], []) == 1.0
+
+    def test_window_counter_counts_bounded_windows_only(self):
+        barrier = LockstepBarrier(1e-5)
+        barrier.next_window(1.0, [None], [])  # free run: not a round
+        assert barrier.windows == 0
+        barrier.next_window(1.0, [0.2], [])
+        barrier.next_window(1.0, [0.4], [])
+        assert barrier.windows == 2

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI gate for the public API surface (the ``api-surface`` job).
+
+Four checks, all about the boundary between user code and internals:
+
+1. every example imports (with ``__main__`` guards intact, importing
+   is side-effect free), so the examples can only use names that
+   actually exist;
+2. no example reaches into private names (``from repro.x import _y``
+   or ``repro.x._y`` attribute access);
+3. importing and exercising the public surface raises no
+   ``DeprecationWarning`` — the surface carries no half-removed names;
+4. a 2-host cluster scenario runs end-to-end, serially and with one
+   process per host, and the two results are byte-identical.
+
+Exits non-zero with a per-check report on any failure.  Run from the
+repo root: ``PYTHONPATH=src python tools/check_api_surface.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import sys
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+#: ``from repro... import _private`` (also catches ``_a as b`` and
+#: ``a, _b`` lists) and ``repro.module._private`` attribute access.
+PRIVATE_IMPORT = re.compile(
+    r"^\s*from\s+repro[\w.]*\s+import\s+(?:[\w.,\s]*\s)?_\w+", re.M)
+PRIVATE_ATTR = re.compile(r"\brepro(?:\.\w+)*\._\w+")
+
+
+def check_examples_import() -> list:
+    failures = []
+    for path in sorted(EXAMPLES.glob("*.py")):
+        name = f"_example_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            sys.modules[name] = module
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            failures.append(f"{path.name}: import failed: {exc!r}")
+        if not hasattr(module, "main"):
+            failures.append(f"{path.name}: no main() — did importing "
+                            f"run the experiment?")
+    return failures
+
+
+def check_no_private_imports() -> list:
+    failures = []
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        for pattern in (PRIVATE_IMPORT, PRIVATE_ATTR):
+            for match in pattern.finditer(text):
+                line = text[:match.start()].count("\n") + 1
+                failures.append(f"{path.name}:{line}: private name "
+                                f"{match.group(0).strip()!r}")
+    return failures
+
+
+def check_no_deprecation_warnings() -> list:
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        try:
+            import repro
+            from repro import ExperimentRunner, Scenario, run
+            scenario = Scenario(mode="sriov", vm_count=1, ports=1,
+                                warmup=0.05, duration=0.05)
+            Scenario.from_dict(scenario.to_dict())
+            run(scenario)
+            ExperimentRunner(warmup=0.05, duration=0.05).run_sriov(
+                1, ports=1, policy={"kind": "fixed_itr", "hz": 2000})
+            assert repro.__all__
+        except DeprecationWarning as exc:
+            return [f"public surface raised DeprecationWarning: {exc}"]
+    return []
+
+
+def check_cluster_smoke() -> list:
+    from repro import Scenario, run
+    scenario = Scenario(
+        mode="cluster",
+        hosts=[{"name": "h0", "vm_count": 1},
+               {"name": "h1", "vm_count": 1}],
+        flows=[{"src_host": "h0", "dst_host": "h1"},
+               {"src_host": "h1", "dst_host": "h0"}],
+        fabric={"latency_s": 2e-5},
+        warmup=0.05, duration=0.05)
+    serial = run(scenario)
+    parallel = run(scenario, parallel_hosts=True)
+    failures = []
+    if serial.throughput_bps <= 0:
+        failures.append("cluster smoke delivered no traffic")
+    if (json.dumps(serial.to_dict(), sort_keys=True)
+            != json.dumps(parallel.to_dict(), sort_keys=True)):
+        failures.append("serial and process-per-host cluster results "
+                        "are not byte-identical")
+    return failures
+
+
+def main() -> int:
+    checks = [
+        ("examples import cleanly", check_examples_import),
+        ("no private imports in examples", check_no_private_imports),
+        ("no DeprecationWarning on the public surface",
+         check_no_deprecation_warnings),
+        ("2-host cluster smoke, serial == process", check_cluster_smoke),
+    ]
+    bad = 0
+    for title, check in checks:
+        failures = check()
+        status = "FAIL" if failures else "ok"
+        print(f"[{status:>4}] {title}")
+        for failure in failures:
+            print(f"        {failure}")
+        bad += len(failures)
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
