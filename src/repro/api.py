@@ -123,6 +123,14 @@ class Scenario:
     seed: int = 42
     warmup: float = DEFAULT_WARMUP
     duration: float = DEFAULT_DURATION
+    #: Simulation datapath: "exact" (per-packet events, the reference)
+    #: or "fluid" (collapsed-window fast path, :mod:`repro.sim.fluid`).
+    #: Fluid runs are gated on producing byte-identical throughput
+    #: anchors; scenarios the fast path cannot prove equivalent fall
+    #: back to exact wholesale.  Part of the cache key when "fluid";
+    #: omitted from :meth:`to_dict` when "exact" so existing cache
+    #: keys never move.
+    sim_mode: str = "exact"
     #: Declarative fault-injection plan: a list of spec dicts (see
     #: :mod:`repro.faults` and docs/faults.md).  None or empty means
     #: no faults — and is *omitted* from :meth:`to_dict`, so fault-free
@@ -173,6 +181,9 @@ class Scenario:
         if self.sender not in ("guest", "dom0"):
             raise ValueError(f"sender must be 'guest' or 'dom0', "
                              f"not {self.sender!r}")
+        if self.sim_mode not in ("exact", "fluid"):
+            raise ValueError(f"sim_mode must be 'exact' or 'fluid', "
+                             f"not {self.sim_mode!r}")
         # Normalize the mapping fields to plain dicts so equality,
         # pickling and JSON hashing see one representation.
         for fname in ("policy", "opts"):
@@ -249,11 +260,12 @@ class Scenario:
     def to_dict(self) -> Dict[str, object]:
         """All fields, as the canonical JSON-able dict.
 
-        Fields that postdate the result cache — ``faults`` and the
-        multi-host trio — are omitted when empty, and the version tag
-        only appears alongside multi-host fields: every single-host,
-        fault-free scenario keeps the exact content key it hashed
-        before those fields existed.
+        Fields that postdate the result cache — ``faults``, the
+        multi-host trio, and ``sim_mode`` — are omitted when
+        empty/default, and the version tag only appears alongside
+        multi-host fields: every single-host, fault-free, exact-mode
+        scenario keeps the exact content key it hashed before those
+        fields existed.
         """
         data = dataclasses.asdict(self)
         for fname in ("faults", "hosts", "fabric", "flows"):
@@ -261,6 +273,8 @@ class Scenario:
                 del data[fname]
         if "hosts" not in data:
             del data["schema_version"]
+        if data.get("sim_mode") == "exact":
+            del data["sim_mode"]
         return data
 
     @classmethod
@@ -316,6 +330,7 @@ def run(scenario: Scenario, *, costs: Optional[CostModel] = None,
                               duration=scenario.duration,
                               telemetry=telemetry, profile=profile,
                               seed=scenario.seed, faults=scenario.faults,
+                              sim_mode=scenario.sim_mode,
                               audit=audit, audit_interval=audit_interval,
                               audit_context={"scenario": scenario.to_dict(),
                                              "seed": scenario.seed},

@@ -20,6 +20,7 @@ from repro.audit.auditor import (
     DUMP_SCHEMA,
     InvariantAuditor,
     InvariantViolation,
+    check_fabric_conservation,
     default_dump_dir,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "DUMP_SCHEMA",
     "InvariantAuditor",
     "InvariantViolation",
+    "check_fabric_conservation",
     "default_dump_dir",
 ]

@@ -377,6 +377,29 @@ class InvariantAuditor:
                             "cleared": stats.cleared})
 
 
+def check_fabric_conservation(tor, *, sim_time: float = 0.0) -> None:
+    """Fabric ingress/egress conservation for a
+    :class:`~repro.net.fabric.ToRSwitch`.
+
+    Every frame offered to :meth:`~repro.net.fabric.ToRSwitch.route`
+    must be accounted exactly once: forwarded, tail-dropped at the
+    queue bound, or dropped for an unknown destination.  The ToR lives
+    with the cluster coordinator, not inside any one testbed, so this
+    check is a standalone function (the coordinator runs it when it
+    aggregates; :class:`InvariantAuditor` covers the per-host laws).
+    """
+    accounted = tor.forwarded + tor.dropped + tor.unknown_dst
+    if tor.offered != accounted:
+        raise InvariantViolation(
+            "fabric-flow",
+            f"offered={tor.offered} != forwarded+dropped+unknown_dst="
+            f"{accounted}",
+            sim_time=sim_time,
+            details={"offered": tor.offered, "forwarded": tor.forwarded,
+                     "dropped": tor.dropped,
+                     "unknown_dst": tor.unknown_dst})
+
+
 def _jsonable(value):
     """Best-effort JSON projection for dump payloads."""
     try:

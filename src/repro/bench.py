@@ -12,9 +12,14 @@ same way EXPERIMENTS.md carries a fidelity trajectory:
   queue with lazily-cancelled debris).  Reported as events/sec.
 * **Scenario benches** — bench-scale variants of the fig06/fig15/fig16
   campaigns run end-to-end through :class:`ExperimentRunner`, reported
-  as wall-clock seconds plus events/sec (the scenario's
-  ``sim.events_executed`` over its wall time).  Throughput rides along
-  as a semantic anchor: a perf change must not move it.
+  as wall-clock seconds plus events/sec (executed + collapsed over
+  wall time).  Throughput rides along as a semantic anchor: a perf
+  change must not move it.  Each scenario also runs in
+  ``sim_mode="fluid"`` (``<name>_fluid``), hard-gated on its
+  throughput anchor matching the exact run with *float equality* and
+  on the fluid run not being slower — a mismatch raises instead of
+  reporting, because it would mean the fast path broke its exactness
+  contract (see docs/performance.md).
 
 ``compare()`` implements the CI perf-smoke gate: fresh events/sec may
 not fall more than ``tolerance`` (default 20%) below a committed
@@ -175,18 +180,32 @@ def bench_scenarios(quick: bool) -> Dict[str, Scenario]:
 
 
 def run_scenario_bench(scenario: Scenario) -> Dict[str, float]:
-    """Run one scenario end-to-end and report wall-clock + events/sec."""
+    """Run one scenario end-to-end and report wall-clock + events/sec.
+
+    ``events`` counts simulated work, executed *plus* collapsed: a
+    ``sim_mode="fluid"`` run that arithmetically replays N events did
+    the same simulation as an exact run that dispatched them, so the
+    two rates are commensurable (``events_collapsed`` reports the
+    split).  ``throughput_bps`` rides along unrounded — the anchor the
+    fluid gate compares with exact float equality.
+    """
     runner = ExperimentRunner(warmup=scenario.warmup,
                               duration=scenario.duration,
-                              seed=scenario.seed)
+                              seed=scenario.seed,
+                              faults=scenario.faults,
+                              sim_mode=scenario.sim_mode)
     start = time.perf_counter()
     result = _dispatch(runner, scenario)
     wall = time.perf_counter() - start
-    events = (runner.last_bed.sim.events_executed
-              if runner.last_bed is not None else 0)
-    out = _rate(events, wall)
+    executed = collapsed = 0
+    if runner.last_bed is not None:
+        executed = runner.last_bed.sim.events_executed
+        collapsed = runner.last_bed.sim.collapsed_events
+    out = _rate(executed + collapsed, wall)
     out["wall_seconds"] = out.pop("seconds")
+    out["events_collapsed"] = int(collapsed)
     out["vm_count"] = scenario.vm_count
+    out["throughput_bps"] = result.throughput_bps
     out["throughput_gbps"] = round(result.throughput_bps / 1e9, 4)
     return out
 
@@ -216,6 +235,32 @@ def run_bench(quick: bool = False, label: str = "",
         say(f"scenario.{name}: {result['wall_seconds']:.2f} s wall, "
             f"{result['events_per_sec']:,.0f} events/sec, "
             f"{result['throughput_gbps']:.2f} Gbps")
+        fluid = run_scenario_bench(scenario.with_(sim_mode="fluid"))
+        fluid["anchor_exact_bps"] = result["throughput_bps"]
+        fluid["anchor_equal"] = (
+            fluid["throughput_bps"] == result["throughput_bps"])
+        fluid["speedup"] = round(
+            result["wall_seconds"] / fluid["wall_seconds"], 2)
+        scenarios[name + "_fluid"] = fluid
+        say(f"scenario.{name}_fluid: {fluid['wall_seconds']:.2f} s wall, "
+            f"{fluid['events_collapsed']:,} collapsed, "
+            f"{fluid['speedup']:.2f}x, anchor "
+            f"{'equal' if fluid['anchor_equal'] else 'MISMATCH'}")
+        # Hard gates, not tolerances: the fluid mode's contract is
+        # byte-identical anchors, and a fluid run that collapsed
+        # events yet took longer than exact means the fast path is
+        # doing extra work somewhere.
+        if not fluid["anchor_equal"]:
+            raise RuntimeError(
+                f"scenario.{name}: fluid throughput anchor "
+                f"{fluid['throughput_bps']!r} != exact "
+                f"{result['throughput_bps']!r}")
+        if (fluid["events_collapsed"]
+                and fluid["wall_seconds"] > result["wall_seconds"]):
+            raise RuntimeError(
+                f"scenario.{name}: fluid mode slower than exact "
+                f"({fluid['wall_seconds']:.2f}s vs "
+                f"{result['wall_seconds']:.2f}s)")
     return {
         "schema": BENCH_SCHEMA,
         "label": label,

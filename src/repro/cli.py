@@ -142,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
     sriov.add_argument("--native", action="store_true",
                        help="run the drivers on bare metal (Fig. 12's "
                             "native baseline)")
+    sriov.add_argument("--sim-mode", choices=("exact", "fluid"),
+                       default="exact", dest="sim_mode",
+                       help="datapath: 'exact' replays every packet as "
+                            "an event; 'fluid' collapses steady-state "
+                            "windows into per-burst arithmetic with "
+                            "byte-identical throughput anchors (see "
+                            "docs/performance.md)")
 
     pv = commands.add_parser("pv", help="PV split-driver experiment",
                              parents=obs)
@@ -365,7 +372,8 @@ def _scenario_for(args) -> Scenario:
             vm_count=args.vms, kind=args.kind, kernel=args.kernel,
             protocol=args.protocol, ports=args.ports,
             opts={} if args.no_opts else None,
-            policy=parse_policy_spec(args.itr), seed=args.seed, **common)
+            policy=parse_policy_spec(args.itr), seed=args.seed,
+            sim_mode=args.sim_mode, **common)
     if args.command == "pv":
         return Scenario(mode="pv", vm_count=args.vms, kind=args.kind,
                         single_thread_backend=args.single_thread,

@@ -254,6 +254,9 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
         latency_sum += result["latency_sum"]
         latency_count += result["latency_count"]
         latency_p99 = max(latency_p99, result["latency_p99"])
+    from repro.audit import check_fabric_conservation
+    check_fabric_conservation(
+        tor, sim_time=max(r["elapsed"] for r in host_results))
     fabric_counters = tor.counters()
     # Fabric tail-drops (and unroutable frames) were offered traffic
     # that never reached a receiver's books.

@@ -178,8 +178,19 @@ class ExperimentRunner:
                  audit: bool = True,
                  audit_interval: Optional[float] = None,
                  audit_context: Optional[Mapping] = None,
-                 observer: Optional[Callable] = None):
+                 observer: Optional[Callable] = None,
+                 sim_mode: str = "exact"):
         self.costs = (costs or CostModel()).validate()
+        if sim_mode not in ("exact", "fluid"):
+            raise ValueError(f"sim_mode must be 'exact' or 'fluid', "
+                             f"not {sim_mode!r}")
+        #: Datapath mode: ``"fluid"`` lets eligible steady-state SR-IOV
+        #: runs ride the collapsed-window fast path
+        #: (:mod:`repro.sim.fluid`); results are byte-identical by
+        #: construction and ineligible runs fall back to exact
+        #: wholesale.  Only :meth:`run_sriov` (and therefore
+        #: :meth:`run_native`) consults it.
+        self.sim_mode = sim_mode
         self.warmup = warmup
         self.duration = duration
         self.telemetry = telemetry
@@ -264,20 +275,32 @@ class ExperimentRunner:
         nic: str = "82576",
     ) -> RunResult:
         """netperf RX into ``vm_count`` SR-IOV guests (§6.1's setup)."""
-        config = self._config(
-            ports=ports, vfs_per_port=vfs_per_port,
-            opts=opts if opts is not None else OptimizationConfig.all(),
-            native=native, nic=nic,
-        )
+        opts_obj = opts if opts is not None else OptimizationConfig.all()
         policy_factory = self._policy_callable(policy, policy_factory)
-        bed = Testbed(config)
         if policy_factory is None:
             # The §5.3 optimization switch selects the driver's policy:
             # AIC when on, the VF driver's 2 kHz default otherwise.
-            if config.opts.adaptive_coalescing:
+            if opts_obj.adaptive_coalescing:
                 policy_factory = lambda: AdaptiveCoalescing(self.costs)
             else:
                 policy_factory = lambda: FixedItr(2000)
+        sim_mode = self.sim_mode
+        if sim_mode == "fluid" and (
+                self.faults
+                or vm_count > ports
+                or not isinstance(policy_factory(), FixedItr)):
+            # Wholesale fallback: faults perturb mid-run state, shared
+            # ports interleave streams, and adaptive policies retune
+            # the ITR — all outside the fluid exactness contract.  The
+            # exact run is byte-identical to sim_mode="exact" by
+            # construction (per-stream gates would catch these too;
+            # falling back here keeps the whole run on one path).
+            sim_mode = "exact"
+        config = self._config(
+            ports=ports, vfs_per_port=vfs_per_port,
+            opts=opts_obj, native=native, nic=nic, sim_mode=sim_mode,
+        )
+        bed = Testbed(config)
         guests = [bed.add_sriov_guest(kind, kernel, policy_factory())
                   for _ in range(vm_count)]
         line_share = bed.per_vm_line_share_bps(vm_count, protocol)
@@ -645,11 +668,18 @@ class ExperimentRunner:
         self.last_bed = bed
         sim = bed.sim
         sim.run(until=sim.now + self.warmup)
+        # Warmup-era virtual events must charge *before* the accounting
+        # reset, exactly as their real counterparts would have (a no-op
+        # outside sim_mode="fluid").
+        bed.settle_fluid()
         bed.platform.start_measurement()
         for app in apps:
             app.reset()
         interrupts_before = [d.interrupts_handled for d in drivers]
         sim.run(until=sim.now + self.duration)
+        # Collapsed flows catch up to the horizon before anything reads
+        # counters (a no-op outside sim_mode="fluid").
+        bed.settle_fluid()
         elapsed = bed.platform.end_measurement()
         self._final_audit(bed)
         per_vm = [app.throughput_bps(elapsed) for app in apps]

@@ -287,11 +287,13 @@ class Host:
         self._egress_seq += 1
 
     def _ingress(self, message: dict, port) -> None:
-        """Fabric delivery: rebuild the frame from this host's pool and
-        hand it to the owning port's wire side.  ``created_at`` is the
-        original send time, so end-to-end latency spans the fabric."""
+        """Fabric delivery: rebuild the frame(s) from this host's pool
+        and hand them to the owning port's wire side.  ``created_at`` is
+        the original send time, so end-to-end latency spans the fabric;
+        ``count`` (default 1) rebuilds a whole routed burst at once."""
         burst = self.bed.packet_pool.acquire_burst(
-            1, MacAddress(message["src"]), MacAddress(message["dst"]),
+            message.get("count", 1), MacAddress(message["src"]),
+            MacAddress(message["dst"]),
             message["size"], vlan=message["vlan"],
             protocol=_PROTOCOLS[message["protocol"]],
             flow_id=message["flow_id"], created_at=message["created_at"])

@@ -87,6 +87,12 @@ class TestbedConfig:
     #: realm so VF and client MACs are fleet-unique; the default 0
     #: reproduces the historical single-host addresses bit for bit.
     mac_realm: int = 0
+    #: Datapath simulation mode: ``"exact"`` (one event per burst tick)
+    #: or ``"fluid"`` (eligible steady-state SR-IOV client streams ride
+    #: the collapsed-window fast path of :mod:`repro.sim.fluid`, with
+    #: byte-identical results by construction; ineligible streams stay
+    #: exact automatically).
+    sim_mode: str = "exact"
 
 
 @dataclass
@@ -117,7 +123,17 @@ class Testbed:
 
     def __init__(self, config: Optional[TestbedConfig] = None):
         self.config = config or TestbedConfig()
+        if self.config.sim_mode not in ("exact", "fluid"):
+            raise ValueError(
+                f"sim_mode must be 'exact' or 'fluid', "
+                f"not {self.config.sim_mode!r}")
         self.sim = Simulator()
+        #: Collapsed-window flows (see :mod:`repro.sim.fluid`); only
+        #: populated under ``sim_mode="fluid"``.
+        self.fluid_flows: List = []
+        #: Client streams attached per port (id(port) -> count): the
+        #: fluid fast path requires sole ownership of a port's wire.
+        self._port_streams: Dict[int, int] = {}
         self.streams = RandomStreams(self.config.seed)
         #: Run-scoped packet allocator: per-run deterministic seqs, and
         #: the SR-IOV RX path recycles consumed packets through it.
@@ -325,7 +341,37 @@ class Testbed:
             pool=self.packet_pool,
         )
         guest.stream = stream
+        shared = self._port_streams.get(id(guest.port), 0)
+        self._port_streams[id(guest.port)] = shared + 1
+        if self.config.sim_mode == "fluid":
+            self._try_fluid(guest, stream, port_shared=shared > 0)
         return stream
+
+    def _try_fluid(self, guest: SriovGuest, stream: NetperfStream,
+                   port_shared: bool) -> None:
+        """Attach the collapsed-window fast path where its exactness
+        contract holds (see :class:`repro.sim.fluid.FluidFlow`)."""
+        from repro.sim.fluid import FluidFlow
+        if port_shared:
+            # A second stream on the port: its ticks would interleave
+            # with any collapsed flow's lazy bookings (shared DMA pipe,
+            # shared classify cache), so everyone on this port is exact.
+            for flow in self.fluid_flows:
+                if flow.port is guest.port:
+                    flow.decollapse()
+                    flow.stream._fluid = None
+                    flow.driver._fluid = None
+            return
+        flow = FluidFlow(self, guest, stream)
+        if flow.try_attach():
+            self.fluid_flows.append(flow)
+
+    def settle_fluid(self) -> None:
+        """Apply every collapsed tick up to (and including) the current
+        instant — the run-end catch-up the measurement loop calls
+        before reading counters."""
+        for flow in self.fluid_flows:
+            flow.settle()
 
     def attach_client_to_pv(self, guest: PvGuest, throughput_bps: float,
                             protocol: Protocol = Protocol.UDP,

@@ -229,6 +229,25 @@ class _NetFunction:
             self.throttle.request()
         return accepted
 
+    def fluid_receive(self, count: int, accepted: int, rx_bytes: int) -> None:
+        """Apply a collapsed burst's receive statistics arithmetically.
+
+        The fluid datapath (:mod:`repro.sim.fluid`) has already made the
+        accept/drop decision from the frozen ring capacity; this mirrors
+        the batched statistics update of :meth:`device_receive` without
+        walking descriptors.  The throttle request is the caller's job —
+        the fluid mode replays it virtually per tick.
+        """
+        self.rx_offered += count
+        self.rx_packets += accepted
+        self.rx_bytes += rx_bytes
+        if count != accepted:
+            self.rx_no_desc_drops += count - accepted
+        self.rx_ring.completed += accepted
+        iommu = self.port.iommu
+        if iommu is not None:
+            iommu.translations += accepted
+
     def _device_receive_faulty(self, burst: List[Packet]) -> int:
         """The exact per-packet path, kept for injected RX corruption."""
         accepted = 0
@@ -490,6 +509,19 @@ class Igb82576Port:
     def wire_receive_one(self, packet: Packet) -> None:
         """Link-compatible single-packet ingress."""
         self.wire_receive([packet])
+
+    def fluid_wire_receive(self, count: int, wire_bytes: int,
+                           at: float) -> None:
+        """Apply a collapsed burst's wire-side books as of time ``at``.
+
+        Mirrors :meth:`wire_receive`'s counter and DMA bookings for a
+        burst whose classification the fluid datapath already pinned to
+        a single function; the booking time is passed explicitly because
+        collapsed ticks are applied lazily (after ``sim.now`` has moved
+        past the instant the exact run would have booked them).
+        """
+        self.wire_rx_packets += count
+        self.datapath.transfer_at(at, wire_bytes)
 
     # ------------------------------------------------------------------
     # transmit routing

@@ -134,6 +134,25 @@ class L2Switch:
             return [SwitchTarget(SwitchTarget.UPLINK)]
         return [SwitchTarget(target)]
 
+    def resolve_unicast(self, dst: MacAddress,
+                        vlan: int = VLAN_NONE) -> Optional[int]:
+        """Side-effect-free unicast lookup for the fluid datapath.
+
+        Returns the local function index (mac, vlan) resolves to, or
+        ``None`` for multicast/broadcast, unknown unicast, and uplink
+        bindings — exactly the cases where :meth:`classify` would flood,
+        count, or forward off-chip.  No counters move: eligibility
+        probing must not perturb the exact-mode books.
+        """
+        if dst.is_multicast:
+            return None
+        target = self._table.get((dst, vlan))
+        if target is None and vlan != VLAN_NONE:
+            target = self._table.get((dst, VLAN_NONE))
+        if target is None or target == SwitchTarget.UPLINK:
+            return None
+        return target
+
     def check_transmit(self, function_index: int, packet: Packet) -> bool:
         """Anti-spoof: the source MAC must be the function's own."""
         assigned = self._function_macs.get(function_index)

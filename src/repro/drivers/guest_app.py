@@ -101,6 +101,58 @@ class NetserverApp:
         self.dropped_packets += dropped
         return accepted, dropped
 
+    def deliver_fluid(self, segments, total: int, now: float,
+                      size_bytes: int, protocol: Protocol) -> int:
+        """Deliver a collapsed batch; returns the accepted count.
+
+        ``segments`` is the fluid datapath's per-tick list of
+        ``(count, accepted, tick_time)`` records for one interrupt
+        window; ``total`` is the sum of the accepted column.  Every
+        packet in the window shares ``size_bytes`` and ``protocol``
+        (the eligibility gates guarantee a single uniform stream), so
+        the per-packet loop of :meth:`deliver` reduces to per-segment
+        arithmetic — except the latency sums, which replay the exact
+        repeated float additions so means and variances stay
+        bit-identical.
+        """
+        if self._started_at is None:
+            self._started_at = now
+        self._last_rx_at = now
+        accepted = min(total, self.batch_capacity)
+        dropped = total - accepted
+        self.rx_packets += accepted
+        overhead = (IP_HEADER_BYTES + UDP_HEADER_BYTES
+                    if protocol is Protocol.UDP
+                    else IP_HEADER_BYTES + TCP_HEADER_BYTES)
+        per_packet = size_bytes - overhead
+        latency = self.latency
+        bins = latency._bins
+        bin_get = bins.get
+        bin_width = latency.bin_width
+        lat_sum = latency._sum
+        lat_sum_sq = latency._sum_sq
+        floor = math.floor
+        remaining = accepted
+        for _count, seg_accepted, tick_time in segments:
+            if remaining <= 0:
+                break
+            n = seg_accepted if seg_accepted <= remaining else remaining
+            remaining -= n
+            value = now - tick_time
+            index = int(floor(value / bin_width))
+            bins[index] = bin_get(index, 0) + n
+            square = value * value
+            for _ in range(n):
+                lat_sum += value
+                lat_sum_sq += square
+        latency._count += accepted
+        latency._sum = lat_sum
+        latency._sum_sq = lat_sum_sq
+        if per_packet > 0:
+            self.rx_bytes += per_packet * accepted
+        self.dropped_packets += dropped
+        return accepted
+
     def throughput_bps(self, elapsed: float) -> float:
         """Delivered application goodput over a measurement window."""
         if elapsed <= 0:

@@ -88,6 +88,9 @@ class VfDriver:
         #: doorbell can be lost under fault injection).
         self.pf_retrier = MailboxRetrier(self.sim, vf.mailbox, Mailbox.VF)
         self._sample_handle: Optional[EventHandle] = None
+        #: Installed by :class:`repro.sim.fluid.FluidFlow` when this
+        #: driver's stream rides the collapsed-window fast path.
+        self._fluid = None
         # Registry instruments (no-ops when telemetry is off).
         scope = platform.metrics.scope(f"guest.{domain.name}")
         self._m_interrupts = scope.counter("interrupts")
@@ -129,6 +132,9 @@ class VfDriver:
         interrupts, disable the VF, release vectors."""
         if not self.running:
             return
+        if self._fluid is not None:
+            # Materialize pending fluid state before the ring resets.
+            self._fluid.decollapse()
         self.running = False
         self.vf.enabled = False
         self.vf.throttle.cancel()
@@ -156,6 +162,11 @@ class VfDriver:
     # the interrupt path
     # ------------------------------------------------------------------
     def _isr(self, vector: int) -> None:
+        # While a flow is collapsed (self._fluid active) this handler
+        # never runs — the fluid fast path replays the whole interrupt
+        # arithmetically (see repro.sim.fluid).  A real fire only lands
+        # here in exact mode or after a decollapse, and then the exact
+        # path reaps whatever packets were materialized into the ring.
         self.interrupts_handled += 1
         self._m_interrupts.value += 1
         trace = self.platform.trace
@@ -171,8 +182,9 @@ class VfDriver:
         ring = self.vf.rx_ring
         descriptors = self.napi.poll_all(ring)
         packets = [d.packet for d in descriptors if d.packet is not None]
-        # Steady-state refill: buffers were programmed at probe time and
-        # the slot-to-buffer mapping is fixed, so only ownership moves.
+        # Steady-state refill: buffers were programmed at probe time
+        # and the slot-to-buffer mapping is fixed, so only ownership
+        # moves.
         ring.rearm_until_full()
         if packets:
             count = len(packets)
@@ -185,16 +197,17 @@ class VfDriver:
                 cycles += self.costs.pvm_syscall_surcharge_per_packet
             self.domain.charge_guest(cycles * accepted)
             if self.pool is not None:
-                # The refill above re-posted the reaped slots (clearing
-                # their packet references), so consumed packets can go
-                # back to the allocator.
+                # The refill above re-posted the reaped slots
+                # (clearing their packet references), so consumed
+                # packets can go back to the allocator.
                 self.pool.release(packets)
+        batch = len(packets)
         if hvm_under_xen:
             self.platform.vlapic(self.domain).eoi_write()
         if masks_msi:
             self.platform.device_model(self.domain).emulate_msix_mask_write(False)
         trace.end("irq", "vf_isr", domain=self.domain.id,
-                  packets=len(packets))
+                  packets=batch)
 
     def _mailbox_isr(self, vector: int) -> None:
         """Doorbell from the PF arrived; message already consumed by
@@ -225,6 +238,10 @@ class VfDriver:
         self.resets_handled += 1
         if not self.running:
             return
+        if self._fluid is not None:
+            # Pending collapsed packets must land in the real ring so
+            # the reset drops them exactly as it would have.
+            self._fluid.decollapse()
         self.vf.enabled = False
         self.vf.throttle.cancel()
         self.vf.rx_ring.reset()
@@ -269,6 +286,12 @@ class VfDriver:
     def _sample_tick(self) -> None:
         if not self.running:
             return
+        if self._fluid is not None:
+            # This handle was scheduled a full sample period ago, so it
+            # runs before any same-time tick or fire: replay the
+            # collapsed flow strictly up to now before reading the
+            # meter.
+            self._fluid.settle_strict()
         pps = self.rx_meter.rate(self.sim.now)
         self.rx_meter.reset(self.sim.now)
         new_interval = self.policy.on_sample(pps)

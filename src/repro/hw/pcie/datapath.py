@@ -65,6 +65,24 @@ class PcieDataPath:
             self.sim.schedule_at(finish, on_done)
         return finish
 
+    def transfer_at(self, time: float, size_bytes: int) -> float:
+        """Book a DMA transfer as of simulated ``time`` (which may lie
+        in the past of ``sim.now``).
+
+        The fluid datapath applies collapsed ticks lazily, after the
+        instant the exact simulation would have booked the transfer;
+        taking the booking time as an argument keeps ``_busy_until``
+        and the counters bit-identical to the exact schedule.
+        """
+        start = max(time, self._busy_until)
+        finish = start + self.transfer_time(size_bytes)
+        self._busy_until = finish
+        self.transferred_bytes.add(size_bytes)
+        self.transfers.add()
+        self.trace.emit("dma", self.name, bytes=size_bytes,
+                        start=start, finish=finish)
+        return finish
+
     @property
     def backlog_seconds(self) -> float:
         """How far ahead of now the pipe is booked."""

@@ -97,6 +97,10 @@ class ToRSwitch:
         #: Deepest tolerated egress backlog, in seconds of line time.
         self._queue_bound_s = (spec.queue_frames *
                                wire_bytes(DEFAULT_MTU) * 8 / spec.rate_bps)
+        #: Frames handed to :meth:`route` since the last counter reset.
+        #: Conservation: ``offered == forwarded + dropped + unknown_dst``
+        #: (asserted by :func:`repro.audit.check_fabric_conservation`).
+        self.offered = 0
         self.forwarded = 0
         self.forwarded_bytes = 0
         self.dropped = 0
@@ -117,19 +121,40 @@ class ToRSwitch:
     # forwarding
     # ------------------------------------------------------------------
     def route(self, message: dict) -> Optional[dict]:
+        """Route one record of ``count`` equal-sized frames (default 1).
+
+        The queue bound is applied per frame, not per record: frame *k*
+        of the burst sees a queueing delay of ``(start - ready) +
+        k * serialization``, so a burst that straddles the bound keeps
+        the fitting prefix and tail-drops only the remainder — dropping
+        the whole record would punish frames that had queue room.  The
+        returned record's ``count`` is the accepted prefix length and
+        ``arrival`` is when its last frame clears the egress port.
+        """
+        count = message.get("count", 1)
+        self.offered += count
         dst_host = self._mac_to_host.get(message["dst"])
         if dst_host is None:
-            self.unknown_dst += 1
+            self.unknown_dst += count
             return None
         ready = message["t"] + self.spec.latency_s
         start = max(ready, self._free_at[dst_host])
-        if start - ready > self._queue_bound_s:
-            self.dropped += 1
+        queued = start - ready
+        if queued > self._queue_bound_s:
+            self.dropped += count
             return None
         frame_bytes = wire_bytes(message["size"], message["vlan"])
-        self._free_at[dst_host] = start + frame_bytes * 8 / self.spec.rate_bps
-        self.forwarded += 1
-        self.forwarded_bytes += frame_bytes
+        serialize_s = frame_bytes * 8 / self.spec.rate_bps
+        fit = count
+        if count > 1 and serialize_s > 0.0:
+            fit = min(count,
+                      int((self._queue_bound_s - queued) / serialize_s) + 1)
+        self._free_at[dst_host] = start + fit * serialize_s
+        self.forwarded += fit
+        self.forwarded_bytes += fit * frame_bytes
+        if fit < count:
+            self.dropped += count - fit
+            message["count"] = fit
         message["dst_host"] = dst_host
         message["arrival"] = self._free_at[dst_host]
         return message
@@ -137,13 +162,15 @@ class ToRSwitch:
     def reset_counters(self) -> None:
         """Zero the traffic counters (measurement-window bookkeeping);
         the egress ``free_at`` bookings are simulation state and stay."""
+        self.offered = 0
         self.forwarded = 0
         self.forwarded_bytes = 0
         self.dropped = 0
         self.unknown_dst = 0
 
     def counters(self) -> Dict[str, int]:
-        return {"forwarded": self.forwarded,
+        return {"offered": self.offered,
+                "forwarded": self.forwarded,
                 "forwarded_bytes": self.forwarded_bytes,
                 "dropped": self.dropped,
                 "unknown_dst": self.unknown_dst}

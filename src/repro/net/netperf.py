@@ -111,6 +111,9 @@ class NetperfStream:
         self._started_at: float = 0.0
         self._stopped_at: Optional[float] = None
         self._tick_handle: Optional[EventHandle] = None
+        #: Installed by :class:`repro.sim.fluid.FluidFlow` when this
+        #: stream is eligible for the collapsed-window fast path.
+        self._fluid = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -120,11 +123,17 @@ class NetperfStream:
         self._running = True
         self._started_at = self.sim.now
         self._stopped_at = None
+        if self._fluid is not None and self._fluid.begin():
+            return
         self._tick_handle = self.sim.schedule(self.burst_interval, self._tick)
 
     def stop(self) -> NetperfResult:
         """Stop the stream and report what was offered."""
         if self._running:
+            if self._fluid is not None:
+                # Exact stop semantics first: catch up the collapsed
+                # ticks, then fall through to cancel the re-armed tick.
+                self._fluid.decollapse()
             self._running = False
             self._stopped_at = self.sim.now
             if self._tick_handle is not None:
@@ -146,6 +155,10 @@ class NetperfStream:
         """Retarget the offered goodput (used by rate sweeps)."""
         if throughput_bps < 0:
             raise ValueError("throughput must be non-negative")
+        if self._fluid is not None:
+            # Collapsed ticks were computed at the old rate; replay
+            # them before the rate changes, then stay exact.
+            self._fluid.decollapse()
         self.pps = packets_per_second(throughput_bps, self.mtu, self.protocol)
 
     # ------------------------------------------------------------------

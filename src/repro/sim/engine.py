@@ -127,6 +127,11 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._events_executed: int = 0
+        #: Events the fluid datapath (:mod:`repro.sim.fluid`) accounted
+        #: for arithmetically instead of dispatching.  For an eligible
+        #: run, ``events_executed + collapsed_events`` equals the exact
+        #: mode's ``events_executed``.
+        self.collapsed_events: int = 0
         self._step_observer: Optional[Callable[[EventHandle], None]] = None
         #: Live (non-cancelled) queued events — pending_events is O(1).
         self._live: int = 0

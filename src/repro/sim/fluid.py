@@ -1,0 +1,782 @@
+"""The fluid (collapsed-window) fast path for steady-state streams.
+
+A netperf RX stream in steady state is metronomic: every burst interval
+a tick offers ``int(pps * interval + carry)`` packets, the VF accepts
+them into its ring, and once per ITR window the throttle fires one
+interrupt that drains everything since the last fire.  Exact simulation
+spends one event per tick plus one per fire; for the fig. 15/16 sweeps
+that is ~6 events per ITR window, every one of them dominated by
+dispatch and object traffic rather than interesting state changes.
+
+:class:`FluidFlow` collapses the *entire* steady-state loop.  While
+attached, the flow schedules **no events at all**: the stream's ticks,
+the throttle's fires and the guest's interrupt handlers all become
+entries in a virtual event queue that is replayed — as flat arithmetic
+against the real model objects, in the exact engine's event order — at
+*settle points*: measurement boundaries, ITR sample ticks, run end, and
+any transition that leaves the fast path.  Each replayed virtual event
+bumps ``Simulator.collapsed_events`` so that ``events_executed +
+collapsed_events`` equals the exact run's event count.
+
+The replay covers the full §4.1 interrupt chain:
+
+* **ticks** replay ``NetperfStream._tick`` + ``device_receive``'s burst
+  arithmetic (the DMA pipe is booked via :meth:`~repro.hw.pcie.\
+datapath.PcieDataPath.transfer_at` at the original timestamps) against
+  a frozen, fully-posted descriptor ring;
+* **fires** replay ``InterruptThrottle._do_fire`` -> MSI-X post ->
+  interrupt remap -> the hypervisor's external-interrupt exit charges
+  -> vLAPIC injection (HVM) or event-channel upcall (PVM) -> the VF
+  ISR's NAPI/app/EOI sequence, writing the same counters, cycle
+  charges and float accumulators the exact chain writes, through the
+  same live objects (:meth:`VirtualLapic.inject` / ``eoi_write`` are
+  called for real, so IRR/ISR state and the fractional APIC-access
+  carry stay exact).
+
+**Exactness contract.**  For an eligible flow the collapse is not an
+approximation: every counter, cycle charge, latency accumulator and
+float operation lands bit-identically to the exact run, so the
+:class:`~repro.core.experiment.RunResult` is byte-identical.  The
+replay-order argument needs three properties, all enforced as
+eligibility gates (:meth:`FluidFlow.try_attach`):
+
+* *per-flow state is disjoint* — one stream per port, per-VM rings,
+  meters, apps, vLAPICs and ledger cells, so replaying one flow's
+  events contiguously instead of interleaved with other flows touches
+  no shared accumulator...
+* *...except integer ones* — cycle charges can meet on a shared
+  account (two guests pinned to one core both charge ``xen``), so
+  every replayed cycle cost must be integer-valued: integer-valued
+  float sums are order-independent.  Exit-tracer records only ever
+  accumulate their own constant, which is order-independent by count.
+* *no observers between settle points* — the null tracer and null
+  metrics registry are required, and every event source that could
+  read or perturb flow state mid-run either holds a settle hook
+  (ITR sample ticks, measurement boundaries, driver stop, device
+  reset, ``set_rate``, a second stream attaching) or forces the run
+  wholesale-exact before setup (fault campaigns, telemetry).
+
+Within a flow, replay order follows the exact engine's tie-break: a
+scheduled fire at time *t* was enqueued at least two burst intervals
+before the tick at *t* (the ``MIN_TICKS_PER_WINDOW`` gate), so the
+fire's lower sequence number runs first; an *inline* fire (throttle
+already past due when a tick requests) replays inside its tick, which
+is also where the exact run executes it.
+
+Anything dynamic — a switch reprogramming, a device reset, a rate
+change, a second stream on the port — triggers
+:meth:`FluidFlow.decollapse`, which replays up to the present,
+materializes undrained packets into the real descriptor ring,
+re-schedules the real stream tick and any pending throttle fire, and
+resumes exact per-event simulation mid-run with no observable seam.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.drivers.coalescing import FixedItr
+from repro.obs.registry import NULL_REGISTRY
+from repro.sim.trace import NULL_TRACER
+from repro.vmm.vmexit import VmExitKind
+
+#: Collapsing only pays when an ITR window spans several ticks — and the
+#: replay-order proof needs a scheduled fire to predate (in sequence
+#: numbers) any tick sharing its timestamp, which holds when the window
+#: is at least two burst intervals long.
+MIN_TICKS_PER_WINDOW = 3.0
+
+#: Ledger categories, precomputed (mirror the hypervisor's and the
+#: virtual LAPIC's own).
+_CAT_EXTINT = "exit." + VmExitKind.EXTERNAL_INTERRUPT.value
+_CAT_HYPERCALL = "exit." + VmExitKind.HYPERCALL.value
+_CAT_APIC_OTHER = "exit." + VmExitKind.APIC_ACCESS_OTHER.value
+_CAT_APIC_EOI = "exit." + VmExitKind.APIC_ACCESS_EOI.value
+
+
+class FluidFlow:
+    """One collapsed client->VF stream on an otherwise idle port."""
+
+    def __init__(self, bed, guest, stream):
+        self.bed = bed
+        self.sim = bed.sim
+        self.guest = guest
+        self.stream = stream
+        self.driver = guest.driver
+        self.vf = guest.vf
+        self.port = guest.port
+        self.active = False
+        #: Next unapplied tick's absolute time (advances by exactly the
+        #: float additions the exact reschedule chain performs).
+        self._t_next = 0.0
+        #: The stream's fractional-packet carry, owned while collapsed.
+        self._carry = 0.0
+        #: The virtual image of ``InterruptThrottle._pending``: the
+        #: absolute due time of the scheduled fire, or None.
+        self._fire_at: Optional[float] = None
+        #: Frozen ring capacity (device-owned descriptors after refill).
+        self._capacity = 0
+        #: Ring-accepted packets not yet drained by an interrupt.
+        self._backlog = 0
+        #: Packets drained by replayed fires since begin(): each one
+        #: advanced head (consume), _clean (reap) and tail (rearm) in
+        #: the exact run, so decollapse rotates the cursors by this.
+        self._drained_total = 0
+        #: Accepted-but-undrained ticks: (count, accepted, tick_time).
+        self._pending: List[Tuple[int, int, float]] = []
+        self._generation = -1
+        #: Platform variant: "hvm" / "pvm" / "native"; set at attach.
+        self._variant = ""
+        self._vlapic = None
+        self._remapper = None
+        self._eoi_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+    def try_attach(self) -> bool:
+        """Install the flow's hooks if the exactness contract can hold.
+
+        Returns False (leaving the stream fully exact) otherwise.  All
+        checks are side-effect free.
+        """
+        stream = self.stream
+        driver = self.driver
+        vf = self.vf
+        port = self.port
+        platform = driver.platform
+        domain = driver.domain
+        if not isinstance(driver.policy, FixedItr):
+            return False
+        if stream.jitter != 0 or stream.pool is None:
+            return False
+        # Speed heuristics: every tick should carry packets, and a
+        # window should span several ticks (see MIN_TICKS_PER_WINDOW).
+        if stream.pps * stream.burst_interval < 1.0:
+            return False
+        if vf.throttle.interval < MIN_TICKS_PER_WINDOW * stream.burst_interval:
+            return False
+        if not (vf.enabled and driver.running):
+            return False
+        if port.rx_corrupt_budget != 0:
+            return False
+        # Observers would see stale state between settle points; any
+        # run that traces or exports metrics stays exact.
+        if platform.trace is not NULL_TRACER:
+            return False
+        if platform.metrics is not NULL_REGISTRY:
+            return False
+        if port.datapath.trace is not NULL_TRACER:
+            return False
+        # A quiesced throttle is the state the virtual image assumes.
+        if vf.throttle._pending is not None:
+            return False
+        # The replayed ISR is the 2.6.28 shape: no per-interrupt MSI-X
+        # mask/unmask emulation (§5.1's 2.6.18 guests stay exact).
+        if (domain.is_hvm and not platform.is_native
+                and domain.kernel.masks_msi_per_interrupt):
+            return False
+        # The interrupt plumbing the fire replay reproduces must be in
+        # its steady configured state: vector bound, MSI-X entry
+        # programmed and unmasked.
+        vector = driver.rx_vector
+        if vector is None or platform.vectors.handler(vector) is None:
+            return False
+        from repro.devices.igb82576 import VECTOR_RXTX
+        entry = vf.msix.table[VECTOR_RXTX]
+        if entry.masked or entry.message is None:
+            return False
+        if entry.message.vector != vector:
+            return False
+        if platform.is_native:
+            self._variant = "native"
+        else:
+            if platform.vectors.owner(vector) != domain.id:
+                return False
+            if domain.id not in platform.domains:
+                return False
+            # The remap the exact chain performs must succeed (a
+            # missing IRTE would *block* the interrupt — not eligible).
+            rid = vf.pci.rid
+            remapper = platform.intr_remapper
+            if rid is None or not remapper.entries_for(rid):
+                return False
+            if remapper._entries.get((rid, vector)) is None:
+                return False
+            self._remapper = remapper
+            if domain.is_hvm:
+                self._variant = "hvm"
+                self._vlapic = platform.vlapic(domain)
+                opts = platform.opts
+                if opts.eoi_acceleration:
+                    cost = driver.costs.eoi_accelerated_cycles
+                    if opts.eoi_instruction_check:
+                        cost += driver.costs.eoi_instruction_check_cycles
+                else:
+                    cost = driver.costs.eoi_emulate_cycles
+                self._eoi_cost = cost
+            elif domain.is_pvm:
+                self._variant = "pvm"
+            else:
+                return False
+        if not self._integral_costs():
+            return False
+        # The destination must resolve to this stream's own VF — no
+        # flooding, no uplink, no PF — or the wire-side replay is wrong.
+        if port.switch.resolve_unicast(stream.dst,
+                                       stream.vlan) != vf.function_index:
+            return False
+        if not self._ring_clean_and_mapped():
+            return False
+        self._generation = port.switch.generation
+        stream._fluid = self
+        driver._fluid = self
+        return True
+
+    def _integral_costs(self) -> bool:
+        """Every replayed cycle charge must be an integer-valued float:
+        integer sums are order-exact, so grouping one flow's charges
+        contiguously cannot move a shared account (e.g. two guests
+        pinned to one core charging ``xen``) off the exact run's value.
+        """
+        costs = self.driver.costs
+        checked = [
+            costs.guest_cycles_per_interrupt,
+            costs.guest_cycles_per_packet,
+        ]
+        if self._variant != "native":
+            checked.append(costs.external_interrupt_exit_cycles)
+        if self._variant == "hvm":
+            checked.append(costs.other_apic_access_cycles)
+            opts = self.driver.platform.opts
+            if opts.eoi_acceleration:
+                checked.append(costs.eoi_accelerated_cycles)
+                if opts.eoi_instruction_check:
+                    checked.append(costs.eoi_instruction_check_cycles)
+            else:
+                checked.append(costs.eoi_emulate_cycles)
+        elif self._variant == "pvm":
+            checked.append(costs.event_channel_notify_cycles)
+            checked.append(costs.pvm_syscall_surcharge_per_packet)
+        return all(float(c).is_integer() for c in checked)
+
+    def _ring_clean_and_mapped(self) -> bool:
+        """The ring must be fully posted and clean (the post-probe
+        steady state the frozen-cursor model assumes), with every slot's
+        buffer IOMMU-mapped writable (so the exact path would never
+        fault)."""
+        ring = self.vf.rx_ring
+        size = ring.size
+        if ring.head != ring._clean:
+            return False
+        if (ring.tail - ring.head) % size != size - 1:
+            return False
+        if any(slot.done for slot in ring.slots):
+            return False
+        iommu = self.port.iommu
+        if iommu is not None:
+            table = iommu._contexts.get(self.vf.pci.rid)
+            if table is None:
+                return False
+            lookup = table._entries.get
+            for slot in ring.slots:
+                entry = lookup(slot.buffer_addr >> 12)
+                if entry is None or not entry[1]:
+                    return False
+        return True
+
+    def _still_valid(self) -> bool:
+        """The cheap revalidation of the dynamic gates, run at every
+        settle point.  In eligible scenarios everything that could flip
+        one of these flips it through a hooked path (which decollapses
+        at the instant of the change); this check is the backstop."""
+        return (self.port.switch.generation == self._generation
+                and self.vf.enabled
+                and self.driver.running
+                and self.port.rx_corrupt_budget == 0)
+
+    # ------------------------------------------------------------------
+    # lifecycle (driven by NetperfStream.start/stop)
+    # ------------------------------------------------------------------
+    def begin(self) -> bool:
+        """Collapse from the stream's start; False falls back to exact.
+
+        Schedules nothing: from here until the next settle point the
+        flow exists only as the virtual clock pair (next tick, pending
+        fire).
+        """
+        if self.active:
+            return True
+        if not self._still_valid() or not self._ring_clean_and_mapped():
+            return False
+        ring = self.vf.rx_ring
+        self.active = True
+        self._carry = self.stream._carry
+        self._backlog = 0
+        self._drained_total = 0
+        self._pending.clear()
+        self._fire_at = None
+        self._capacity = (ring.tail - ring.head) % ring.size
+        self._t_next = self.sim.now + self.stream.burst_interval
+        return True
+
+    # ------------------------------------------------------------------
+    # tick arithmetic (replays NetperfStream._tick's float operations)
+    # ------------------------------------------------------------------
+    def _next_tick(self) -> Tuple[int, float]:
+        stream = self.stream
+        quota = stream.pps * stream.burst_interval
+        quota += self._carry
+        count = int(quota)
+        self._carry = quota - count
+        tick_time = self._t_next
+        self._t_next = tick_time + stream.burst_interval
+        return count, tick_time
+
+    def _apply_tick(self, count: int, tick_time: float) -> int:
+        """One tick's books: stream, wire, DMA pipe, VF statistics."""
+        if count <= 0:
+            return 0
+        stream = self.stream
+        stream.sent.value += count
+        stream.sent_bytes.value += count * stream.mtu
+        self.port.fluid_wire_receive(count, count * stream.mtu, tick_time)
+        accepted = count
+        room = self._capacity - self._backlog
+        if accepted > room:
+            accepted = room
+        self.vf.fluid_receive(count, accepted, accepted * stream.mtu)
+        if accepted > 0:
+            self._backlog += accepted
+            self._pending.append((count, accepted, tick_time))
+        return accepted
+
+    # ------------------------------------------------------------------
+    # the virtual event loop
+    # ------------------------------------------------------------------
+    def _advance(self, limit: float, inclusive: bool) -> None:
+        """Replay the flow's virtual events up to ``limit``.
+
+        Merges the tick clock and the pending-fire clock in the exact
+        engine's order: at equal timestamps the scheduled fire runs
+        first (its handle predates the tick's by at least one burst
+        interval — see MIN_TICKS_PER_WINDOW).  Each replayed virtual
+        event counts once in ``collapsed_events``; a fire that the
+        exact run executes *inline* within a tick replays inside that
+        tick and adds nothing extra.
+
+        Dispatches to the batched loop when its extra preconditions
+        hold (the overwhelmingly common case), else to the generic
+        statement-for-statement replay.
+        """
+        if self._variant == "hvm":
+            # The batched loop assumes each interrupt's LAPIC cycle is
+            # closed (fire -> ack -> EOI returns the IRR/ISR to empty).
+            # A stray in-service or pending vector (e.g. a mailbox
+            # doorbell caught mid-flight at decollapse) breaks that, so
+            # replay it generically.
+            lapic = self.driver.domain.lapic
+            vector = self.driver.rx_vector
+            if (lapic._irr != 0 or lapic._isr != 0
+                    or (lapic.tpr >> 4) >= (vector >> 4)):
+                self._advance_generic(limit, inclusive)
+                return
+        self._advance_bulk(limit, inclusive)
+
+    def _advance_generic(self, limit: float, inclusive: bool) -> None:
+        """The unbatched replay: one method call per virtual event."""
+        sim = self.sim
+        while True:
+            t_fire = self._fire_at
+            t_tick = self._t_next
+            if t_fire is not None and t_fire <= t_tick:
+                if t_fire < limit or (inclusive and t_fire == limit):
+                    self._fire_at = None
+                    self._replay_fire(t_fire)
+                    sim.collapsed_events += 1
+                    continue
+                return
+            if t_tick < limit or (inclusive and t_tick == limit):
+                count, tick_time = self._next_tick()
+                if self._apply_tick(count, tick_time) > 0:
+                    self._replay_request(tick_time)
+                sim.collapsed_events += 1
+                continue
+            return
+
+    def _advance_bulk(self, limit: float, inclusive: bool) -> None:
+        """The batched replay loop.
+
+        Identical arithmetic to the generic path, restructured for
+        speed: all hot state lives in locals, and every *integer*
+        accumulator (packet counts, event counts, cycle charges — the
+        eligibility gates force integral costs) is summed locally and
+        flushed once at the end.  Integer-valued float sums are
+        associative, so the flush lands bit-identically to the exact
+        run's per-event additions.  Float state that is genuinely
+        order-sensitive — the DMA pipe's busy horizon, the stream
+        carry, the vLAPIC's fractional access carry, the app's latency
+        accumulators — is still evolved per virtual event, inline.
+        """
+        stream = self.stream
+        driver = self.driver
+        domain = driver.domain
+        costs = driver.costs
+        vf = self.vf
+        throttle = vf.throttle
+        napi = driver.napi
+        app = driver.app
+        datapath = self.port.datapath
+        variant = self._variant
+        mtu = stream.mtu
+        protocol = stream.protocol
+        budget = napi.budget
+
+        # --- hoisted per-event state -----------------------------------
+        bi = stream.burst_interval
+        pps_bi = stream.pps * bi
+        carry = self._carry
+        t_next = self._t_next
+        fire_at = self._fire_at
+        has_fire = fire_at is not None
+        interval = throttle.interval
+        last_fired = throttle._last_fired
+        capacity = self._capacity
+        backlog = self._backlog
+        pending = self._pending
+        busy = datapath._busy_until
+        eff = datapath.effective_bps
+        intr_cycles = costs.guest_cycles_per_interrupt
+        pkt_cycles = costs.guest_cycles_per_packet
+        if domain.is_pvm:
+            pkt_cycles += costs.pvm_syscall_surcharge_per_packet
+        if variant == "hvm":
+            vlapic = self._vlapic
+            vl_carry = vlapic._carry
+            oap = costs.other_apic_accesses_per_interrupt
+
+        # --- batched integer accumulators ------------------------------
+        collapsed = 0
+        n_ticks = 0          # ticks that carried packets (DMA bookings)
+        total_count = 0      # packets offered
+        total_acc = 0        # packets accepted into the ring
+        n_fires = 0
+        drained = 0          # packets drained by fires
+        polls = 0
+        exhausted = 0
+        app_accepted = 0     # packets the app took (cycle charges)
+        n_apic_other = 0     # HVM: non-EOI APIC accesses
+
+        while True:
+            run_fire = False
+            scheduled = False
+            if has_fire and fire_at <= t_next:
+                if fire_at < limit or (inclusive and fire_at == limit):
+                    t = fire_at
+                    has_fire = False
+                    run_fire = True
+                    scheduled = True
+                else:
+                    break
+            elif t_next < limit or (inclusive and t_next == limit):
+                # --- one tick (NetperfStream._tick + device_receive) ---
+                quota = pps_bi + carry
+                count = int(quota)
+                carry = quota - count
+                t = t_next
+                t_next = t + bi
+                collapsed += 1
+                if count > 0:
+                    tb = count * mtu
+                    # PcieDataPath.transfer_at, inlined.
+                    start = busy if busy > t else t
+                    busy = start + tb * 8 / eff
+                    n_ticks += 1
+                    total_count += count
+                    accepted = count
+                    room = capacity - backlog
+                    if accepted > room:
+                        accepted = room
+                    total_acc += accepted
+                    if accepted > 0:
+                        backlog += accepted
+                        pending.append((count, accepted, t))
+                        # InterruptThrottle.request, inlined.
+                        if not has_fire:
+                            due = last_fired + interval
+                            if t >= due:
+                                run_fire = True  # inline fire (no event)
+                            else:
+                                fire_at = due
+                                has_fire = True
+            else:
+                break
+            if run_fire:
+                # --- one interrupt (fire -> deliver -> ISR -> EOI) -----
+                if scheduled:
+                    # A scheduled fire was its own event in the exact
+                    # run; an inline fire ran inside its tick's event.
+                    collapsed += 1
+                last_fired = t
+                n_fires += 1
+                count = backlog
+                segments = pending
+                pending = []
+                backlog = 0
+                drained += count
+                full = count // budget
+                polls += full + 1
+                exhausted += full
+                if variant == "hvm":
+                    # VirtualLapic.inject's fractional access carry.
+                    vl_carry += oap
+                    accesses = int(vl_carry)
+                    vl_carry -= accesses
+                    n_apic_other += accesses
+                if count:
+                    app_accepted += app.deliver_fluid(segments, count, t,
+                                                      mtu, protocol)
+
+        # --- flush ------------------------------------------------------
+        self._carry = carry
+        self._t_next = t_next
+        self._fire_at = fire_at if has_fire else None
+        self._backlog = backlog
+        self._pending = pending
+        self.sim.collapsed_events += collapsed
+        if n_ticks:
+            stream.sent.value += total_count
+            stream.sent_bytes.value += total_count * mtu
+            self.port.wire_rx_packets += total_count
+            datapath._busy_until = busy
+            datapath.transferred_bytes.value += total_count * mtu
+            datapath.transfers.value += n_ticks
+            vf.rx_offered += total_count
+            vf.rx_packets += total_acc
+            vf.rx_bytes += total_acc * mtu
+            if total_count != total_acc:
+                vf.rx_no_desc_drops += total_count - total_acc
+            vf.rx_ring.completed += total_acc
+            iommu = self.port.iommu
+            if iommu is not None:
+                iommu.translations += total_acc
+        if n_fires:
+            throttle._last_fired = last_fired
+            throttle.fired += n_fires
+            vf.msix.interrupts_posted += n_fires
+            vf.rx_ring.posted += drained
+            self._drained_total += drained
+            napi.polls += polls
+            napi.packets += drained
+            napi.exhausted_polls += exhausted
+            driver.interrupts_handled += n_fires
+            driver.rx_meter._count += drained
+            guest_cycles = (n_fires * intr_cycles
+                            + pkt_cycles * app_accepted)
+            core = domain.machine.core(domain.home_core())
+            core.charge(domain.account_label, guest_cycles)
+            domain.cycles_consumed += guest_cycles
+            if variant != "native":
+                platform = driver.platform
+                tracer = platform.tracer
+                ledger = platform.ledger
+                name = domain.name
+                hyper_cycles = 0.0
+                cost = costs.external_interrupt_exit_cycles
+                rec = tracer._records[VmExitKind.EXTERNAL_INTERRUPT]
+                rec.count += n_fires
+                rec.cycles += n_fires * cost
+                ledger.charge(name, _CAT_EXTINT, n_fires * cost,
+                              count=n_fires)
+                hyper_cycles += n_fires * cost
+                self._remapper.remapped += n_fires
+                if variant == "hvm":
+                    vlapic._carry = vl_carry
+                    if n_apic_other:
+                        cost = costs.other_apic_access_cycles
+                        rec = tracer._records[VmExitKind.APIC_ACCESS_OTHER]
+                        rec.count += n_apic_other
+                        rec.cycles += n_apic_other * cost
+                        ledger.charge(name, _CAT_APIC_OTHER,
+                                      n_apic_other * cost,
+                                      count=n_apic_other)
+                        hyper_cycles += n_apic_other * cost
+                    cost = self._eoi_cost
+                    rec = tracer._records[VmExitKind.APIC_ACCESS_EOI]
+                    rec.count += n_fires
+                    rec.cycles += n_fires * cost
+                    ledger.charge(name, _CAT_APIC_EOI, n_fires * cost,
+                                  count=n_fires)
+                    hyper_cycles += n_fires * cost
+                else:
+                    cost = costs.event_channel_notify_cycles
+                    rec = tracer._records[VmExitKind.HYPERCALL]
+                    rec.count += n_fires
+                    rec.cycles += n_fires * cost
+                    ledger.charge(name, _CAT_HYPERCALL, n_fires * cost,
+                                  count=n_fires)
+                    hyper_cycles += n_fires * cost
+                core.charge("xen", hyper_cycles)
+
+    def _replay_request(self, now: float) -> None:
+        """``InterruptThrottle.request`` against the virtual pending
+        slot: fire inline when past due, else arm the virtual timer."""
+        if self._fire_at is not None:
+            return
+        throttle = self.vf.throttle
+        due = throttle._last_fired + throttle.interval
+        if now >= due:
+            self._replay_fire(now)
+        else:
+            self._fire_at = due
+
+    def _replay_fire(self, now: float) -> None:
+        """One interrupt, start to finish, as flat arithmetic.
+
+        Statement-for-statement this is ``InterruptThrottle._do_fire``
+        -> ``MsixCapability._post`` -> ``Xen.deliver_msi`` (or the
+        native straight-through) -> ``VfDriver._isr``, with ``now``
+        standing in for ``sim.now`` and the null-tracer/null-registry
+        calls elided (the eligibility gates guarantee they are null).
+        """
+        driver = self.driver
+        domain = driver.domain
+        costs = driver.costs
+        throttle = self.vf.throttle
+        # The throttle's own state stays live so a decollapse (or the
+        # ITR floor logic) sees exactly what the exact run would.
+        throttle._last_fired = now
+        throttle.fired += 1
+        self.vf.msix.interrupts_posted += 1
+        variant = self._variant
+        if variant != "native":
+            platform = driver.platform
+            self._remapper.remapped += 1
+            cost = costs.external_interrupt_exit_cycles
+            platform.tracer.record(VmExitKind.EXTERNAL_INTERRUPT, cost)
+            platform.ledger.charge(domain.name, _CAT_EXTINT, cost)
+            domain.charge_hypervisor(cost)
+            if variant == "hvm":
+                # The real device model: IRR/ISR bits, the fractional
+                # APIC-access carry and its charges all evolve in place.
+                self._vlapic.inject(driver.rx_vector)
+            else:
+                notify = costs.event_channel_notify_cycles
+                platform.tracer.record(VmExitKind.HYPERCALL, notify)
+                platform.ledger.charge(domain.name, _CAT_HYPERCALL, notify)
+                domain.charge_hypervisor(notify)
+        # --- VfDriver._isr ---
+        driver.interrupts_handled += 1
+        domain.charge_guest(costs.guest_cycles_per_interrupt)
+        segments = self._pending
+        count = self._backlog
+        self._pending = []
+        self._backlog = 0
+        # The rearm mirror: reaped descriptors return to the device.
+        self.vf.rx_ring.posted += count
+        self._drained_total += count
+        # poll_all arithmetic: full budget-sized polls plus the final
+        # short one (which ends the softirq loop).
+        napi = driver.napi
+        full = count // napi.budget
+        napi.polls += full + 1
+        napi.packets += count
+        napi.exhausted_polls += full
+        if count:
+            driver.rx_meter.add(count)
+            accepted = driver.app.deliver_fluid(
+                segments, count, now, self.stream.mtu, self.stream.protocol)
+            cycles = costs.guest_cycles_per_packet
+            if domain.is_pvm:
+                cycles += costs.pvm_syscall_surcharge_per_packet
+            domain.charge_guest(cycles * accepted)
+        if variant == "hvm":
+            self._vlapic.eoi_write()
+
+    # ------------------------------------------------------------------
+    # settle points
+    # ------------------------------------------------------------------
+    def settle(self) -> None:
+        """Catch up through the present, *inclusively*: the engine's
+        ``run(until)`` horizon is inclusive, so at a run boundary every
+        virtual event with time <= now has executed in the exact run.
+        Undrained segments stay pending — their packets sit unreaped in
+        the exact run's ring too."""
+        if not self.active:
+            return
+        if not self._still_valid():
+            self.decollapse()
+            return
+        self._advance(self.sim.now, inclusive=True)
+
+    def settle_strict(self) -> None:
+        """Catch up to — but not through — the present.  For hooks at
+        the top of real events whose handles predate any same-time
+        virtual event (the ITR sample tick, scheduled a full period
+        ago): the exact run executes that event *before* equal-time
+        ticks or fires."""
+        if not self.active:
+            return
+        if not self._still_valid():
+            self.decollapse()
+            return
+        self._advance(self.sim.now, inclusive=False)
+
+    # ------------------------------------------------------------------
+    # leaving the fast path
+    # ------------------------------------------------------------------
+    def decollapse(self) -> None:
+        """Fall back to exact per-event simulation, seamlessly.
+
+        Replays every virtual event an exact run would already have
+        executed (strictly before now), materializes the undrained
+        packets into the real descriptor ring, hands the carry back to
+        the stream, re-schedules its exact ``_tick`` chain and re-arms
+        the real throttle timer if a fire was pending.
+        """
+        if not self.active:
+            return
+        self.active = False
+        sim = self.sim
+        self._advance(sim.now, inclusive=False)
+        self._materialize()
+        stream = self.stream
+        stream._carry = self._carry
+        if stream._running:
+            stream._tick_handle = sim.schedule_at(self._t_next, stream._tick)
+        throttle = self.vf.throttle
+        if self._fire_at is not None and throttle._pending is None:
+            throttle._pending = sim.schedule_at(self._fire_at,
+                                                throttle._do_fire)
+        self._fire_at = None
+
+    def _materialize(self) -> None:
+        """Turn pending segments into real ring occupancy."""
+        stream = self.stream
+        ring = self.vf.rx_ring
+        pool = stream.pool
+        # Every drained packet advanced head (consume), _clean (reap)
+        # and tail (rearm) once in the exact run.  Slot programming is
+        # position-fixed and reaped slots are clean, so rotating the
+        # cursors is the whole difference.
+        spin = self._drained_total & ring._mask
+        ring.head = (ring.head + spin) & ring._mask
+        ring.tail = (ring.tail + spin) & ring._mask
+        ring._clean = (ring._clean + spin) & ring._mask
+        self._drained_total = 0
+        total = 0
+        for _count, accepted, tick_time in self._pending:
+            if accepted <= 0:
+                continue
+            burst = pool.acquire_burst(accepted, stream.src, stream.dst,
+                                       stream.mtu, stream.vlan,
+                                       stream.protocol, stream.flow_id,
+                                       tick_time)
+            for packet in burst:
+                ring.consume(packet)
+            total += accepted
+        # fluid_receive counted these completions at tick time and
+        # consume() just recounted them.
+        ring.completed -= total
+        self._pending.clear()
+        self._backlog = 0

@@ -77,8 +77,9 @@ class TimerWheel:
         """Accept ``entry`` into its slot's bucket, or return False.
 
         ``False`` means the caller must push to the heap: the time is at
-        or beyond the horizon, or inside the current (partially drained)
-        slot.  While the wheel is empty the window re-snaps to ``now``
+        or beyond the horizon (including a sub-horizon float that rounds
+        into the horizon slot itself), or inside the current (partially
+        drained) slot.  While the wheel is empty the window re-snaps to ``now``
         so a long heap-only stretch cannot strand the horizon in the
         past.
         """
@@ -91,6 +92,15 @@ class TimerWheel:
             return False
         slot = int(time * self.inv_width)
         if slot <= self.base:
+            return False
+        if slot - self.base >= self.nslots:
+            # A time strictly below ``horizon`` can still round up to
+            # slot ``base + nslots`` (``time * inv_width`` and
+            # ``(base + nslots) * width`` round independently).  That
+            # slot's bucket index aliases a window-interior slot, so the
+            # entry would fire a full wheel rotation late.  The open
+            # window ``(base, base + nslots)`` is the contract: anything
+            # outside it is the heap's.
             return False
         self.buckets[slot % self.nslots].append(entry)
         self.count += 1

@@ -59,7 +59,7 @@ class TestToRSwitch:
         assert routed["dst_host"] == 1
         assert routed["arrival"] == pytest.approx(
             1.0 + 5e-6 + wire_bytes(1500) * 8 / 10e9)
-        assert tor.counters() == {"forwarded": 1,
+        assert tor.counters() == {"offered": 1, "forwarded": 1,
                                   "forwarded_bytes": wire_bytes(1500),
                                   "dropped": 0, "unknown_dst": 0}
 
@@ -101,3 +101,82 @@ class TestToRSwitch:
         tor = ToRSwitch(FabricSpec(), host_count=2)
         with pytest.raises(ValueError, match="out of range"):
             tor.learn(0x02_0100_000001, 2)
+
+
+class TestBurstTailDrop:
+    """A routed record may carry ``count`` equal frames; the queue bound
+    applies per frame, so a burst straddling it keeps its prefix."""
+
+    def test_burst_straddling_the_bound_keeps_the_fitting_prefix(self):
+        spec = FabricSpec(queue_frames=4)
+        tor = ToRSwitch(spec, host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        routed = tor.route(_message(t=0.0, count=16))
+        # An empty queue fits queue_frames + the frame that starts
+        # serializing immediately; the tail is dropped, not the burst.
+        assert routed is not None
+        assert routed["count"] == 5
+        assert tor.counters()["forwarded"] == 5
+        assert tor.counters()["dropped"] == 11
+        assert tor.counters()["offered"] == 16
+
+    def test_burst_fitting_entirely_is_untouched(self):
+        tor = ToRSwitch(FabricSpec(queue_frames=256), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        routed = tor.route(_message(t=0.0, count=8))
+        assert routed["count"] == 8
+        assert tor.counters()["forwarded"] == 8
+        assert tor.counters()["dropped"] == 0
+
+    def test_burst_arrival_is_when_its_last_frame_clears(self):
+        spec = FabricSpec()
+        tor = ToRSwitch(spec, host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        routed = tor.route(_message(t=0.0, count=3))
+        assert routed["arrival"] == pytest.approx(
+            spec.latency_s + 3 * wire_bytes(1500) * 8 / spec.rate_bps)
+
+    def test_burst_behind_a_full_queue_is_dropped_whole(self):
+        tor = ToRSwitch(FabricSpec(queue_frames=2), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        while tor.route(_message(t=0.0)) is not None:
+            pass  # saturate the egress queue past its bound
+        dropped_before = tor.counters()["dropped"]
+        assert tor.route(_message(t=0.0, count=4)) is None
+        assert tor.counters()["dropped"] == dropped_before + 4
+
+    def test_single_frame_records_are_byte_identical_to_before(self):
+        """``count`` defaults to 1 and a fully-fitting record is not
+        rewritten, so pre-burst callers see unchanged dicts and floats."""
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        routed = tor.route(_message(t=1.0))
+        assert "count" not in routed
+        assert routed["arrival"] == pytest.approx(
+            1.0 + FabricSpec().latency_s +
+            wire_bytes(1500) * 8 / FabricSpec().rate_bps)
+
+
+class TestFabricConservation:
+    def test_every_offered_frame_is_accounted_once(self):
+        from repro.audit import check_fabric_conservation
+        tor = ToRSwitch(FabricSpec(queue_frames=2), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        for count in (1, 3, 8, 1, 16):
+            tor.route(_message(t=0.0, count=count))
+        tor.route(_message(dst=0x02_0900_00BEEF, count=2))  # unknown dst
+        counters = tor.counters()
+        assert counters["offered"] == 31
+        assert counters["offered"] == (counters["forwarded"] +
+                                       counters["dropped"] +
+                                       counters["unknown_dst"])
+        check_fabric_conservation(tor)  # must not raise
+
+    def test_violation_raises_with_details(self):
+        from repro.audit import InvariantViolation, check_fabric_conservation
+        tor = ToRSwitch(FabricSpec(), host_count=2)
+        tor.learn(0x02_0100_000001, 1)
+        tor.route(_message(t=0.0))
+        tor.forwarded -= 1  # seed a leak
+        with pytest.raises(InvariantViolation, match="fabric-flow"):
+            check_fabric_conservation(tor)

@@ -7,6 +7,8 @@ straddle the wheel's horizon.  The reference model is a plain stable
 sort of the schedule calls.
 """
 
+import math
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -32,6 +34,35 @@ _delays = st.lists(
     min_size=1, max_size=120)
 
 
+def _boundary_time(slot_index: int, nudge: int) -> float:
+    """An exact slot boundary ``slot_index * width``, or its adjacent
+    float one ulp below/above (``nudge`` -1/0/+1) — the times where
+    ``int(time * inv_width)`` and the horizon comparison are most likely
+    to round differently."""
+    time = slot_index * DEFAULT_WIDTH
+    if nudge < 0:
+        return math.nextafter(time, 0.0)
+    if nudge > 0:
+        return math.nextafter(time, math.inf)
+    return time
+
+
+# Delays that hammer slot-rollover and horizon boundaries: exact
+# multiples of the slot width (including the horizon slot DEFAULT_NSLOTS
+# and its neighbours) and their one-ulp float neighbours.
+_boundary_delays = st.lists(
+    st.tuples(
+        st.one_of(
+            st.integers(min_value=0, max_value=8),
+            st.integers(min_value=DEFAULT_NSLOTS - 3,
+                        max_value=DEFAULT_NSLOTS + 3),
+            st.integers(min_value=0, max_value=2 * DEFAULT_NSLOTS),
+        ),
+        st.integers(min_value=-1, max_value=1),
+    ).map(lambda pair: _boundary_time(*pair)),
+    min_size=1, max_size=120)
+
+
 @given(_delays)
 @settings(max_examples=150)
 def test_wheel_and_heap_agree_on_global_order_with_ties(delays):
@@ -42,6 +73,74 @@ def test_wheel_and_heap_agree_on_global_order_with_ties(delays):
     sim.run()
     expected = [i for _, i in sorted((d, i) for i, d in enumerate(delays))]
     assert fired == expected
+
+
+@given(_boundary_delays)
+@settings(max_examples=150)
+def test_boundary_times_fire_in_exact_global_order(delays):
+    """Times at (and one ulp around) slot-rollover and horizon
+    boundaries still fire in exact (time, seq) order — the wheel/heap
+    split at those times must never reorder or delay an event."""
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=index: fired.append(i))
+    sim.run()
+    expected = [i for _, i in sorted((d, i) for i, d in enumerate(delays))]
+    assert fired == expected
+
+
+@given(_boundary_delays, _boundary_delays)
+@settings(max_examples=100)
+def test_boundary_times_rescheduled_mid_run_keep_order(first, second):
+    """A second wave of boundary times scheduled from a callback (after
+    the wheel's window has rotated to a non-zero base) interleaves
+    exactly; the re-snapped window must reject horizon-slot rounding the
+    same way the initial one does."""
+    sim = Simulator()
+    fired = []
+
+    def arm_second_wave():
+        for delay in second:
+            sim.schedule(delay, lambda t=sim.now + delay: fired.append(t))
+
+    for delay in first:
+        sim.schedule(delay, lambda t=delay: fired.append(t))
+    trigger = 3.5 * DEFAULT_WIDTH  # mid-slot, after a few rotations
+    sim.schedule(trigger, arm_second_wave)
+    sim.run()
+    assert fired == sorted(fired)
+
+
+@given(_boundary_delays)
+@settings(max_examples=150)
+def test_wheel_never_accepts_a_slot_outside_the_open_window(delays):
+    """The documented invariant, directly: every accepted entry's slot
+    lies strictly inside ``(base, base + nslots)``.  A sub-horizon float
+    whose slot rounds up to ``base + nslots`` would alias a
+    window-interior bucket and fire a rotation late."""
+    wheel = TimerWheel()
+    for seq, time in enumerate(sorted(delays)):
+        entry = (time, seq, _FakeHandle())
+        base = wheel.base
+        if wheel.try_insert(0.0, time, entry):
+            slot = int(time * wheel.inv_width)
+            assert base < slot < base + wheel.nslots
+
+
+def test_sub_horizon_float_rounding_into_horizon_slot_goes_to_heap():
+    """Regression: a time strictly below ``horizon`` whose
+    ``time * inv_width`` rounds into the horizon slot itself must be
+    rejected (the old wheel accepted it into the bucket aliasing
+    ``base``'s index, a rotation early in index space)."""
+    wheel = TimerWheel(width=1e-4, nslots=2)
+    start = 12.4992  # empty-wheel insert re-snaps base to 124992
+    time = 12.4994
+    base = int(start * wheel.inv_width)
+    assert time < (base + wheel.nslots) * wheel.width  # below the horizon...
+    assert int(time * wheel.inv_width) >= base + wheel.nslots  # ...yet rounds in
+    assert not wheel.try_insert(start, time, (time, 0, _FakeHandle()))
+    assert wheel.count == 0
 
 
 @given(_delays, st.data())

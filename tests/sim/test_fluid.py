@@ -1,0 +1,300 @@
+"""Fluid-vs-exact equivalence: the collapsed-window fast path's contract.
+
+``sim_mode="fluid"`` promises *byte-identical* results, not approximate
+ones: for every eligible flow the collapse replays the exact engine's
+event arithmetic, and for every ineligible flow (or run) it falls back
+to the exact path.  These tests pin both halves:
+
+* identical ``RunResult.to_dict()`` payloads across the fig. 15/16
+  scenario shapes (HVM, PVM, native; UDP and TCP; randomized seeded
+  rates/sizes/frequencies);
+* the event identity ``events_executed + collapsed_events ==
+  exact.events_executed`` (the collapse skips dispatch, never work);
+* exact fallbacks (faults, adaptive ITR, a 2.6.18 guest, a shared
+  port, a mid-run rate change) that decollapse or never attach, with
+  results still identical;
+* the exact mode's own event stream is untouched (the golden digest of
+  ``tests/sim/test_determinism.py`` stays the arbiter for that).
+"""
+
+import random
+
+from repro.api import Scenario, _dispatch
+from repro.core.experiment import ExperimentRunner
+from repro.core.testbed import Testbed, TestbedConfig
+
+
+def _run(scenario: Scenario):
+    runner = ExperimentRunner(warmup=scenario.warmup,
+                              duration=scenario.duration,
+                              seed=scenario.seed,
+                              faults=scenario.faults,
+                              sim_mode=scenario.sim_mode)
+    result = _dispatch(runner, scenario)
+    bed = runner.last_bed
+    return (result.to_dict(), bed.sim.events_executed,
+            bed.sim.collapsed_events)
+
+
+def _assert_equivalent(base: Scenario, expect_collapsed=True):
+    """Run ``base`` in both modes and assert byte-identity.
+
+    ``expect_collapsed``: True — the fast path must engage; False — it
+    must not (exact fallback); None — either is fine (the run merely
+    has to be equivalent, used for randomized configs where gate
+    eligibility depends on the draw).
+    """
+    exact, exact_events, exact_collapsed = _run(base)
+    fluid, fluid_events, fluid_collapsed = _run(base.with_(sim_mode="fluid"))
+    assert exact_collapsed == 0
+    assert fluid == exact  # byte-identical RunResult payloads
+    assert fluid_events + fluid_collapsed == exact_events
+    if expect_collapsed is True:
+        assert fluid_collapsed > 0
+    elif expect_collapsed is False:
+        assert fluid_collapsed == 0
+    return exact, fluid
+
+
+FIXED_2K = {"kind": "fixed_itr", "hz": 2000}
+
+
+class TestSteadyStateEquivalence:
+    """The fig. 15/16 shapes: results and event counts must match."""
+
+    def test_fig15_shape_hvm(self):
+        _assert_equivalent(Scenario(mode="sriov", kind="hvm",
+                                    policy=FIXED_2K, vm_count=2,
+                                    warmup=0.1, duration=0.1))
+
+    def test_fig16_shape_pvm(self):
+        _assert_equivalent(Scenario(mode="sriov", kind="pvm",
+                                    policy=FIXED_2K, vm_count=2,
+                                    warmup=0.1, duration=0.1))
+
+    def test_native_baseline(self):
+        _assert_equivalent(Scenario(mode="native", policy=FIXED_2K,
+                                    vm_count=2, warmup=0.1, duration=0.1))
+
+    def test_tcp_stream(self):
+        _assert_equivalent(Scenario(mode="sriov", kind="hvm",
+                                    policy=FIXED_2K, protocol="tcp",
+                                    vm_count=2, warmup=0.1, duration=0.1))
+
+    def test_throughput_anchor_equality(self):
+        exact, fluid = _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
+                     vm_count=2, warmup=0.1, duration=0.1))
+        # The gate the bench regression check applies: exact float
+        # equality of the throughput anchor, not a tolerance.
+        assert fluid["throughput_bps"] == exact["throughput_bps"]
+        assert fluid["interrupt_hz"] == exact["interrupt_hz"]
+        assert fluid["latency_mean"] == exact["latency_mean"]
+
+    def test_randomized_eligible_configs(self):
+        rng = random.Random(0xF1D)
+        for _ in range(4):
+            scenario = Scenario(
+                mode="sriov",
+                kind=rng.choice(["hvm", "pvm"]),
+                policy={"kind": "fixed_itr",
+                        "hz": rng.choice([1000, 2000, 4000])},
+                vm_count=rng.randint(1, 3),
+                offered_bps=rng.choice([200e6, 450e6, 900e6]),
+                seed=rng.randint(0, 2**16),
+                warmup=0.05, duration=0.05,
+            )
+            # Gate eligibility depends on the draw (a fast stream with
+            # a fast timer can fail the min-ticks-per-window gate);
+            # byte-identity is required either way.
+            _assert_equivalent(scenario, expect_collapsed=None)
+
+
+class TestExactFallbacks:
+    """Ineligible runs must silently take the exact path — identical
+    results, zero collapsed events."""
+
+    def test_adaptive_itr_falls_back_wholesale(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy={"kind": "dynamic_itr"},
+                     vm_count=2, warmup=0.05, duration=0.05),
+            expect_collapsed=False)
+
+    def test_linux_2618_msi_masking_falls_back(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", kernel="2.6.18",
+                     policy=FIXED_2K, vm_count=2, warmup=0.05,
+                     duration=0.05),
+            expect_collapsed=False)
+
+    def test_shared_port_falls_back(self):
+        # vm_count > ports: streams share a wire, ticks interleave.
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
+                     vm_count=3, ports=1, warmup=0.05, duration=0.05),
+            expect_collapsed=False)
+
+    def test_faults_fall_back_wholesale(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
+                     vm_count=2, warmup=0.05, duration=0.05,
+                     faults=[{"kind": "link_flap", "at": 0.06,
+                              "port": 0, "duration": 0.005}]),
+            expect_collapsed=False)
+
+
+def _counters_snapshot(bed, guest, stream):
+    """Every externally observable number a flow touches."""
+    vf = guest.vf
+    driver = guest.driver
+    app = guest.app
+    ring = vf.rx_ring
+    lat = app.latency
+    return {
+        "sent": stream.sent.value,
+        "sent_bytes": stream.sent_bytes.value,
+        "wire_rx": guest.port.wire_rx_packets,
+        "dma_busy": guest.port.datapath._busy_until,
+        "dma_bytes": guest.port.datapath.transferred_bytes.value,
+        "rx_offered": vf.rx_offered,
+        "rx_packets": vf.rx_packets,
+        "rx_bytes": vf.rx_bytes,
+        "no_desc": vf.rx_no_desc_drops,
+        "posted": ring.posted,
+        "completed": ring.completed,
+        "head": ring.head,
+        "tail": ring.tail,
+        "fired": vf.throttle.fired,
+        "last_fired": vf.throttle._last_fired,
+        "msi_posted": vf.msix.interrupts_posted,
+        "interrupts": driver.interrupts_handled,
+        "napi_polls": driver.napi.polls,
+        "napi_packets": driver.napi.packets,
+        "app_rx_packets": app.rx_packets,
+        "app_rx_bytes": app.rx_bytes,
+        "app_dropped": app.dropped_packets,
+        "lat_count": lat._count,
+        "lat_sum": lat._sum,
+        "lat_sum_sq": lat._sum_sq,
+        "cycles": driver.domain.cycles_consumed,
+        "events_total": bed.sim.events_executed + bed.sim.collapsed_events,
+    }
+
+
+def _one_guest_bed(sim_mode):
+    # 900 Mb/s: fast enough that the flow passes the min-ticks-per-
+    # window gate against the default 2 kHz throttle (slower rates
+    # would silently stay exact and make the paired runs vacuous).
+    bed = Testbed(TestbedConfig(ports=1, sim_mode=sim_mode))
+    guest = bed.add_sriov_guest(name="vm0")
+    stream = bed.attach_client_to_sriov(guest, 900e6)
+    stream.start()
+    if sim_mode == "fluid":
+        assert bed.fluid_flows and bed.fluid_flows[0].active
+    return bed, guest, stream
+
+
+class TestDecollapse:
+    """Leaving the fast path mid-run must leave no observable seam."""
+
+    def test_midrun_rate_change_matches_exact(self):
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, guest, stream = _one_guest_bed(mode)
+            bed.sim.run(until=0.0203)
+            stream.set_rate(250e6)  # decollapses at an off-window instant
+            bed.sim.run(until=0.04)
+            bed.settle_fluid()
+            snaps[mode] = _counters_snapshot(bed, guest, stream)
+        assert snaps["fluid"] == snaps["exact"]
+
+    def test_midrun_stop_matches_exact(self):
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, guest, stream = _one_guest_bed(mode)
+            bed.sim.run(until=0.0151)
+            stream.stop()
+            # The re-armed throttle fire still drains the ring tail.
+            bed.sim.run(until=0.03)
+            bed.settle_fluid()
+            snaps[mode] = _counters_snapshot(bed, guest, stream)
+        assert snaps["fluid"] == snaps["exact"]
+
+    def test_driver_stop_matches_exact(self):
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, guest, stream = _one_guest_bed(mode)
+            bed.sim.run(until=0.0101)
+            guest.driver.stop()
+            stream.stop()
+            bed.sim.run(until=0.02)
+            bed.settle_fluid()
+            snaps[mode] = _counters_snapshot(bed, guest, stream)
+        assert snaps["fluid"] == snaps["exact"]
+
+    def test_second_stream_on_port_decollapses_first(self):
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="fluid"))
+        first = bed.add_sriov_guest(name="vm0")
+        s1 = bed.attach_client_to_sriov(first, 900e6)
+        s1.start()
+        assert len(bed.fluid_flows) == 1
+        bed.sim.run(until=0.01)
+        second = bed.add_sriov_guest(name="vm1")
+        s2 = bed.attach_client_to_sriov(second, 900e6)
+        s2.start()
+        # The shared wire evicted the collapsed flow.
+        assert first.stream._fluid is None
+        assert all(not flow.active for flow in bed.fluid_flows)
+
+    def test_decollapse_materializes_pending_packets(self):
+        bed, guest, stream = _one_guest_bed("fluid")
+        bed.sim.run(until=0.0102)  # mid-window: undrained ticks pending
+        flow = bed.fluid_flows[0]
+        assert flow.active
+        flow.decollapse()
+        assert not flow.active
+        ring = guest.vf.rx_ring
+        # The ticks since the last virtual fire replayed as real ring
+        # occupancy: undrained packets sit in device-completed slots,
+        # exactly where the exact run would have them.
+        occupied = sum(1 for slot in ring.slots if slot.packet is not None)
+        assert occupied > 0
+        assert occupied == sum(1 for slot in ring.slots if slot.done)
+        # Bookkeeping stayed consistent: completions count only what
+        # the device actually wrote back so far.
+        assert ring.completed == guest.vf.rx_packets
+
+
+class TestEligibilityGates:
+    def test_jittered_stream_never_attaches(self):
+        from repro.sim.fluid import FluidFlow
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="exact"))
+        guest = bed.add_sriov_guest(name="vm0")
+        stream = bed.attach_client_to_sriov(guest, 900e6)
+        stream.jitter = 0.2
+        assert not FluidFlow(bed, guest, stream).try_attach()
+        stream.jitter = 0.0
+        assert FluidFlow(bed, guest, stream).try_attach()
+
+    def test_slow_stream_never_attaches(self):
+        # A window must span MIN_TICKS_PER_WINDOW burst intervals; a
+        # 300 Mb/s stream against the default 2 kHz throttle does not.
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="fluid"))
+        guest = bed.add_sriov_guest(name="vm0")
+        bed.attach_client_to_sriov(guest, 300e6).start()
+        assert not bed.fluid_flows
+
+    def test_exact_mode_never_builds_flows(self):
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="exact"))
+        guest = bed.add_sriov_guest(name="vm0")
+        bed.attach_client_to_sriov(guest, 900e6).start()
+        assert not bed.fluid_flows
+
+
+def test_golden_exact_digest_is_unchanged():
+    """The exact mode's event stream is the repo's determinism anchor;
+    the fluid mode must not have perturbed it (same constant as
+    tests/sim/test_determinism.py)."""
+    from tests.sim.test_determinism import (GOLDEN_DIGEST,
+                                            _run_fixed_scenario)
+    assert _run_fixed_scenario() == GOLDEN_DIGEST

@@ -65,6 +65,7 @@ class TestJobKey:
         del legacy["faults"]  # the pre-faults field set
         for name in ("hosts", "fabric", "flows", "schema_version"):
             del legacy[name]  # the v2 multi-host fields, likewise omitted
+        del legacy["sim_mode"]  # exact-mode runs hash the legacy layout
         assert "faults" not in scenario.to_dict()
         assert (_key(scenario)
                 == job_key(legacy, costs_to_dict(None)))
