@@ -10,10 +10,10 @@ same way EXPERIMENTS.md carries a fidelity trajectory:
   periodic timers (the netperf-generator / MII-monitor shape), and a
   cancel-and-rearm loop (the interrupt-throttle shape that litters the
   queue with lazily-cancelled debris).  Reported as events/sec.
-* **Scenario benches** — bench-scale variants of the fig06/fig15/fig16
-  campaigns run end-to-end through :class:`ExperimentRunner`, reported
-  as wall-clock seconds plus events/sec (executed + collapsed over
-  wall time).  Throughput rides along as a semantic anchor: a perf
+* **Scenario benches** — bench-scale variants of the fig06/fig08-10/
+  fig15/fig16/fig22 campaigns run end-to-end through
+  :class:`ExperimentRunner`, reported as wall-clock seconds plus
+  events/sec (executed + collapsed over wall time).  Throughput rides along as a semantic anchor: a perf
   change must not move it.  Each scenario also runs in
   ``sim_mode="fluid"`` (``<name>_fluid``), hard-gated on its
   throughput anchor matching the exact run with *float equality* and
@@ -155,27 +155,53 @@ ENGINE_LOOPS: Dict[str, Tuple[Callable[[int], Dict[str, float]], int, int]] = {
 # scenario benches
 # ----------------------------------------------------------------------
 _FIXED_2K = {"kind": "fixed_itr", "hz": 2000}
+_AIC = {"kind": "aic"}
 
 
 def bench_scenarios(quick: bool) -> Dict[str, Scenario]:
-    """Bench-scale variants of the fig06/fig15/fig16 campaigns.
+    """Bench-scale variants of the tracked figure campaigns.
 
     Same modes, kinds, kernels and policies as the figure registry
     (:mod:`repro.sweep.figures`); VM counts and windows sized so a
     bench run finishes in tens of seconds, not the figures' minutes.
+    The fig08/09/10 entries carry the adaptive-ITR policy and fig22
+    the cross-host fabric — the flow classes the fluid datapath
+    collapses beyond the fixed-ITR steady state.
     """
     warmup, duration = (0.1, 0.1) if quick else (0.3, 0.4)
+    aic_warmup, aic_duration = (0.1, 0.1) if quick else (0.5, 0.7)
     return {
         "fig06": Scenario(mode="sriov", ports=1, kernel="2.6.18",
                           policy={"kind": "dynamic_itr"}, opts={},
                           vm_count=2 if quick else 5,
                           warmup=warmup, duration=duration),
+        "fig08": Scenario(mode="sriov", vm_count=1, ports=1,
+                          policy=_AIC,
+                          warmup=aic_warmup, duration=aic_duration),
+        "fig09": Scenario(mode="sriov", vm_count=1, ports=1,
+                          policy=_AIC, protocol="tcp",
+                          warmup=aic_warmup, duration=aic_duration),
+        "fig10": Scenario(mode="intervm", variant="sriov",
+                          sender="dom0", policy=_AIC,
+                          warmup=0.05 if quick else 0.15,
+                          duration=0.05 if quick else 0.2),
         "fig15": Scenario(mode="sriov", kind="hvm", policy=_FIXED_2K,
                           vm_count=2 if quick else 10,
                           warmup=warmup, duration=duration),
         "fig16": Scenario(mode="sriov", kind="pvm", policy=_FIXED_2K,
                           vm_count=2 if quick else 10,
                           warmup=warmup, duration=duration),
+        "fig22": Scenario(
+            mode="cluster",
+            hosts=[{"name": "h0", "vm_count": 1, "ports": 1},
+                   {"name": "h1", "vm_count": 1, "ports": 1}],
+            flows=[{"src_host": "h0", "dst_host": "h1",
+                    "offered_bps": 900e6},
+                   {"src_host": "h1", "dst_host": "h0",
+                    "offered_bps": 900e6}],
+            fabric={"uplink_gbps": 10.0, "latency_s": 2e-5},
+            warmup=0.1 if quick else 0.3,
+            duration=0.05 if quick else 0.5),
     }
 
 
@@ -201,10 +227,21 @@ def run_scenario_bench(scenario: Scenario) -> Dict[str, float]:
     if runner.last_bed is not None:
         executed = runner.last_bed.sim.events_executed
         collapsed = runner.last_bed.sim.collapsed_events
+    elif scenario.mode == "cluster":
+        # Cluster runs keep no bed behind: executed events come from
+        # the per-host extras, collapsed from the fluid sidecar.
+        hosts = result.extras["cluster"]["hosts"]
+        executed = sum(host["events_executed"] for host in hosts.values())
+        if result.fluid is not None:
+            collapsed = result.fluid["collapsed_events"]
     out = _rate(executed + collapsed, wall)
     out["wall_seconds"] = out.pop("seconds")
     out["events_collapsed"] = int(collapsed)
-    out["vm_count"] = scenario.vm_count
+    total = executed + collapsed
+    out["collapsed_fraction"] = (round(collapsed / total, 4)
+                                 if total else 0.0)
+    out["vm_count"] = (result.vm_count if scenario.mode == "cluster"
+                       else scenario.vm_count)
     out["throughput_bps"] = result.throughput_bps
     out["throughput_gbps"] = round(result.throughput_bps / 1e9, 4)
     return out
@@ -308,6 +345,16 @@ def compare(baseline: dict, fresh: dict,
                 regressions.append(
                     f"{section}.{name} regressed {(1.0 - ratio):.0%} "
                     f"(>{tolerance:.0%} allowed)")
+            # A fluid entry that used to collapse and now executes
+            # everything exactly is an eligibility regression — the
+            # fast path silently fell back — even if the events/sec
+            # rate happens to stay inside tolerance.
+            base_frac = base_section[name].get("collapsed_fraction", 0.0)
+            fresh_frac = fresh_section[name].get("collapsed_fraction", 0.0)
+            if base_frac > 0.0 and fresh_frac == 0.0:
+                regressions.append(
+                    f"{section}.{name} no longer collapses any events "
+                    f"(baseline collapsed {base_frac:.0%})")
     if not lines:
         raise ValueError("baseline and fresh documents share no metrics")
     return regressions, lines

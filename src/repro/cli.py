@@ -167,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   parents=obs)
     intervm.add_argument("--mode", choices=["sriov", "pv"], default="sriov")
     intervm.add_argument("--message-bytes", type=int, default=1500)
+    intervm.add_argument("--sim-mode", choices=("exact", "fluid"),
+                         default="exact", dest="sim_mode",
+                         help="datapath mode (sriov variant only; the "
+                              "fluid fast path collapses the loopback "
+                              "chain — see docs/performance.md)")
 
     migrate = commands.add_parser("migrate",
                                   help="live migration (Figs. 20-21)",
@@ -203,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=42,
                          help="base seed; each host derives its own "
                               "stream from it")
+    cluster.add_argument("--sim-mode", choices=("exact", "fluid"),
+                         default="exact", dest="sim_mode",
+                         help="per-host datapath mode: 'fluid' collapses "
+                              "eligible uplink TX and inbound RX flows "
+                              "within each barrier window (byte-identical "
+                              "results — see docs/performance.md)")
 
     campaign = [_campaign_parent()]
     figures = commands.add_parser(
@@ -386,7 +397,8 @@ def _scenario_for(args) -> Scenario:
         # with PVM guests (HVM adds the interrupt-conversion layer).
         return Scenario(mode="intervm", variant=args.mode,
                         kind="pvm" if args.mode == "pv" else "hvm",
-                        message_bytes=args.message_bytes, **common)
+                        message_bytes=args.message_bytes,
+                        sim_mode=args.sim_mode, **common)
     if args.command == "migrate":
         return Scenario(mode="migrate", variant=args.mode,
                         start_at=args.start_at, faults=faults)
@@ -407,7 +419,7 @@ def _scenario_for(args) -> Scenario:
         return Scenario(mode="cluster", hosts=hosts, flows=flows,
                         fabric={"uplink_gbps": args.uplink_gbps,
                                 "latency_s": args.latency_us * 1e-6},
-                        seed=args.seed, **common)
+                        seed=args.seed, sim_mode=args.sim_mode, **common)
     raise AssertionError(f"no scenario for {args.command!r}")
 
 
@@ -442,9 +454,30 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         _print_migration(result, args.mode)
     else:
         print_result(result)
+        _print_fluid(result)
     _export_observability(args, result.telemetry, result.profiler,
                           result.duration)
     return 0
+
+
+def _print_fluid(result) -> None:
+    """One stderr line of fast-path diagnostics for --sim-mode=fluid:
+    how much of the run collapsed, and which eligibility gate refused
+    the flows that stayed exact."""
+    fluid = getattr(result, "fluid", None)
+    if fluid is None:
+        return
+    collapsed = fluid["collapsed_events"]
+    total = collapsed + fluid["events_executed"]
+    frac = collapsed / total if total else 0.0
+    line = (f"fluid      : {collapsed} of {total} events collapsed "
+            f"({frac:.1%}) across {fluid['flows']} flow(s)")
+    rejections = fluid.get("rejections") or {}
+    if rejections:
+        gates = ", ".join(f"{gate}={count}" for gate, count
+                          in sorted(rejections.items()))
+        line += f"; rejected: {gates}"
+    print(line, file=sys.stderr)
 
 
 def _run_cluster(args) -> int:
@@ -470,10 +503,17 @@ def _run_cluster(args) -> int:
                  audit=not args.no_audit,
                  parallel_hosts=args.process_hosts)
     print_result(result)
+    _print_fluid(result)
     cluster = result.extras["cluster"]
+    # The events column counts simulated work, executed plus collapsed
+    # (the bench harness's convention) — so a fluid run's stdout stays
+    # byte-identical to exact; the collapse split is the stderr line.
+    collapsed_by_host = (getattr(result, "fluid", None)
+                         or {}).get("collapsed_by_host") or {}
     rows = [[name, host["vm_count"], host["throughput_bps"] / 1e9,
              sum(host["cpu"].values()), host["dropped_packets"],
-             host["uplink_tx_frames"], host["events_executed"]]
+             host["uplink_tx_frames"],
+             host["events_executed"] + collapsed_by_host.get(name, 0)]
             for name, host in sorted(cluster["hosts"].items())]
     print(format_table("per-host", ["host", "VMs", "Gbps", "CPU%",
                                     "drops", "uplink TX", "events"],

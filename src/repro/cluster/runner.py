@@ -38,9 +38,10 @@ class InProcessHost:
     matches the worker-process runner's begin/finish step protocol."""
 
     def __init__(self, spec: HostSpec, index: int, *, costs, base_seed,
-                 audit, telemetry):
+                 audit, telemetry, sim_mode="exact"):
         self.host = Host(spec, index, costs=costs, base_seed=base_seed,
-                         audit=audit, telemetry=telemetry)
+                         audit=audit, telemetry=telemetry,
+                         sim_mode=sim_mode)
         self._step = None
 
     def mac_table(self) -> Dict[int, int]:
@@ -178,15 +179,17 @@ def run_cluster(scenario, *, costs: Optional[CostModel] = None,
     host_index = {spec.name: i for i, spec in enumerate(host_specs)}
 
     costs = (costs or CostModel()).validate()
+    sim_mode = getattr(scenario, "sim_mode", "exact")
     if parallel_hosts:
         from repro.cluster.process import ProcessHost
         runners = [ProcessHost(spec, i, costs=costs,
-                               base_seed=scenario.seed, audit=audit)
+                               base_seed=scenario.seed, audit=audit,
+                               sim_mode=sim_mode)
                    for i, spec in enumerate(host_specs)]
     else:
         runners = [InProcessHost(spec, i, costs=costs,
                                  base_seed=scenario.seed, audit=audit,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry, sim_mode=sim_mode)
                    for i, spec in enumerate(host_specs)]
     try:
         # Program the ToR from every host's VF table, then resolve the
@@ -268,6 +271,31 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
         hosts = [runner.host for runner in telemetry_runners]
         if all(host.telemetry is not None for host in hosts):
             telemetry_facade = ClusterTelemetry(hosts)
+    # Fluid-datapath diagnostics ride as the RunResult sidecar, not in
+    # extras: the per-host dicts embedded there must keep the exact
+    # run's key set (events_executed aside, a fluid run's extras are
+    # byte-identical to exact).
+    fluid = None
+    if any("events_collapsed" in result for result in host_results):
+        rejections: Dict[str, int] = {}
+        collapsed_by_host: Dict[str, int] = {}
+        collapsed = executed = flow_count = 0
+        for result in host_results:
+            host_collapsed = result.pop("events_collapsed", 0)
+            collapsed_by_host[result["name"]] = host_collapsed
+            collapsed += host_collapsed
+            flow_count += result.pop("fluid_flows", 0)
+            for gate, n in (result.pop("fluid_rejections", None)
+                            or {}).items():
+                rejections[gate] = rejections.get(gate, 0) + n
+            executed += result["events_executed"]
+        fluid = {
+            "collapsed_events": collapsed,
+            "events_executed": executed,
+            "flows": flow_count,
+            "rejections": rejections,
+            "collapsed_by_host": collapsed_by_host,
+        }
     return RunResult(
         vm_count=len(per_vm),
         duration=elapsed,
@@ -291,4 +319,5 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
             },
         },
         telemetry=telemetry_facade,
+        fluid=fluid,
     )

@@ -81,6 +81,14 @@ class RunResult:
     telemetry: Optional[object] = field(default=None, repr=False, compare=False)
     #: The run's :class:`repro.obs.EngineProfiler`, when ``profile=True``.
     profiler: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Fluid-datapath diagnostics when the run used ``sim_mode="fluid"``:
+    #: ``{"collapsed_events", "events_executed", "flows", "rejections"}``.
+    #: Excluded from comparison and serialization (like telemetry /
+    #: profiler): a fluid run's *results* are byte-identical to exact,
+    #: and this sidecar must not break that equality or the cache
+    #: schema.
+    fluid: Optional[Dict[str, object]] = field(default=None, repr=False,
+                                               compare=False)
 
     @property
     def total_cpu_percent(self) -> float:
@@ -285,16 +293,15 @@ class ExperimentRunner:
             else:
                 policy_factory = lambda: FixedItr(2000)
         sim_mode = self.sim_mode
-        if sim_mode == "fluid" and (
-                self.faults
-                or vm_count > ports
-                or not isinstance(policy_factory(), FixedItr)):
-            # Wholesale fallback: faults perturb mid-run state, shared
-            # ports interleave streams, and adaptive policies retune
-            # the ITR — all outside the fluid exactness contract.  The
-            # exact run is byte-identical to sim_mode="exact" by
-            # construction (per-stream gates would catch these too;
-            # falling back here keeps the whole run on one path).
+        if sim_mode == "fluid" and self.faults:
+            # Wholesale fallback: fault plans perturb mid-run state at
+            # injector-chosen instants, outside the fluid exactness
+            # contract.  The exact run is byte-identical to
+            # sim_mode="exact" by construction.  Shared ports now
+            # collapse through FluidPortGroup's merged replay and
+            # adaptive policies through the ITR-write settle hook, so
+            # only faults still force the whole run exact; anything
+            # else ineligible is caught stream-by-stream in try_attach.
             sim_mode = "exact"
         config = self._config(
             ports=ports, vfs_per_port=vfs_per_port,
@@ -444,7 +451,9 @@ class ExperimentRunner:
         """
         if sender not in ("guest", "dom0"):
             raise ValueError(f"sender must be 'guest' or 'dom0', not {sender!r}")
-        config = self._config(ports=1, opts=OptimizationConfig.all())
+        sim_mode = "exact" if self.faults else self.sim_mode
+        config = self._config(ports=1, opts=OptimizationConfig.all(),
+                              sim_mode=sim_mode)
         # Inter-VM rates exceed the line rate, so the driver must scale
         # its interrupt frequency with them — AIC by default (§5.3's
         # Fig. 10 is exactly this scenario).
@@ -455,10 +464,16 @@ class ExperimentRunner:
             tx_guest = bed.add_sriov_guest(kind, policy=policy_factory())
             transmit = tx_guest.driver.transmit
             src_mac = tx_guest.vf.mac
+            sender_domain = tx_guest.domain
+            tx_function = tx_guest.vf
+            tx_driver = tx_guest.driver
         else:
             pf_driver = bed.pf_drivers[0]
             transmit = pf_driver.transmit
             src_mac = bed.ports[0].pf.mac
+            sender_domain = pf_driver.dom0
+            tx_function = bed.ports[0].pf
+            tx_driver = pf_driver
         receiver = bed.add_sriov_guest(kind, policy=policy_factory())
         mtu = min(message_bytes, DEFAULT_MTU)
         stream = NetperfStream(
@@ -467,6 +482,12 @@ class ExperimentRunner:
             burst_interval=100e-6, name="intervm",
             pool=bed.packet_pool,
         )
+        if sim_mode == "fluid":
+            from repro.sim.fluid import FluidLoopbackFlow
+            flow = FluidLoopbackFlow(bed, receiver, stream, sender_domain,
+                                     tx_function, tx_driver)
+            if flow.try_attach():
+                bed.fluid_flows.append(flow)
         stream.start()
         receiver.stream = stream
         return self._measure(bed, [receiver.app], [receiver.driver])
@@ -721,6 +742,14 @@ class ExperimentRunner:
         extras: Dict[str, object] = {}
         if self.faults and bed.injector is not None:
             extras["faults"] = bed.injector.summary()
+        fluid = None
+        if bed.config.sim_mode == "fluid":
+            fluid = {
+                "collapsed_events": sim.collapsed_events,
+                "events_executed": sim.events_executed,
+                "flows": len(bed.fluid_flows),
+                "rejections": dict(bed.fluid_rejections),
+            }
         return RunResult(
             vm_count=len(apps),
             duration=elapsed,
@@ -736,4 +765,5 @@ class ExperimentRunner:
             extras=extras,
             telemetry=bed.telemetry,
             profiler=bed.profiler,
+            fluid=fluid,
         )

@@ -157,11 +157,13 @@ class Host:
                  costs: Optional[CostModel] = None,
                  base_seed: int = 42,
                  audit: bool = True,
-                 telemetry: bool = False):
+                 telemetry: bool = False,
+                 sim_mode: str = "exact"):
         if index < 0 or index > 0xFE:
             raise ValueError("a fabric supports at most 255 hosts")
         self.spec = spec
         self.index = index
+        self.sim_mode = sim_mode
         config = TestbedConfig(
             ports=spec.ports,
             vfs_per_port=spec.vfs_per_port,
@@ -173,6 +175,7 @@ class Host:
             # (or with each other).
             mac_realm=index + 1,
             audit=audit,
+            sim_mode=sim_mode,
         )
         self.bed = Testbed(config)
         self.sim = self.bed.sim
@@ -199,6 +202,11 @@ class Host:
         ]
         #: Egress records collected since the last :meth:`advance`.
         self._outbound: List[dict] = []
+        #: Collapsed egress awaiting sequence numbers: fluid flows
+        #: stage their replayed uplink deliveries here (seq-less); the
+        #: flush sorts by delivery time and numbers them, reproducing
+        #: the exact run's host-global egress order.
+        self._staged: List[dict] = []
         self._egress_seq = 0
         self._mac_to_port = {guest.vf.mac.value: guest.port
                              for guest in self.guests}
@@ -225,10 +233,11 @@ class Host:
         the coordinator from the cluster-wide MAC table), ``offered_bps``,
         ``message_bytes``, ``protocol`` and ``flow_id``.
         """
+        streams = []
         for flow in flows:
             guest = self.guests[flow["src_vm"]]
             mtu = min(int(flow["message_bytes"]), DEFAULT_MTU)
-            NetperfStream(
+            stream = NetperfStream(
                 self.sim, guest.driver.transmit, guest.vf.mac,
                 MacAddress(flow["dst_mac"]), flow["offered_bps"],
                 _PROTOCOLS[flow["protocol"]], mtu=mtu,
@@ -237,13 +246,65 @@ class Host:
                     flow["offered_bps"]),
                 name=f"{self.spec.name}.flow{flow['flow_id']}",
                 pool=self.bed.packet_pool,
-            ).start()
+            )
+            streams.append((guest, stream))
+        if self.sim_mode == "fluid" and streams:
+            self._attach_fluid(streams)
+        for _guest, stream in streams:
+            stream.start()
+        fluid_flows = self.bed.fluid_flows
+        if fluid_flows and not all(flow.active for flow in fluid_flows):
+            # A sibling's begin() fell back to exact: sequence numbers
+            # are host-global, so nobody collapses.
+            self._evict_fluid()
+
+    def _attach_fluid(self, streams) -> None:
+        """Install a :class:`~repro.sim.fluid_host.FluidHostFlow` per
+        stream — or none at all.
+
+        Collapse is all-or-nothing per host: egress sequence numbers
+        are host-global, so one exact stream beside a collapsed one
+        would interleave live and staged records.  The total-order
+        replay also needs each port's event sources to belong to one
+        flow, so two streams sharing a port keep the host exact.
+        """
+        from repro.sim.fluid_host import FluidHostFlow
+        ports = {id(guest.port) for guest, _stream in streams}
+        if len(ports) != len(streams):
+            for _ in streams:
+                self.bed.record_fluid_rejection("port_shared")
+            return
+        flows = []
+        for guest, stream in streams:
+            flow = FluidHostFlow(self, guest, stream)
+            if not flow.try_attach():
+                for earlier in flows:
+                    earlier.detach()
+                    self.bed.record_fluid_rejection("host_evicted")
+                return
+            flows.append(flow)
+        self.bed.fluid_flows.extend(flows)
 
     # ------------------------------------------------------------------
     # lockstep stepping
     # ------------------------------------------------------------------
     def peek(self) -> Optional[float]:
-        return self.sim.peek()
+        """The earliest future instant this host can act at.
+
+        Collapsed flows schedule no events, so their next tick and
+        earliest staged wire delivery join the engine's peek — that is
+        what keeps the lockstep barrier's no-time-travel proof intact.
+        Pending virtual *fires* are deliberately left out: they produce
+        no egress, so fluid windows span them (fewer, wider windows
+        than exact; window count is pure synchronization).
+        """
+        t = self.sim.peek()
+        for flow in self.bed.fluid_flows:
+            if flow.active:
+                ft = flow.next_time()
+                if t is None or ft < t:
+                    t = ft
+        return t
 
     def advance(self, window_end: float, inbound: List[dict]):
         """Inject fabric deliveries, run to the window end, and return
@@ -251,17 +312,76 @@ class Host:
 
         ``inbound`` must arrive pre-sorted by (arrival, source host,
         sequence): ties then execute in schedule order, which the engine
-        keeps FIFO, so delivery order is globally deterministic.
+        keeps FIFO, so delivery order is globally deterministic.  A port
+        with an active fluid flow takes its deliveries into the flow's
+        virtual queue here — the same instant, and the same order, the
+        exact host would create the ``_ingress`` handles.
         """
         for message in inbound:
             port = self._mac_to_port.get(message["dst"])
-            if port is not None:
+            if port is None:
+                continue
+            flow = port._fluid_tx
+            if flow is not None and flow.active:
+                if not flow.accept_arrival(message):
+                    # A frame the collapsed replay cannot express: the
+                    # whole host leaves the fast path, and the message
+                    # takes the exact ingress schedule it always had.
+                    self._evict_fluid()
+                    self.sim.schedule_at(message["arrival"], self._ingress,
+                                         message, port)
+            else:
                 self.sim.schedule_at(message["arrival"], self._ingress,
                                      message, port)
         self.sim.run(until=window_end)
+        if self.sim_mode == "fluid":
+            self.bed.settle_fluid()
+            self._flush_staged()
         outbound = self._outbound
         self._outbound = []
-        return outbound, self.sim.peek()
+        return outbound, self.peek()
+
+    def _flush_staged(self) -> None:
+        """Assign sequence numbers to collapsed egress.
+
+        Staged records are seq-less; sorting by delivery time and
+        numbering in that order reproduces the exact run's host-global
+        egress sequence (uplink deliveries execute in time order;
+        cross-port ties are measure-zero).
+        """
+        staged = self._staged
+        if not staged:
+            return
+        staged.sort(key=lambda record: record["t"])
+        seq = self._egress_seq
+        outbound = self._outbound
+        for record in staged:
+            record["seq"] = seq
+            seq += 1
+            outbound.append(record)
+        self._egress_seq = seq
+        self._staged = []
+
+    def _evict_fluid(self) -> None:
+        """Take every collapsed flow exact, together, for good.
+
+        The egress sequence column is host-global, so the flows must
+        leave as a unit: replay everyone to the present, flush the
+        staged records (their seqs predate anything the exact engine
+        will now emit), then materialize rings and re-arm real timers.
+        """
+        flows = [flow for flow in self.bed.fluid_flows if flow.active]
+        now = self.sim.now
+        for flow in flows:
+            flow.active = False
+        for flow in flows:
+            flow._advance(now, inclusive=False)
+        self._flush_staged()
+        for flow in flows:
+            flow._finish_decollapse()
+            self.bed.record_fluid_rejection("host_evicted")
+        for flow in self.bed.fluid_flows:
+            flow.detach()
 
     def _egress(self, packet) -> None:
         """Uplink TX sink: serialize the frame for the fabric.
@@ -303,6 +423,10 @@ class Host:
     # measurement
     # ------------------------------------------------------------------
     def start_measurement(self) -> None:
+        # Collapsed flows settled at the last window end (advance is
+        # inclusive); this is the idempotent backstop that keeps the
+        # measurement boundary a settle point.
+        self.bed.settle_fluid()
         self.bed.platform.start_measurement()
         for guest in self.guests:
             guest.app.reset()
@@ -312,6 +436,7 @@ class Host:
     def collect(self) -> dict:
         """End the window and report this host's share of the result —
         plain sums and counts, so the coordinator can aggregate exactly."""
+        self.bed.settle_fluid()
         elapsed = self.bed.platform.end_measurement()
         auditor = getattr(self.bed, "auditor", None)
         if auditor is not None:
@@ -336,7 +461,7 @@ class Host:
                           for app in apps)
         latency_p99 = max((app.latency.percentile(99) for app in apps
                            if app.latency.count), default=0.0)
-        return {
+        data = {
             "name": self.spec.name,
             "vm_count": len(self.guests),
             "elapsed": elapsed,
@@ -355,3 +480,8 @@ class Host:
             "uplink_tx_frames": self.uplink_tx_frames,
             "events_executed": self.sim.events_executed,
         }
+        if self.sim_mode == "fluid":
+            data["events_collapsed"] = self.sim.collapsed_events
+            data["fluid_flows"] = len(self.bed.fluid_flows)
+            data["fluid_rejections"] = dict(self.bed.fluid_rejections)
+        return data

@@ -131,9 +131,16 @@ class Testbed:
         #: Collapsed-window flows (see :mod:`repro.sim.fluid`); only
         #: populated under ``sim_mode="fluid"``.
         self.fluid_flows: List = []
-        #: Client streams attached per port (id(port) -> count): the
-        #: fluid fast path requires sole ownership of a port's wire.
+        #: Client streams attached per port (id(port) -> count): a
+        #: port's second and later streams join a merged replay group.
         self._port_streams: Dict[int, int] = {}
+        #: id(port) -> FluidPortGroup for ports carrying more than one
+        #: collapsed stream (see :class:`repro.sim.fluid.FluidPortGroup`).
+        self._fluid_groups: Dict[int, object] = {}
+        #: Gate name -> how many flows that ``try_attach`` gate refused
+        #: (the ``fluid.rejected.<gate>`` diagnostic; empty in exact
+        #: mode and when everything collapsed).
+        self.fluid_rejections: Dict[str, int] = {}
         self.streams = RandomStreams(self.config.seed)
         #: Run-scoped packet allocator: per-run deterministic seqs, and
         #: the SR-IOV RX path recycles consumed packets through it.
@@ -344,27 +351,71 @@ class Testbed:
         shared = self._port_streams.get(id(guest.port), 0)
         self._port_streams[id(guest.port)] = shared + 1
         if self.config.sim_mode == "fluid":
-            self._try_fluid(guest, stream, port_shared=shared > 0)
+            self._try_fluid(guest, stream, prior_streams=shared)
         return stream
 
+    def record_fluid_rejection(self, gate: str) -> None:
+        """Count a refused ``try_attach`` gate (satellite diagnostic:
+        surfaced in ``repro sriov --sim-mode=fluid`` output and as the
+        ``fluid.rejected.<gate>`` metric when telemetry is on)."""
+        self.fluid_rejections[gate] = self.fluid_rejections.get(gate, 0) + 1
+        self.platform.metrics.scope("fluid").counter(
+            f"rejected.{gate}").value += 1
+
     def _try_fluid(self, guest: SriovGuest, stream: NetperfStream,
-                   port_shared: bool) -> None:
+                   prior_streams: int) -> None:
         """Attach the collapsed-window fast path where its exactness
-        contract holds (see :class:`repro.sim.fluid.FluidFlow`)."""
-        from repro.sim.fluid import FluidFlow
-        if port_shared:
-            # A second stream on the port: its ticks would interleave
-            # with any collapsed flow's lazy bookings (shared DMA pipe,
-            # shared classify cache), so everyone on this port is exact.
-            for flow in self.fluid_flows:
-                if flow.port is guest.port:
-                    flow.decollapse()
-                    flow.stream._fluid = None
-                    flow.driver._fluid = None
+        contract holds (see :class:`repro.sim.fluid.FluidFlow`).
+
+        Streams sharing a port collapse together through a
+        :class:`repro.sim.fluid.FluidPortGroup` (merged replay over
+        the shared DMA pipe); if any stream on the port cannot attach,
+        the whole port runs exact — collapsed and exact streams cannot
+        interleave their bookings.
+        """
+        from repro.sim.fluid import FluidFlow, FluidPortGroup
+        port = guest.port
+        group = self._fluid_groups.get(id(port))
+        if group is not None and group.dead:
+            self.record_fluid_rejection("port_evicted")
             return
+        if prior_streams > 0:
+            collapsed_peers = sum(
+                1 for f in self.fluid_flows
+                if f.port is port and f.stream._fluid is f)
+            if collapsed_peers != prior_streams:
+                # An exact stream already owns part of this port: its
+                # real events would interleave with collapsed bookings.
+                self._evict_port_fluid(port)
+                self.record_fluid_rejection("port_exact_peer")
+                return
         flow = FluidFlow(self, guest, stream)
-        if flow.try_attach():
-            self.fluid_flows.append(flow)
+        if not flow.try_attach():
+            if prior_streams > 0:
+                self._evict_port_fluid(port)
+            return
+        if prior_streams > 0:
+            if group is None:
+                group = FluidPortGroup(self, port)
+                self._fluid_groups[id(port)] = group
+                for other in self.fluid_flows:
+                    if other.port is port and other.group is None:
+                        group.add(other)
+            group.add(flow)
+        self.fluid_flows.append(flow)
+
+    def _evict_port_fluid(self, port) -> None:
+        """Force every collapsed stream on ``port`` exact (a stream
+        that cannot collapse arrived)."""
+        from repro.sim.fluid import FluidPortGroup
+        group = self._fluid_groups.get(id(port))
+        if group is None:
+            group = FluidPortGroup(self, port)
+            self._fluid_groups[id(port)] = group
+            for other in self.fluid_flows:
+                if other.port is port and other.group is None:
+                    group.add(other)
+        group.evict()
 
     def settle_fluid(self) -> None:
         """Apply every collapsed tick up to (and including) the current

@@ -135,6 +135,11 @@ class _NetFunction:
         self.itr_floor_interval: float = 0.0
         self.mac: Optional[MacAddress] = None
         self.enabled = False
+        #: Installed by the fluid datapath (repro.sim.fluid): called
+        #: after every ITR register rewrite so a collapsed flow can
+        #: revalidate its replay-order window at the instant of the
+        #: change (ITR writes happen at sample ticks — settle points).
+        self.fluid_listener = None
         # Statistics.  Conservation law (audited): every offered packet
         # is accounted exactly once — rx_offered == rx_packets +
         # rx_no_desc_drops + rx_dma_faults + rx_corrupt_drops.
@@ -405,6 +410,11 @@ class Igb82576Port:
         self.wire_rx_packets = 0
         self.wire_tx_packets = 0
         self.internal_loopback_packets = 0
+        #: Installed by the cluster fluid datapath: the collapsed
+        #: transmit flow staging this port's uplink egress.  Inbound
+        #: wire traffic must settle it first — its lazy DMA bookings
+        #: and the ingress booking share the pipe's busy horizon.
+        self._fluid_tx = None
         #: Fault injection: the next N RX DMA writes on this port land
         #: corrupted (bad checksum in the descriptor status); counted
         #: per port and dropped by the receiving function.
@@ -457,6 +467,9 @@ class Igb82576Port:
         switch's programming generation — the wire-rate fast path of
         this model, like the real switch's CAM.
         """
+        fluid_tx = self._fluid_tx
+        if fluid_tx is not None:
+            fluid_tx.settle_strict()
         self.wire_rx_packets += len(burst)
         if self._classify_generation != self.switch.generation:
             self._classify_cache.clear()

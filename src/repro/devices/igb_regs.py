@@ -150,6 +150,12 @@ def build_vf_registers(vf) -> RegisterFile:
                 # §4.3 enforcement: the PF may impose an interrupt-
                 # throttling floor; guest requests below it are clamped.
                 interval = max(interval, vf.itr_floor_interval)
+                listener = vf.fluid_listener
+                if listener is not None:
+                    # Before the write lands: the open collapsed window
+                    # must replay under the interval it ran with in the
+                    # exact engine, not the one being programmed.
+                    listener(interval)
                 vf.throttle.set_interval(interval)
         return hook
 

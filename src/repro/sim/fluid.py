@@ -73,9 +73,9 @@ resumes exact per-event simulation mid-run with no observable seam.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
-from repro.drivers.coalescing import FixedItr
 from repro.obs.registry import NULL_REGISTRY
 from repro.sim.trace import NULL_TRACER
 from repro.vmm.vmexit import VmExitKind
@@ -97,6 +97,11 @@ _CAT_APIC_EOI = "exit." + VmExitKind.APIC_ACCESS_EOI.value
 class FluidFlow:
     """One collapsed client->VF stream on an otherwise idle port."""
 
+    #: Minimum throttle-window length, in burst intervals, for the
+    #: single-flow replay-order proof (subclasses with a total virtual
+    #: event order — creation-stamped — may relax this to 0).
+    _min_window = MIN_TICKS_PER_WINDOW
+
     def __init__(self, bed, guest, stream):
         self.bed = bed
         self.sim = bed.sim
@@ -114,6 +119,16 @@ class FluidFlow:
         #: The virtual image of ``InterruptThrottle._pending``: the
         #: absolute due time of the scheduled fire, or None.
         self._fire_at: Optional[float] = None
+        #: Creation stamps for the merged (multi-stream) replay: the
+        #: simulated time at which the *currently armed* tick/fire
+        #: handle was scheduled in the exact run.  Together with the
+        #: group's flow order and the fire-before-tick rank they
+        #: reconstruct the engine's sequence-number tie-break.
+        self._tick_created = 0.0
+        self._fire_created = 0.0
+        #: The per-port :class:`FluidPortGroup` when other collapsed
+        #: streams share this port (None for a solo flow).
+        self.group: Optional["FluidPortGroup"] = None
         #: Frozen ring capacity (device-owned descriptors after refill).
         self._capacity = 0
         #: Ring-accepted packets not yet drained by an interrupt.
@@ -130,6 +145,22 @@ class FluidFlow:
         self._vlapic = None
         self._remapper = None
         self._eoi_cost = 0.0
+        #: What the replayed ISR hands the app: size/protocol of the
+        #: drained packets.  The local stream's for single-host flows;
+        #: the cluster flow resets these per inbound shape.
+        self._deliver_mtu = stream.mtu
+        self._deliver_protocol = stream.protocol
+        #: The ``try_attach`` gate that refused collapse (diagnostics;
+        #: None after a successful attach).
+        self.reject_gate: Optional[str] = None
+
+    def _reject(self, gate: str) -> bool:
+        """Record which eligibility gate refused this flow."""
+        self.reject_gate = gate
+        bed = self.bed
+        if bed is not None:
+            bed.record_fluid_rejection(gate)
+        return False
 
     # ------------------------------------------------------------------
     # eligibility
@@ -138,7 +169,8 @@ class FluidFlow:
         """Install the flow's hooks if the exactness contract can hold.
 
         Returns False (leaving the stream fully exact) otherwise.  All
-        checks are side-effect free.
+        checks are side-effect free; a refusal names the failing gate in
+        :attr:`reject_gate` and the testbed's rejection counters.
         """
         stream = self.stream
         driver = self.driver
@@ -146,63 +178,66 @@ class FluidFlow:
         port = self.port
         platform = driver.platform
         domain = driver.domain
-        if not isinstance(driver.policy, FixedItr):
-            return False
-        if stream.jitter != 0 or stream.pool is None:
-            return False
+        if stream.jitter != 0:
+            return self._reject("jitter")
+        if stream.pool is None:
+            return self._reject("pool")
         # Speed heuristics: every tick should carry packets, and a
         # window should span several ticks (see MIN_TICKS_PER_WINDOW).
         if stream.pps * stream.burst_interval < 1.0:
-            return False
-        if vf.throttle.interval < MIN_TICKS_PER_WINDOW * stream.burst_interval:
-            return False
+            return self._reject("sparse_ticks")
+        if vf.throttle.interval < self._min_window * stream.burst_interval:
+            return self._reject("itr_window")
         if not (vf.enabled and driver.running):
-            return False
+            return self._reject("not_running")
         if port.rx_corrupt_budget != 0:
-            return False
-        # Observers would see stale state between settle points; any
-        # run that traces or exports metrics stays exact.
-        if platform.trace is not NULL_TRACER:
-            return False
-        if platform.metrics is not NULL_REGISTRY:
-            return False
-        if port.datapath.trace is not NULL_TRACER:
-            return False
+            return self._reject("rx_corruption")
+        # Observers that would see stale state between settle points:
+        # any tracer listening on the replayed categories keeps the run
+        # exact (per-event trace records carry timestamps, which a
+        # batched flush cannot reproduce).  Metrics registries are fine
+        # — the replayed instruments are plain accumulators, flushed
+        # batched at settle points.
+        trace = platform.trace
+        if trace.is_enabled("irq") or trace.is_enabled("apic"):
+            return self._reject("tracer")
+        if port.datapath.trace.is_enabled("dma"):
+            return self._reject("tracer")
         # A quiesced throttle is the state the virtual image assumes.
         if vf.throttle._pending is not None:
-            return False
+            return self._reject("throttle_pending")
         # The replayed ISR is the 2.6.28 shape: no per-interrupt MSI-X
         # mask/unmask emulation (§5.1's 2.6.18 guests stay exact).
         if (domain.is_hvm and not platform.is_native
                 and domain.kernel.masks_msi_per_interrupt):
-            return False
+            return self._reject("msi_mask_emulation")
         # The interrupt plumbing the fire replay reproduces must be in
         # its steady configured state: vector bound, MSI-X entry
         # programmed and unmasked.
         vector = driver.rx_vector
         if vector is None or platform.vectors.handler(vector) is None:
-            return False
+            return self._reject("vector_unbound")
         from repro.devices.igb82576 import VECTOR_RXTX
         entry = vf.msix.table[VECTOR_RXTX]
         if entry.masked or entry.message is None:
-            return False
+            return self._reject("msix_entry")
         if entry.message.vector != vector:
-            return False
+            return self._reject("msix_entry")
         if platform.is_native:
             self._variant = "native"
         else:
             if platform.vectors.owner(vector) != domain.id:
-                return False
+                return self._reject("vector_owner")
             if domain.id not in platform.domains:
-                return False
+                return self._reject("domain_gone")
             # The remap the exact chain performs must succeed (a
             # missing IRTE would *block* the interrupt — not eligible).
             rid = vf.pci.rid
             remapper = platform.intr_remapper
             if rid is None or not remapper.entries_for(rid):
-                return False
+                return self._reject("irte_missing")
             if remapper._entries.get((rid, vector)) is None:
-                return False
+                return self._reject("irte_missing")
             self._remapper = remapper
             if domain.is_hvm:
                 self._variant = "hvm"
@@ -218,20 +253,34 @@ class FluidFlow:
             elif domain.is_pvm:
                 self._variant = "pvm"
             else:
-                return False
+                return self._reject("domain_kind")
         if not self._integral_costs():
-            return False
-        # The destination must resolve to this stream's own VF — no
-        # flooding, no uplink, no PF — or the wire-side replay is wrong.
-        if port.switch.resolve_unicast(stream.dst,
-                                       stream.vlan) != vf.function_index:
-            return False
+            return self._reject("nonintegral_costs")
+        route_gate = self._route_gate()
+        if route_gate is not None:
+            return self._reject(route_gate)
         if not self._ring_clean_and_mapped():
-            return False
+            return self._reject("ring_dirty")
         self._generation = port.switch.generation
+        self.reject_gate = None
         stream._fluid = self
         driver._fluid = self
+        # Adaptive policies rewrite VTEITR at sample ticks (which are
+        # settle points); the register hook tells us so a window that
+        # shrank below the replay-order proof leaves the fast path at
+        # the instant of the write.
+        vf.fluid_listener = self.interval_reprogrammed
         return True
+
+    def _route_gate(self) -> Optional[str]:
+        """Where must the stream's packets land for the replay to be
+        right?  For the single-host RX flow: on this stream's own VF —
+        no flooding, no uplink, no PF.  Subclasses with a different
+        wire-side replay (the cluster TX flow) override this."""
+        if self.port.switch.resolve_unicast(
+                self.stream.dst, self.stream.vlan) != self.vf.function_index:
+            return "switch_dst"
+        return None
 
     def _integral_costs(self) -> bool:
         """Every replayed cycle charge must be an integer-valued float:
@@ -309,6 +358,15 @@ class FluidFlow:
             return True
         if not self._still_valid() or not self._ring_clean_and_mapped():
             return False
+        # The ITR may have been reprogrammed (AIC) since attach; a
+        # window too short for the replay-order proof stays exact.
+        if (self.vf.throttle.interval
+                < self._min_window * self.stream.burst_interval):
+            return False
+        group = self.group
+        if group is not None and not group.admits(self):
+            group.evict()
+            return False
         ring = self.vf.rx_ring
         self.active = True
         self._carry = self.stream._carry
@@ -318,6 +376,9 @@ class FluidFlow:
         self._fire_at = None
         self._capacity = (ring.tail - ring.head) % ring.size
         self._t_next = self.sim.now + self.stream.burst_interval
+        self._tick_created = self.sim.now
+        if group is not None:
+            group.joined(self)
         return True
 
     # ------------------------------------------------------------------
@@ -331,6 +392,8 @@ class FluidFlow:
         self._carry = quota - count
         tick_time = self._t_next
         self._t_next = tick_time + stream.burst_interval
+        # The reschedule: the next tick's handle is created *now*.
+        self._tick_created = tick_time
         return count, tick_time
 
     def _apply_tick(self, count: int, tick_time: float) -> int:
@@ -367,8 +430,14 @@ class FluidFlow:
 
         Dispatches to the batched loop when its extra preconditions
         hold (the overwhelmingly common case), else to the generic
-        statement-for-statement replay.
+        statement-for-statement replay.  When other collapsed streams
+        share the port, the whole group advances together in merged
+        order (shared DMA-pipe bookings must interleave exactly).
         """
+        group = self.group
+        if group is not None and group.needs_merge():
+            group.advance(limit, inclusive)
+            return
         if self._variant == "hvm":
             # The batched loop assumes each interrupt's LAPIC cycle is
             # closed (fire -> ack -> EOI returns the IRR/ISR to empty).
@@ -439,6 +508,8 @@ class FluidFlow:
         t_next = self._t_next
         fire_at = self._fire_at
         has_fire = fire_at is not None
+        tick_created = self._tick_created
+        fire_created = self._fire_created
         interval = throttle.interval
         last_fired = throttle._last_fired
         capacity = self._capacity
@@ -454,6 +525,8 @@ class FluidFlow:
             vlapic = self._vlapic
             vl_carry = vlapic._carry
             oap = costs.other_apic_accesses_per_interrupt
+        metrics_live = driver.platform.metrics is not NULL_REGISTRY
+        batch_sizes: List[int] = []
 
         # --- batched integer accumulators ------------------------------
         collapsed = 0
@@ -485,6 +558,7 @@ class FluidFlow:
                 carry = quota - count
                 t = t_next
                 t_next = t + bi
+                tick_created = t
                 collapsed += 1
                 if count > 0:
                     tb = count * mtu
@@ -509,6 +583,7 @@ class FluidFlow:
                             else:
                                 fire_at = due
                                 has_fire = True
+                                fire_created = t
             else:
                 break
             if run_fire:
@@ -524,6 +599,8 @@ class FluidFlow:
                 pending = []
                 backlog = 0
                 drained += count
+                if metrics_live:
+                    batch_sizes.append(count)
                 full = count // budget
                 polls += full + 1
                 exhausted += full
@@ -543,6 +620,8 @@ class FluidFlow:
         self._fire_at = fire_at if has_fire else None
         self._backlog = backlog
         self._pending = pending
+        self._tick_created = tick_created
+        self._fire_created = fire_created
         self.sim.collapsed_events += collapsed
         if n_ticks:
             stream.sent.value += total_count
@@ -571,6 +650,15 @@ class FluidFlow:
             napi.exhausted_polls += exhausted
             driver.interrupts_handled += n_fires
             driver.rx_meter._count += drained
+            if metrics_live:
+                # Registry instruments are plain accumulators (no
+                # timestamps), so the batched flush lands identically
+                # to the per-interrupt increments of the exact ISR.
+                driver._m_interrupts.value += n_fires
+                driver._m_rx_pkts.value += drained
+                m_batch = driver._m_batch
+                for size in batch_sizes:
+                    m_batch.add(size)
             guest_cycles = (n_fires * intr_cycles
                             + pkt_cycles * app_accepted)
             core = domain.machine.core(domain.home_core())
@@ -629,6 +717,7 @@ class FluidFlow:
             self._replay_fire(now)
         else:
             self._fire_at = due
+            self._fire_created = now
 
     def _replay_fire(self, now: float) -> None:
         """One interrupt, start to finish, as flat arithmetic.
@@ -667,6 +756,7 @@ class FluidFlow:
                 domain.charge_hypervisor(notify)
         # --- VfDriver._isr ---
         driver.interrupts_handled += 1
+        driver._m_interrupts.value += 1
         domain.charge_guest(costs.guest_cycles_per_interrupt)
         segments = self._pending
         count = self._backlog
@@ -684,8 +774,11 @@ class FluidFlow:
         napi.exhausted_polls += full
         if count:
             driver.rx_meter.add(count)
+            driver._m_rx_pkts.value += count
+            driver._m_batch.add(count)
             accepted = driver.app.deliver_fluid(
-                segments, count, now, self.stream.mtu, self.stream.protocol)
+                segments, count, now, self._deliver_mtu,
+                self._deliver_protocol)
             cycles = costs.guest_cycles_per_packet
             if domain.is_pvm:
                 cycles += costs.pvm_syscall_surcharge_per_packet
@@ -722,6 +815,25 @@ class FluidFlow:
             return
         self._advance(self.sim.now, inclusive=False)
 
+    def interval_reprogrammed(self, interval: float) -> None:
+        """A VTEITR write is about to land (the register hook calls
+        this *before* ``set_interval``).  The open window replays
+        first, under the outgoing interval — the one its virtual fires
+        ran with in the exact engine; adaptive sample ticks already
+        settled strictly, so for them this is a no-op.  Future replayed
+        ``request``\\ s read the throttle live and pick up the new value
+        automatically — but a window shorter than the replay-order
+        proof allows (see ``MIN_TICKS_PER_WINDOW``) must leave the fast
+        path *now*, while the exact and collapsed timelines still
+        agree."""
+        if not self.active:
+            return
+        self.settle_strict()
+        if not self.active:
+            return
+        if interval < self._min_window * self.stream.burst_interval:
+            self.decollapse()
+
     # ------------------------------------------------------------------
     # leaving the fast path
     # ------------------------------------------------------------------
@@ -736,9 +848,21 @@ class FluidFlow:
         """
         if not self.active:
             return
+        group = self.group
+        if group is not None and group.needs_merge():
+            # Any member leaving the fast path takes the whole port
+            # with it: the remaining members' lazy DMA bookings would
+            # interleave with this stream's now-exact events.
+            group.decollapse_all()
+            return
         self.active = False
+        self._advance(self.sim.now, inclusive=False)
+        self._finish_decollapse()
+
+    def _finish_decollapse(self) -> None:
+        """Materialize state and re-arm the real timers (the replay up
+        to the present must already have run)."""
         sim = self.sim
-        self._advance(sim.now, inclusive=False)
         self._materialize()
         stream = self.stream
         stream._carry = self._carry
@@ -780,3 +904,393 @@ class FluidFlow:
         ring.completed -= total
         self._pending.clear()
         self._backlog = 0
+
+
+class FluidPortGroup:
+    """Merged replay for several collapsed streams sharing one port.
+
+    Per-flow state (rings, meters, apps, vLAPICs, ledger cells) is
+    disjoint, but the port's DMA pipe is not: its busy horizon evolves
+    per booking, so the flows' virtual events must replay in the exact
+    engine's global order, not flow-by-flow.  The group merges its
+    members' virtual clocks under the key ``(time, creation stamp,
+    begin index, fire-before-tick rank)``:
+
+    * handles created at different simulated times compare by creation
+      stamp (the engine's seq counter is monotone across event
+      execution, and events execute in time order);
+    * at equal stamps, the *creating* events themselves ran in begin
+      order (inductively — see :meth:`admits`), so begin index is the
+      tie-break;
+    * within one tick event the sink runs before the reschedule
+      (``NetperfStream._tick``), so a fire armed there predates the
+      next tick handle — the final rank.
+
+    The induction needs the members phase-locked (equal burst
+    intervals, tick clocks armed together at a common instant), which
+    :meth:`admits` enforces at every ``begin``.
+    """
+
+    def __init__(self, bed, port):
+        self.bed = bed
+        self.port = port
+        #: Attach-ordered members (the eviction set).
+        self.members: List[FluidFlow] = []
+        #: Begin-ordered active members; list index reconstructs the
+        #: exact engine's handle-creation order.
+        self._order: List[FluidFlow] = []
+        #: Once evicted, the port's streams run exact; later streams
+        #: must not collapse beside them.
+        self.dead = False
+
+    def add(self, flow: FluidFlow) -> None:
+        self.members.append(flow)
+        flow.group = self
+        if flow.active:
+            # Already begun before the group existed (the port's second
+            # stream arrived mid-run): it must be visible to admits()
+            # and to the merged replay from this point on.
+            self.joined(flow)
+
+    def joined(self, flow: FluidFlow) -> None:
+        if flow not in self._order:
+            self._order.append(flow)
+
+    def needs_merge(self) -> bool:
+        """More than one active member: replay must interleave."""
+        seen = 0
+        for flow in self._order:
+            if flow.active:
+                seen += 1
+                if seen > 1:
+                    return True
+        return False
+
+    def admits(self, flow: FluidFlow) -> bool:
+        """May ``flow`` begin collapsing alongside the active members?
+
+        Sound when the group is phase-locked: identical burst
+        intervals, every active tick clock armed at this same instant,
+        no fire in flight — exactly the state at a common setup-time
+        start.  A stream joining mid-window would need the engine's
+        live sequence numbers to order against, so the whole port
+        falls back to exact instead (:meth:`evict`).
+        """
+        now = flow.sim.now
+        bi = flow.stream.burst_interval
+        for member in self._order:
+            if member is flow or not member.active:
+                continue
+            if (member.stream.burst_interval != bi
+                    or member._t_next != now + bi
+                    or member._tick_created != now
+                    or member._fire_at is not None):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # the merged virtual event loop
+    # ------------------------------------------------------------------
+    def advance(self, limit: float, inclusive: bool) -> None:
+        actives = [flow for flow in self._order if flow.active]
+        for flow in actives:
+            if not flow._still_valid():
+                self.decollapse_all()
+                return
+        self._advance_members(actives, limit, inclusive)
+
+    def _advance_members(self, actives: List[FluidFlow], limit: float,
+                         inclusive: bool) -> None:
+        if not actives:
+            return
+        sim = actives[0].sim
+        while True:
+            best = None
+            best_key = None
+            for idx, flow in enumerate(actives):
+                fire_at = flow._fire_at
+                if fire_at is not None:
+                    key = (fire_at, flow._fire_created, idx, 0)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = flow
+                key = (flow._t_next, flow._tick_created, idx, 1)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = flow
+            t = best_key[0]
+            if not (t < limit or (inclusive and t == limit)):
+                return
+            if best_key[3] == 0:
+                best._fire_at = None
+                best._replay_fire(t)
+            else:
+                count, tick_time = best._next_tick()
+                if best._apply_tick(count, tick_time) > 0:
+                    best._replay_request(tick_time)
+            sim.collapsed_events += 1
+
+    # ------------------------------------------------------------------
+    # leaving the fast path
+    # ------------------------------------------------------------------
+    def decollapse_all(self) -> None:
+        """Take every active member exact together.
+
+        One member's exact events would interleave with the others'
+        lazy DMA bookings, so a port group only ever leaves the fast
+        path whole: replay all members (merged) up to now, then
+        materialize and re-arm each.
+        """
+        actives = [flow for flow in self._order if flow.active]
+        if not actives:
+            return
+        sim = actives[0].sim
+        for flow in actives:
+            flow.active = False
+        self._advance_members(actives, sim.now, inclusive=False)
+        for flow in actives:
+            flow._finish_decollapse()
+        self._order = [flow for flow in self._order if flow.active]
+
+    def evict(self) -> None:
+        """Decollapse everything and unhook every member for good —
+        a stream the group cannot admit arrived, so the port's streams
+        (current and future) all run exact."""
+        self.dead = True
+        self.decollapse_all()
+        bed = self.bed
+        for flow in self.members:
+            flow.group = None
+            if flow.stream._fluid is flow:
+                flow.stream._fluid = None
+            if getattr(flow.driver, "_fluid", None) is flow:
+                flow.driver._fluid = None
+            if flow.vf.fluid_listener == flow.interval_reprogrammed:
+                flow.vf.fluid_listener = None
+            if bed is not None:
+                bed.record_fluid_rejection("port_evicted")
+        self.members.clear()
+        self._order.clear()
+
+
+class FluidLoopbackFlow(FluidFlow):
+    """A collapsed intra-port stream: guest->VF (fig. 13) or dom0->VF
+    through the PF (fig. 10).
+
+    The exact chain has three interleaved event kinds on one flow: the
+    sender's burst ticks (``NetperfStream._tick`` -> ``transmit`` ->
+    ``hw_transmit`` -> ``route_transmit``, booking two PCIe crossings
+    per packet), the per-packet internal-loopback DMA completions
+    (``_deliver_internal`` -> ``device_receive`` on the receiving VF),
+    and the receiver's throttle fires.  All three become virtual
+    events ordered by ``(time, flow-local virtual seq)``: the virtual
+    seq counter is bumped at every virtual *schedule* in the same
+    order the exact engine hands out handle sequence numbers (the
+    flow's events touch no other event sources — the port carries this
+    one stream), so the merge is a total order and the
+    ``MIN_TICKS_PER_WINDOW`` fire-before-tick argument is unnecessary:
+    ``_min_window`` relaxes to 0, which also lets the receiver's
+    adaptive-ITR policy reprogram freely between samples.
+    """
+
+    _min_window = 0.0
+
+    def __init__(self, bed, receiver, stream, sender_domain, tx_function,
+                 tx_driver):
+        super().__init__(bed, receiver, stream)
+        self.sender_domain = sender_domain
+        self.tx = tx_function
+        self.tx_driver = tx_driver
+        #: In-flight loopback DMA completions: (finish, virtual seq,
+        #: tick time), appended in creation order — which is finish
+        #: order, since the pipe serializes.
+        self._completions: Deque[Tuple[float, int, float]] = deque()
+        #: The flow-local stand-in for engine handle seq numbers.
+        self._cseq = 1
+        self._tick_cseq = 0
+        self._fire_cseq = 0
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+    def try_attach(self) -> bool:
+        tx = self.tx
+        stream = self.stream
+        # The transmit-side gates (all side-effect free): the replay
+        # assumes every packet passes anti-spoof and the rate limiter
+        # and reaches route_transmit.
+        if not self.tx_driver.running:
+            return self._reject("tx_not_running")
+        if not tx.enabled:
+            return self._reject("tx_disabled")
+        assigned = self.port.switch._function_macs.get(tx.function_index)
+        if assigned is not None and assigned != stream.src:
+            return self._reject("tx_spoof")
+        if tx.tx_rate_limit_bps > 0:
+            return self._reject("tx_rate_limit")
+        if tx is self.vf:
+            return self._reject("tx_is_rx")
+        if not float(
+                self.tx_driver.costs.guest_cycles_per_packet).is_integer():
+            return self._reject("nonintegral_costs")
+        if not super().try_attach():
+            return False
+        if hasattr(self.tx_driver, "_fluid"):
+            self.tx_driver._fluid = self
+        return True
+
+    def _still_valid(self) -> bool:
+        tx = self.tx
+        return (super()._still_valid()
+                and tx.enabled
+                and self.tx_driver.running
+                and tx.tx_rate_limit_bps <= 0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> bool:
+        if self.active:
+            return True
+        if not super().begin():
+            return False
+        self._completions.clear()
+        self._cseq = 1
+        self._tick_cseq = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # the three-way merged virtual event loop
+    # ------------------------------------------------------------------
+    def _advance(self, limit: float, inclusive: bool) -> None:
+        sim = self.sim
+        completions = self._completions
+        while True:
+            t = self._t_next
+            c = self._tick_cseq
+            kind = 0
+            if completions:
+                head = completions[0]
+                if (head[0], head[1]) < (t, c):
+                    t = head[0]
+                    c = head[1]
+                    kind = 1
+            fire_at = self._fire_at
+            if fire_at is not None and (fire_at, self._fire_cseq) < (t, c):
+                t = fire_at
+                kind = 2
+            if not (t < limit or (inclusive and t == limit)):
+                return
+            if kind == 0:
+                self._replay_tick()
+            elif kind == 1:
+                fin, _c, tick_time = completions.popleft()
+                self._replay_completion(fin, tick_time)
+            else:
+                self._fire_at = None
+                self._replay_fire(t)
+            sim.collapsed_events += 1
+
+    def _replay_tick(self) -> None:
+        """One sender tick: ``NetperfStream._tick`` -> ``transmit`` ->
+        ``hw_transmit`` -> ``route_transmit`` per packet, with the two
+        PCIe crossings booked against the live pipe and each delivery
+        queued as a virtual completion."""
+        from repro.devices.igb82576 import TX_BACKLOG_LIMIT
+        count, tick_time = self._next_tick()
+        cseq = self._cseq
+        if count > 0:
+            stream = self.stream
+            mtu = stream.mtu
+            stream.sent.value += count
+            stream.sent_bytes.value += count * mtu
+            tx_driver = self.tx_driver
+            if tx_driver.running:
+                # The driver's transmit charges the whole burst —
+                # packets dropped further down included.
+                self.sender_domain.charge_guest(
+                    tx_driver.costs.guest_cycles_per_packet * count)
+                tx = self.tx
+                if tx.enabled:
+                    port = self.port
+                    datapath = port.datapath
+                    busy = datapath._busy_until
+                    ser = (2 * mtu) * 8 / datapath.effective_bps
+                    completions = self._completions
+                    delivered = 0
+                    dropped = 0
+                    for _ in range(count):
+                        # route_transmit: the FIFO-backlog check comes
+                        # before classification and its counter.
+                        if busy - tick_time > TX_BACKLOG_LIMIT:
+                            dropped += 1
+                            continue
+                        port.internal_loopback_packets += 1
+                        start = busy if busy > tick_time else tick_time
+                        fin = start + ser
+                        busy = fin
+                        completions.append((fin, cseq, tick_time))
+                        cseq += 1
+                        delivered += 1
+                    datapath._busy_until = busy
+                    if delivered:
+                        datapath.transferred_bytes.value += delivered * 2 * mtu
+                        datapath.transfers.value += delivered
+                        tx.tx_packets += delivered
+                        tx.tx_bytes += delivered * mtu
+                    if dropped:
+                        tx.tx_backlog_drops += dropped
+        # The reschedule runs after the sink, so the next tick handle's
+        # virtual seq postdates this tick's completions.
+        self._tick_cseq = cseq
+        self._cseq = cseq + 1
+
+    def _replay_completion(self, fin: float, tick_time: float) -> None:
+        """One loopback delivery: ``device_receive([packet])`` against
+        the frozen ring image, then the throttle request."""
+        vf = self.vf
+        if self._backlog >= self._capacity:
+            # Ring full: offered and dropped, no interrupt requested.
+            vf.fluid_receive(1, 0, 0)
+            return
+        vf.fluid_receive(1, 1, self.stream.mtu)
+        self._backlog += 1
+        pending = self._pending
+        if pending and pending[-1][2] == tick_time:
+            count, accepted, t = pending[-1]
+            pending[-1] = (count + 1, accepted + 1, t)
+        else:
+            pending.append((1, 1, tick_time))
+        if self._fire_at is None:
+            throttle = vf.throttle
+            due = throttle._last_fired + throttle.interval
+            if fin >= due:
+                self._replay_fire(fin)
+            else:
+                self._fire_at = due
+                self._fire_cseq = self._cseq
+                self._cseq += 1
+
+    # ------------------------------------------------------------------
+    # leaving the fast path
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        super()._materialize()
+        completions = self._completions
+        if not completions:
+            return
+        stream = self.stream
+        pool = stream.pool
+        port = self.port
+        sim = self.sim
+        vf = self.vf
+        # In-flight crossings become real scheduled deliveries, in
+        # creation (= finish) order so their new handle seqs preserve
+        # the exact run's relative order.
+        for fin, _cseq, tick_time in completions:
+            burst = pool.acquire_burst(1, stream.src, stream.dst,
+                                       stream.mtu, stream.vlan,
+                                       stream.protocol, stream.flow_id,
+                                       tick_time)
+            sim.schedule_at(fin, port._deliver_internal(vf, burst[0]))
+        completions.clear()

@@ -1,0 +1,444 @@
+"""The fluid fast path for cluster hosts (fig. 22's scale-out runs).
+
+A cluster host's steady state is the single-host one plus a wire: each
+guest's netperf stream ticks, the VF transmits onto the port's uplink
+:class:`~repro.net.link.Link`, the frame surfaces as an egress record
+for the ToR, and inbound fabric deliveries replay into the port's wire
+receive and the VF's interrupt chain.  Exact simulation spends one
+event per tick, one per in-flight wire frame, one per fabric arrival
+and one per throttle fire; :class:`FluidHostFlow` collapses all four.
+
+The flow unifies the transmit side, the uplink mirror and the receive
+side of one (guest, port) pair — the eligibility gates pin one stream
+and one guest per port, so every virtual event source on the port
+belongs to this flow and the merge is a **total order**, the same
+construction as :class:`~repro.sim.fluid.FluidLoopbackFlow`: each
+virtual *schedule* draws a flow-local virtual sequence number in the
+same order the exact engine hands out handle seqs, and the four clocks
+(tick, staged wire delivery, fabric arrival, pending fire) merge by
+``(time, virtual seq)``.  Fabric arrivals are stamped at injection
+time — the top of :meth:`Host.advance`, in coordinator-sorted order —
+exactly where the exact host schedules its ``_ingress`` handles.
+
+Two cluster-specific pieces:
+
+* **The uplink mirror.**  ``Link.transmit``'s books (``_tx_free_at``,
+  the queue depth, the drop counter) are evolved against the *live*
+  link at tick replay time; the delivery becomes a staged virtual
+  event.  Replaying it bumps the link's delivered counters and appends
+  the egress record — without a sequence number — to the host's
+  staging list.  :meth:`Host.advance` flushes the list sorted by
+  delivery time and assigns sequence numbers then, which reproduces
+  the exact run's egress order (Link deliveries execute in time
+  order; cross-port ties are measure-zero).  Because the sequence
+  column is host-global, collapse is **all-or-nothing per host**: one
+  ineligible stream keeps the whole host exact
+  (:meth:`Host._evict_fluid`).
+
+* **The lockstep contract.**  The barrier's no-time-travel proof needs
+  every future egress time visible in :meth:`Host.peek`, so the peek
+  floor includes each flow's next tick and its earliest staged wire
+  delivery.  Pending *fires* are deliberately invisible: they produce
+  no egress, so fluid windows can span them — fewer, larger windows
+  than the exact run (window count is pure synchronization; results
+  are unaffected).
+
+The exactness contract is the same byte-identical-or-fallback one as
+the single-host flows, with the same measure-zero tie caveats plus
+two cluster-specific ones: equal-time egress records from different
+ports order by staging rather than engine seq, and handles re-created
+at decollapse draw fresh sequence numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.devices.igb82576 import TX_BACKLOG_LIMIT
+from repro.net.packet import Protocol, wire_bytes
+from repro.sim.fluid import FluidFlow
+
+_PROTOCOLS = {p.value: p for p in Protocol}
+
+
+class FluidHostFlow(FluidFlow):
+    """One collapsed (guest, port) pair on a cluster host: TX ticks,
+    uplink wire, fabric arrivals and the RX interrupt chain."""
+
+    #: The total virtual order makes the fire-before-tick window proof
+    #: unnecessary (and lets adaptive ITR reprogram freely).
+    _min_window = 0.0
+
+    def __init__(self, host, guest, stream):
+        super().__init__(host.bed, guest, stream)
+        self.host = host
+        self._link = guest.port.uplink
+        #: Frames serialized onto the uplink but not yet delivered:
+        #: (arrival, virtual seq, tick time, was_queued).  Appended in
+        #: arrival order — the link serializes, so ``_tx_free_at`` is
+        #: monotone — which keeps the deque head the earliest.
+        self._in_flight: Deque[Tuple[float, int, float, bool]] = deque()
+        #: Fabric deliveries accepted for this window, not yet replayed:
+        #: (arrival, virtual seq, message).
+        self._arrivals: Deque[Tuple[float, int, dict]] = deque()
+        #: The flow-local stand-in for engine handle seq numbers.
+        self._cseq = 1
+        self._tick_cseq = 0
+        self._fire_cseq = 0
+        #: The inbound frame shape the replay is specialized to:
+        #: (src, dst, size, vlan, protocol, flow_id), learned from the
+        #: first arrival.  A frame that differs evicts the host.
+        self._rx_shape: Optional[tuple] = None
+        #: Wire-side frame size of the local stream (TX mirror).
+        self._wire_frame = wire_bytes(stream.mtu, stream.vlan)
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+    def try_attach(self) -> bool:
+        vf = self.vf
+        stream = self.stream
+        # Transmit-side gates (all side-effect free): the tick replay
+        # assumes every packet clears anti-spoof and the rate limiter
+        # and reaches the uplink.
+        if self._link is None:
+            return self._reject("no_uplink")
+        assigned = self.port.switch._function_macs.get(vf.function_index)
+        if assigned is not None and assigned != stream.src:
+            return self._reject("tx_spoof")
+        if vf.tx_rate_limit_bps > 0:
+            return self._reject("tx_rate_limit")
+        return super().try_attach()
+
+    def _route_gate(self) -> Optional[str]:
+        # The stream must leave on the wire: a locally-switched dst
+        # would take the internal-loopback path this replay does not
+        # model (FluidLoopbackFlow's job, on a single-host bed).
+        if self.port.switch.is_local(self.stream.dst, self.stream.vlan):
+            return "tx_local_dst"
+        return None
+
+    def _still_valid(self) -> bool:
+        return (super()._still_valid()
+                and self.port.uplink is self._link
+                and self.vf.tx_rate_limit_bps <= 0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> bool:
+        if self.active:
+            return True
+        if not super().begin():
+            return False
+        self._in_flight.clear()
+        self._arrivals.clear()
+        self._cseq = 1
+        self._tick_cseq = 0
+        self._fire_cseq = 0
+        self._rx_shape = None
+        # The wire_receive prologue settles through this hook; it is
+        # also Host.advance's per-port handle for diverting inbound.
+        self.port._fluid_tx = self
+        return True
+
+    def detach(self) -> None:
+        """Unhook every attach-time installation (attach failure on a
+        sibling stream, or a host-wide eviction)."""
+        if self.stream._fluid is self:
+            self.stream._fluid = None
+        if getattr(self.driver, "_fluid", None) is self:
+            self.driver._fluid = None
+        if self.vf.fluid_listener == self.interval_reprogrammed:
+            self.vf.fluid_listener = None
+        if self.port._fluid_tx is self:
+            self.port._fluid_tx = None
+
+    # ------------------------------------------------------------------
+    # fabric ingress (called from Host.advance, before sim.run)
+    # ------------------------------------------------------------------
+    def accept_arrival(self, message: dict) -> bool:
+        """Take one inbound fabric message into the virtual queue.
+
+        Returns False — caller must evict the host — when the frame is
+        not the single unicast shape the collapsed replay handles.
+        Virtual seqs are drawn here, at the moment (and in the order)
+        the exact host would create the ``_ingress`` handles.
+        """
+        shape = (message["src"], message["dst"], message["size"],
+                 message["vlan"], message["protocol"], message["flow_id"])
+        rx_shape = self._rx_shape
+        if rx_shape is None:
+            vf = self.vf
+            if message["dst"] != vf.mac.value:
+                return False
+            if self.port.switch.resolve_unicast(
+                    vf.mac, message["vlan"]) != vf.function_index:
+                return False
+            self._rx_shape = shape
+            self._deliver_mtu = message["size"]
+            self._deliver_protocol = _PROTOCOLS[message["protocol"]]
+        elif shape != rx_shape:
+            return False
+        self._arrivals.append((message["arrival"], self._cseq, message))
+        self._cseq += 1
+        return True
+
+    def next_time(self) -> float:
+        """The earliest future virtual event that can produce output
+        the coordinator must see (peek floor).  Fires are internal —
+        leaving them out is what makes fluid windows wider."""
+        t = self._t_next
+        in_flight = self._in_flight
+        if in_flight and in_flight[0][0] < t:
+            t = in_flight[0][0]
+        return t
+
+    # ------------------------------------------------------------------
+    # the four-way merged virtual event loop
+    # ------------------------------------------------------------------
+    def _advance(self, limit: float, inclusive: bool) -> None:
+        sim = self.sim
+        in_flight = self._in_flight
+        arrivals = self._arrivals
+        while True:
+            t = self._t_next
+            c = self._tick_cseq
+            kind = 0
+            if in_flight:
+                head = in_flight[0]
+                if (head[0], head[1]) < (t, c):
+                    t = head[0]
+                    c = head[1]
+                    kind = 1
+            if arrivals:
+                head = arrivals[0]
+                if (head[0], head[1]) < (t, c):
+                    t = head[0]
+                    c = head[1]
+                    kind = 2
+            fire_at = self._fire_at
+            if fire_at is not None and (fire_at, self._fire_cseq) < (t, c):
+                t = fire_at
+                kind = 3
+            if not (t < limit or (inclusive and t == limit)):
+                return
+            if kind == 0:
+                self._replay_tx_tick()
+            elif kind == 1:
+                arrival, _c, tick_time, was_queued = in_flight.popleft()
+                self._replay_wire_deliver(arrival, tick_time, was_queued)
+            elif kind == 2:
+                arrival, _c, message = arrivals.popleft()
+                self._replay_arrival(arrival, message)
+            else:
+                self._fire_at = None
+                self._replay_fire(t)
+            sim.collapsed_events += 1
+
+    def _replay_tx_tick(self) -> None:
+        """One sender tick: ``NetperfStream._tick`` -> ``transmit`` ->
+        ``hw_transmit`` -> ``route_transmit`` -> ``Link.transmit`` per
+        packet, with the DMA crossing and the line's serialization
+        booked against the live objects and each delivery staged as a
+        virtual event."""
+        count, tick_time = self._next_tick()
+        cseq = self._cseq
+        if count > 0:
+            stream = self.stream
+            mtu = stream.mtu
+            stream.sent.value += count
+            stream.sent_bytes.value += count * mtu
+            driver = self.driver
+            if driver.running:
+                # The driver's transmit charges the whole burst —
+                # packets dropped further down included.
+                driver.domain.charge_guest(
+                    driver.costs.guest_cycles_per_packet * count)
+                vf = self.vf
+                if vf.enabled:
+                    port = self.port
+                    datapath = port.datapath
+                    link = self._link
+                    busy = datapath._busy_until
+                    dma = mtu * 8 / datapath.effective_bps
+                    ser = self._wire_frame * 8 / link.rate_bps
+                    prop = link.propagation_delay
+                    queue_frames = link.queue_frames
+                    tx_free = link._tx_free_at
+                    queued = link._queued
+                    in_flight = self._in_flight
+                    sent = 0
+                    dma_count = 0
+                    drops = 0
+                    for _ in range(count):
+                        # route_transmit: the FIFO-backlog bound first;
+                        # past it, the DMA crossing and wire counter
+                        # are booked even if the line queue tail-drops.
+                        if busy - tick_time > TX_BACKLOG_LIMIT:
+                            drops += 1
+                            continue
+                        start = busy if busy > tick_time else tick_time
+                        busy = start + dma
+                        dma_count += 1
+                        port.wire_tx_packets += 1
+                        # Link.transmit, mirrored without the event.
+                        start = tx_free if tx_free > tick_time else tick_time
+                        if start > tick_time:
+                            if queued >= queue_frames:
+                                link.dropped.value += 1.0
+                                drops += 1
+                                continue
+                            queued += 1
+                            was_queued = True
+                        else:
+                            was_queued = False
+                        tx_free = start + ser
+                        in_flight.append((tx_free + prop, cseq, tick_time,
+                                          was_queued))
+                        cseq += 1
+                        sent += 1
+                    datapath._busy_until = busy
+                    link._tx_free_at = tx_free
+                    link._queued = queued
+                    if dma_count:
+                        datapath.transferred_bytes.value += dma_count * mtu
+                        datapath.transfers.value += dma_count
+                    if sent:
+                        vf.tx_packets += sent
+                        vf.tx_bytes += sent * mtu
+                    if drops:
+                        vf.tx_backlog_drops += drops
+        # The reschedule runs after the sink, so the next tick handle's
+        # virtual seq postdates this tick's staged deliveries.
+        self._tick_cseq = cseq
+        self._cseq = cseq + 1
+
+    def _replay_wire_deliver(self, arrival: float, tick_time: float,
+                             was_queued: bool) -> None:
+        """One ``Link._deliver``: the line's counters, then the host's
+        egress sink — staged without a sequence number (the host's
+        flush assigns them in delivery-time order)."""
+        link = self._link
+        if was_queued:
+            link._queued -= 1
+        link.delivered.value += 1.0
+        link.delivered_bytes.value += self._wire_frame
+        host = self.host
+        host.uplink_tx_frames += 1
+        stream = self.stream
+        host._staged.append({
+            "t": arrival,
+            "src_host": host.index,
+            "seq": -1,
+            "src": stream.src.value,
+            "dst": stream.dst.value,
+            "size": stream.mtu,
+            "vlan": stream.vlan,
+            "protocol": stream.protocol.value,
+            "flow_id": stream.flow_id,
+            "created_at": tick_time,
+        })
+
+    def _replay_arrival(self, arrival: float, message: dict) -> None:
+        """One fabric delivery: ``Host._ingress`` -> ``wire_receive``
+        -> ``device_receive`` as flat arithmetic (one host-ward DMA
+        booking per routed burst, matching the exact batch), then the
+        throttle request."""
+        count = message.get("count", 1)
+        size = self._deliver_mtu
+        port = self.port
+        port.wire_rx_packets += count
+        port.datapath.transfer_at(arrival, count * size)
+        accepted = count
+        room = self._capacity - self._backlog
+        if accepted > room:
+            accepted = room
+        self.vf.fluid_receive(count, accepted, accepted * size)
+        if accepted > 0:
+            self._backlog += accepted
+            # The segment's timestamp is the *remote* send time, which
+            # is what the app's end-to-end latency spans.
+            self._pending.append((count, accepted, message["created_at"]))
+            self._replay_request(arrival)
+
+    def _replay_request(self, now: float) -> None:
+        # The base arming, plus the virtual seq the merge orders by.
+        if self._fire_at is not None:
+            return
+        throttle = self.vf.throttle
+        due = throttle._last_fired + throttle.interval
+        if now >= due:
+            self._replay_fire(now)
+        else:
+            self._fire_at = due
+            self._fire_created = now
+            self._fire_cseq = self._cseq
+            self._cseq += 1
+
+    # ------------------------------------------------------------------
+    # leaving the fast path
+    # ------------------------------------------------------------------
+    def decollapse(self) -> None:
+        # Staged egress and sequence numbering are host-global, so one
+        # flow leaving the fast path takes the whole host with it.
+        if not self.active:
+            return
+        self.host._evict_fluid()
+
+    def _materialize(self) -> None:
+        from repro.net.mac import MacAddress
+        stream = self.stream
+        ring = self.vf.rx_ring
+        spin = self._drained_total & ring._mask
+        ring.head = (ring.head + spin) & ring._mask
+        ring.tail = (ring.tail + spin) & ring._mask
+        ring._clean = (ring._clean + spin) & ring._mask
+        self._drained_total = 0
+        total = 0
+        shape = self._rx_shape
+        if shape is not None:
+            src, dst, size, vlan, protocol, flow_id = shape
+            src = MacAddress(src)
+            dst = MacAddress(dst)
+            protocol = _PROTOCOLS[protocol]
+            pool = stream.pool
+            for _count, accepted, created_at in self._pending:
+                if accepted <= 0:
+                    continue
+                burst = pool.acquire_burst(accepted, src, dst, size, vlan,
+                                           protocol, flow_id, created_at)
+                for packet in burst:
+                    ring.consume(packet)
+                total += accepted
+        ring.completed -= total
+        self._pending.clear()
+        self._backlog = 0
+
+    def _finish_decollapse(self) -> None:
+        from repro.net.mac import MacAddress
+        super()._finish_decollapse()
+        sim = self.sim
+        host = self.host
+        port = self.port
+        stream = self.stream
+        link = self._link
+        pool = stream.pool
+        # In-flight wire frames become real scheduled deliveries, in
+        # creation (= arrival) order so their new handle seqs preserve
+        # the exact run's relative order.
+        for arrival, _cseq, tick_time, was_queued in self._in_flight:
+            burst = pool.acquire_burst(1, stream.src, stream.dst,
+                                       stream.mtu, stream.vlan,
+                                       stream.protocol, stream.flow_id,
+                                       tick_time)
+            sim.schedule_at(arrival, link._deliver, burst[0], was_queued)
+        self._in_flight.clear()
+        # Undelivered fabric arrivals go back to the engine as the
+        # _ingress events the exact advance would have scheduled.
+        for arrival, _cseq, message in self._arrivals:
+            sim.schedule_at(arrival, host._ingress, message, port)
+        self._arrivals.clear()
+        if port._fluid_tx is self:
+            port._fluid_tx = None

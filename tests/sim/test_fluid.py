@@ -7,12 +7,13 @@ to the exact path.  These tests pin both halves:
 
 * identical ``RunResult.to_dict()`` payloads across the fig. 15/16
   scenario shapes (HVM, PVM, native; UDP and TCP; randomized seeded
-  rates/sizes/frequencies);
+  rates/sizes/frequencies), the fig. 8-10 adaptive-ITR shapes, the
+  fig. 13 inter-VM loopback shapes and shared-port multi-stream runs;
 * the event identity ``events_executed + collapsed_events ==
   exact.events_executed`` (the collapse skips dispatch, never work);
-* exact fallbacks (faults, adaptive ITR, a 2.6.18 guest, a shared
-  port, a mid-run rate change) that decollapse or never attach, with
-  results still identical;
+* exact fallbacks (faults, a sub-window ITR interval, a 2.6.18 guest,
+  a mid-run rate change, a mid-run joiner on a collapsed port) that
+  decollapse or never attach, with results still identical;
 * the exact mode's own event stream is untouched (the golden digest of
   ``tests/sim/test_determinism.py`` stays the arbiter for that).
 """
@@ -20,6 +21,7 @@ to the exact path.  These tests pin both halves:
 import random
 
 from repro.api import Scenario, _dispatch
+from repro.core.costs import CostModel
 from repro.core.experiment import ExperimentRunner
 from repro.core.testbed import Testbed, TestbedConfig
 
@@ -114,7 +116,10 @@ class TestExactFallbacks:
     """Ineligible runs must silently take the exact path — identical
     results, zero collapsed events."""
 
-    def test_adaptive_itr_falls_back_wholesale(self):
+    def test_dynamic_itr_short_interval_falls_back(self):
+        # DynamicItr opens at ~111 us, under MIN_TICKS_PER_WINDOW burst
+        # intervals at these rates: the per-flow itr_window gate (not a
+        # wholesale fallback) keeps every stream exact.
         _assert_equivalent(
             Scenario(mode="sriov", kind="hvm", policy={"kind": "dynamic_itr"},
                      vm_count=2, warmup=0.05, duration=0.05),
@@ -127,8 +132,10 @@ class TestExactFallbacks:
                      duration=0.05),
             expect_collapsed=False)
 
-    def test_shared_port_falls_back(self):
-        # vm_count > ports: streams share a wire, ticks interleave.
+    def test_shared_port_slow_streams_fall_back(self):
+        # Sharing a wire no longer forces exact by itself, but these
+        # line-share streams tick too slowly for the throttle window:
+        # each flow fails the itr_window gate individually.
         _assert_equivalent(
             Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
                      vm_count=3, ports=1, warmup=0.05, duration=0.05),
@@ -141,6 +148,275 @@ class TestExactFallbacks:
                      faults=[{"kind": "link_flap", "at": 0.06,
                               "port": 0, "duration": 0.005}]),
             expect_collapsed=False)
+
+
+class TestAdaptiveItrCollapse:
+    """Fig. 8-10: AIC flows collapse between ITR sample ticks, and the
+    per-sample rate updates replay float-identically."""
+
+    def test_fig08_aic_ladder_rung_collapses(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy={"kind": "aic"},
+                     vm_count=1, ports=1, offered_bps=900e6,
+                     warmup=0.05, duration=0.05))
+
+    def test_fig09_aic_tcp_collapses(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy={"kind": "aic"},
+                     protocol="tcp", vm_count=1, ports=1,
+                     warmup=0.05, duration=0.05))
+
+    def test_aic_sample_trajectory_is_float_identical(self):
+        # Shrink the sample period so several AIC samples land inside
+        # the measured window: each sample executes as a real event
+        # between collapsed windows, reads counters the replay must
+        # already have settled, and reprograms VTEITR through the
+        # fluid listener.
+        def run(mode):
+            runner = ExperimentRunner(
+                duration=0.05, warmup=0.005, sim_mode=mode,
+                costs=CostModel(aic_sample_period=5e-3))
+            result = runner.run_sriov(vm_count=1, ports=1,
+                                      offered_bps_per_vm=900e6,
+                                      policy={"kind": "aic"})
+            guest = runner.last_bed.sriov_guests[0]
+            return result, guest.vf.throttle.interval
+        exact, exact_interval = run("exact")
+        fluid, fluid_interval = run("fluid")
+        assert fluid.to_dict() == exact.to_dict()
+        assert fluid_interval == exact_interval  # the AIC trajectory
+        assert fluid.fluid["collapsed_events"] > 0
+        assert fluid.fluid["events_executed"] > 0  # the samples ran
+
+    def test_itr_write_below_window_decollapses(self):
+        # A guest reprogramming VTEITR under the window floor mid-run
+        # must push the flow off the fast path, seamlessly.
+        from repro.devices.igb_regs import REG_VTEITR_BASE
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, guest, stream = _one_guest_bed(mode)
+            bed.sim.run(until=0.0103)
+            guest.vf.regs.write(REG_VTEITR_BASE, 50)  # 50 us interval
+            bed.sim.run(until=0.02)
+            bed.settle_fluid()
+            if mode == "fluid":
+                assert all(not f.active for f in bed.fluid_flows)
+            snaps[mode] = _counters_snapshot(bed, guest, stream)
+        assert snaps["fluid"] == snaps["exact"]
+
+
+class TestSharedPortCollapse:
+    """Fig. 13/14 multi-stream shapes: streams sharing one port collapse
+    together through the merged-replay group."""
+
+    def test_two_streams_one_port_collapse(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
+                     vm_count=2, ports=1, offered_bps=900e6,
+                     warmup=0.05, duration=0.05))
+
+    def test_three_streams_one_port_collapse(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy=FIXED_2K,
+                     vm_count=3, ports=1, offered_bps=900e6,
+                     warmup=0.05, duration=0.05))
+
+    def test_shared_port_aic_collapses(self):
+        _assert_equivalent(
+            Scenario(mode="sriov", kind="hvm", policy={"kind": "aic"},
+                     vm_count=2, ports=1, offered_bps=900e6,
+                     warmup=0.05, duration=0.05))
+
+    def test_unequal_burst_intervals_evict(self):
+        # The merged-replay ordering proof needs phase-locked members;
+        # different rates mean different burst intervals, so the port
+        # falls back whole at the second stream's begin.
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="fluid"))
+        g1 = bed.add_sriov_guest(name="vm0")
+        g2 = bed.add_sriov_guest(name="vm1")
+        s1 = bed.attach_client_to_sriov(g1, 900e6)
+        s2 = bed.attach_client_to_sriov(g2, 600e6)
+        s1.start()
+        s2.start()
+        assert all(not f.active for f in bed.fluid_flows)
+        assert bed.fluid_rejections.get("port_evicted")
+
+    def test_group_rate_change_decollapses_whole_port(self):
+        def run(mode):
+            bed = Testbed(TestbedConfig(ports=1, sim_mode=mode))
+            guests = [bed.add_sriov_guest(name=f"vm{i}") for i in range(2)]
+            streams = [bed.attach_client_to_sriov(g, 900e6) for g in guests]
+            for s in streams:
+                s.start()
+            if mode == "fluid":
+                assert all(f.active for f in bed.fluid_flows)
+            bed.sim.run(until=0.0203)
+            streams[0].set_rate(250e6)  # one member leaves: all must
+            if mode == "fluid":
+                assert all(not f.active for f in bed.fluid_flows)
+            bed.sim.run(until=0.04)
+            bed.settle_fluid()
+            return [_counters_snapshot(bed, g, s)
+                    for g, s in zip(guests, streams)]
+        assert run("fluid") == run("exact")
+
+
+def _loopback_bed(sim_mode, sender="guest", offered_bps=5e9, mtu=1500):
+    """The run_intervm_sriov wiring, built by hand so tests can poke
+    the stream mid-run (fig. 10 when dom0 sends, fig. 13 when a guest
+    does)."""
+    from repro.net.netperf import NetperfStream
+    from repro.net.packet import Protocol
+    bed = Testbed(TestbedConfig(ports=1, sim_mode=sim_mode))
+    if sender == "guest":
+        tx_guest = bed.add_sriov_guest(name="tx")
+        transmit = tx_guest.driver.transmit
+        src = tx_guest.vf.mac
+        sender_domain = tx_guest.domain
+        tx_function, tx_driver = tx_guest.vf, tx_guest.driver
+    else:
+        pf_driver = bed.pf_drivers[0]
+        transmit = pf_driver.transmit
+        src = bed.ports[0].pf.mac
+        sender_domain = pf_driver.dom0
+        tx_function, tx_driver = bed.ports[0].pf, pf_driver
+    receiver = bed.add_sriov_guest(name="rx")
+    stream = NetperfStream(
+        bed.sim, transmit, src, receiver.vf.mac, offered_bps,
+        Protocol.UDP, mtu=mtu, burst_interval=100e-6, name="intervm",
+        pool=bed.packet_pool)
+    if sim_mode == "fluid":
+        from repro.sim.fluid import FluidLoopbackFlow
+        flow = FluidLoopbackFlow(bed, receiver, stream, sender_domain,
+                                 tx_function, tx_driver)
+        assert flow.try_attach(), bed.fluid_rejections
+        bed.fluid_flows.append(flow)
+    stream.start()
+    if sim_mode == "fluid":
+        assert bed.fluid_flows[0].active
+    return bed, receiver, stream, tx_function, sender_domain
+
+
+def _loopback_snapshot(bed, receiver, stream, tx_function, sender_domain):
+    snap = _counters_snapshot(bed, receiver, stream)
+    snap.update({
+        "loopback": receiver.port.internal_loopback_packets,
+        "tx_packets": tx_function.tx_packets,
+        "tx_bytes": tx_function.tx_bytes,
+        "tx_backlog_drops": tx_function.tx_backlog_drops,
+        "tx_cycles": sender_domain.cycles_consumed,
+        "dma_transfers": receiver.port.datapath.transfers.value,
+    })
+    return snap
+
+
+class TestLoopbackCollapse:
+    """Inter-VM traffic through the NIC's internal switch collapses:
+    sender ticks, per-packet DMA completions and receiver fires merge
+    into one virtual clock."""
+
+    def test_fig13_guest_sender_collapses(self):
+        for message_bytes in (64, 1500):
+            _assert_equivalent(
+                Scenario(mode="intervm", variant="sriov", kind="hvm",
+                         message_bytes=message_bytes,
+                         warmup=0.02, duration=0.02))
+
+    def test_fig10_dom0_sender_collapses(self):
+        _assert_equivalent(
+            Scenario(mode="intervm", variant="sriov", kind="hvm",
+                     sender="dom0", warmup=0.02, duration=0.02))
+
+    def test_intervm_pv_is_ineligible(self):
+        _assert_equivalent(
+            Scenario(mode="intervm", variant="pv", kind="pvm",
+                     warmup=0.02, duration=0.02),
+            expect_collapsed=False)
+
+    def test_midrun_rate_change_matches_exact(self):
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, receiver, stream, tx, dom = _loopback_bed(mode)
+            bed.sim.run(until=0.0103)
+            stream.set_rate(1e9)
+            bed.sim.run(until=0.02)
+            bed.settle_fluid()
+            snaps[mode] = _loopback_snapshot(bed, receiver, stream, tx, dom)
+        assert snaps["fluid"] == snaps["exact"]
+
+    def test_midrun_stop_matches_exact(self):
+        snaps = {}
+        for mode in ("exact", "fluid"):
+            bed, receiver, stream, tx, dom = _loopback_bed(mode)
+            bed.sim.run(until=0.0151)
+            stream.stop()
+            bed.sim.run(until=0.03)
+            bed.settle_fluid()
+            snaps[mode] = _loopback_snapshot(bed, receiver, stream, tx, dom)
+        assert snaps["fluid"] == snaps["exact"]
+
+    def test_tx_rate_limit_never_attaches(self):
+        from repro.sim.fluid import FluidLoopbackFlow
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="exact"))
+        tx_guest = bed.add_sriov_guest(name="tx")
+        receiver = bed.add_sriov_guest(name="rx")
+        from repro.net.netperf import NetperfStream
+        from repro.net.packet import Protocol
+        stream = NetperfStream(
+            bed.sim, tx_guest.driver.transmit, tx_guest.vf.mac,
+            receiver.vf.mac, 5e9, Protocol.UDP, mtu=1500,
+            burst_interval=100e-6, name="intervm", pool=bed.packet_pool)
+        tx_guest.vf.tx_rate_limit_bps = 1e9
+        flow = FluidLoopbackFlow(bed, receiver, stream, tx_guest.domain,
+                                 tx_guest.vf, tx_guest.driver)
+        assert not flow.try_attach()
+        assert bed.fluid_rejections == {"tx_rate_limit": 1}
+
+
+class TestRejectionDiagnostics:
+    """Satellite: every refused try_attach names its gate, per flow,
+    and the counts surface in RunResult.fluid and the metrics tree."""
+
+    def test_rejections_name_the_gate(self):
+        runner = ExperimentRunner(duration=0.02, warmup=0.005,
+                                  sim_mode="fluid")
+        # 300 Mb/s ticks too slowly for the 2 kHz window: itr_window.
+        result = runner.run_sriov(vm_count=1, ports=1,
+                                  offered_bps_per_vm=300e6,
+                                  policy=FIXED_2K)
+        assert result.fluid["rejections"] == {"itr_window": 1}
+        assert result.fluid["collapsed_events"] == 0
+
+    def test_collapsed_run_reports_diagnostics(self):
+        runner = ExperimentRunner(duration=0.02, warmup=0.005,
+                                  sim_mode="fluid")
+        result = runner.run_sriov(vm_count=1, ports=1,
+                                  offered_bps_per_vm=900e6)
+        assert result.fluid["collapsed_events"] > 0
+        assert result.fluid["flows"] == 1
+        assert result.fluid["rejections"] == {}
+        # Diagnostics never enter the canonical payload: byte-equality
+        # with exact mode (and cache keys) must not depend on them.
+        assert "fluid" not in result.to_dict()
+
+    def test_exact_mode_has_no_diagnostics(self):
+        runner = ExperimentRunner(duration=0.02, warmup=0.005)
+        result = runner.run_sriov(vm_count=1, ports=1,
+                                  offered_bps_per_vm=900e6)
+        assert result.fluid is None
+
+    def test_rejection_metric_when_telemetry_on(self):
+        bed = Testbed(TestbedConfig(ports=1, sim_mode="fluid",
+                                    telemetry=True))
+        guest = bed.add_sriov_guest(name="vm0")
+        bed.attach_client_to_sriov(guest, 900e6)
+        # The live tracer itself makes the flow ineligible (observers
+        # must see real events), so the tracer gate fires — and lands
+        # in the metrics registry.
+        assert bed.fluid_rejections == {"tracer": 1}
+        counter = bed.platform.metrics.scope("fluid").counter(
+            "rejected.tracer")
+        assert counter.value == 1
 
 
 def _counters_snapshot(bed, guest, stream):
