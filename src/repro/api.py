@@ -210,6 +210,7 @@ class Scenario:
         None, so every multi-host scenario has exactly one dict form.
         """
         from repro.core.host import FlowSpec, HostSpec
+        from repro.faults.plan import CLUSTER_FAULT_KINDS
         from repro.net.fabric import FabricSpec
         if self.mode != "cluster":
             for fname in ("hosts", "fabric", "flows"):
@@ -218,19 +219,26 @@ class Scenario:
                         f"{fname}= is a cluster-mode field; mode "
                         f"{self.mode!r} does not take it")
                 object.__setattr__(self, fname, None)
+            for fault in (self.faults or ()):
+                if fault["kind"] in CLUSTER_FAULT_KINDS:
+                    raise ValueError(
+                        f"fault kind {fault['kind']!r} is cluster-scope: "
+                        f"it needs mode='cluster' with hosts=")
+                if fault.get("host") is not None:
+                    raise ValueError(
+                        f"fault host= targets a cluster host; mode "
+                        f"{self.mode!r} has no hosts")
             return
         if not self.hosts:
             raise ValueError("mode='cluster' needs hosts=: a list of "
                              "host spec dicts, e.g. "
                              "[{'name': 'h0', 'vm_count': 2}, ...]")
-        if self.faults:
-            raise ValueError("faults= targets the single-host harness; "
-                             "cluster mode does not inject faults yet")
         host_specs = [HostSpec.from_dict(entry, index)
                       for index, entry in enumerate(self.hosts)]
         names = [spec.name for spec in host_specs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate host names: {sorted(names)}")
+        self._validate_cluster_faults(host_specs)
         vm_counts = {spec.name: spec.vm_count for spec in host_specs}
         flow_specs = [FlowSpec.from_dict(entry)
                       for entry in (self.flows or ())]
@@ -252,6 +260,51 @@ class Scenario:
         object.__setattr__(self, "flows",
                            [spec.to_dict() for spec in flow_specs]
                            if flow_specs else None)
+
+    def _validate_cluster_faults(self, host_specs) -> None:
+        """Cluster-mode fault checks that need the host list: every
+        ``host=`` reference (and partition group member) must name a
+        declared host, port indexes must exist, and single-host-only
+        kinds are rejected.  Runs at construction so a bad plan fails
+        here, not inside a sweep-pool worker."""
+        if not self.faults:
+            return
+        names = {spec.name for spec in host_specs}
+        ports_by_host = {spec.name: spec.ports for spec in host_specs}
+
+        def check_host(kind, host):
+            if host not in names:
+                match = difflib.get_close_matches(str(host),
+                                                  sorted(names), n=1)
+                hint = (f" (did you mean {match[0]!r}?)" if match else "")
+                raise ValueError(
+                    f"fault {kind!r} targets host {host!r} but the "
+                    f"scenario declares {sorted(names)}{hint}")
+
+        for fault in self.faults:
+            kind = fault["kind"]
+            if kind == "migration_degrade":
+                raise ValueError(
+                    "migration_degrade targets the single-host "
+                    "migration harness; cluster mode does not take it")
+            if kind == "fabric_partition":
+                seen = set()
+                for group in fault["groups"]:
+                    for host in group:
+                        check_host(kind, host)
+                        seen.add(host)
+                continue
+            host = fault.get("host")
+            if host is None:
+                raise ValueError(
+                    f"cluster-mode fault {kind!r} needs host=<name> "
+                    f"(one of {sorted(names)})")
+            check_host(kind, host)
+            port = fault.get("port")
+            if port is not None and port >= ports_by_host[host]:
+                raise ValueError(
+                    f"fault {kind!r} targets port {port} but host "
+                    f"{host!r} has {ports_by_host[host]} port(s)")
 
     def with_(self, **changes) -> "Scenario":
         """A copy with the given fields changed (sweep-axis helper)."""

@@ -383,21 +383,25 @@ def check_fabric_conservation(tor, *, sim_time: float = 0.0) -> None:
 
     Every frame offered to :meth:`~repro.net.fabric.ToRSwitch.route`
     must be accounted exactly once: forwarded, tail-dropped at the
-    queue bound, or dropped for an unknown destination.  The ToR lives
-    with the cluster coordinator, not inside any one testbed, so this
-    check is a standalone function (the coordinator runs it when it
-    aggregates; :class:`InvariantAuditor` covers the per-host laws).
+    queue bound, dropped for an unknown destination, or drained at a
+    silenced (crashed/paused) endpoint under a cluster fault plan.  The
+    ToR lives with the cluster coordinator, not inside any one testbed,
+    so this check is a standalone function (the coordinator runs it
+    when it aggregates; :class:`InvariantAuditor` covers the per-host
+    laws).
     """
-    accounted = tor.forwarded + tor.dropped + tor.unknown_dst
+    drained = getattr(tor, "drained", 0)
+    accounted = tor.forwarded + tor.dropped + tor.unknown_dst + drained
     if tor.offered != accounted:
         raise InvariantViolation(
             "fabric-flow",
-            f"offered={tor.offered} != forwarded+dropped+unknown_dst="
-            f"{accounted}",
+            f"offered={tor.offered} != "
+            f"forwarded+dropped+unknown_dst+drained={accounted}",
             sim_time=sim_time,
             details={"offered": tor.offered, "forwarded": tor.forwarded,
                      "dropped": tor.dropped,
-                     "unknown_dst": tor.unknown_dst})
+                     "unknown_dst": tor.unknown_dst,
+                     "drained": drained})
 
 
 def _jsonable(value):

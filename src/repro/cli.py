@@ -260,12 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "and exit without writing HTML")
 
     faults = commands.add_parser(
-        "faults",
-        help="show the fault-injection vocabulary or validate a plan")
+        "faults", parents=campaign,
+        help="show the fault-injection vocabulary, validate a plan, "
+             "or run a seeded fault-fuzzing campaign")
     faults.add_argument("--check", metavar="PLAN.json", default=None,
                         help="validate a JSON fault plan (a list of "
                              "spec dicts; '-' reads stdin) and print "
                              "its normalized form")
+    faults.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="run N random faulted scenarios (single-host "
+                             "and cluster mixes) under the supervised "
+                             "campaign engine with the invariant auditor "
+                             "armed — a conservation-violation hunter")
+    faults.add_argument("--seed", type=int, default=42,
+                        help="fuzz generation seed; (N, seed) fully "
+                             "determines the scenario list "
+                             "(default: %(default)s)")
 
     bench = commands.add_parser(
         "bench",
@@ -697,6 +707,8 @@ def _run_faults(args) -> int:
     from repro.faults import FAULT_FIELDS, FaultPlan, FaultSpecError
     from repro.faults.plan import REQUIRED
 
+    if args.fuzz is not None or args.resume:
+        return _run_fault_fuzz(args)
     if args.check is not None:
         if args.check == "-":
             document = json.load(sys.stdin)
@@ -721,8 +733,60 @@ def _run_faults(args) -> int:
         print(f"  {kind:18s} {', '.join(parts)}")
     print("\nusage: --fault 'link_flap:at=2.0,duration=0.5,port=0' "
           "(repeatable),\nor a JSON list in a Scenario's 'faults' field "
-          "(validate with --check).")
+          "(validate with --check).\nFuzz mode: repro faults --fuzz N "
+          "[--seed S] hunts conservation violations.")
     return 0
+
+
+def _run_fault_fuzz(args) -> int:
+    from repro.faults.fuzz import generate_fuzz_scenarios, violation_outcomes
+    from repro.sweep.checkpoint import CampaignCheckpoint
+    from repro.sweep.runner import run_sweep
+
+    checkpoint = None
+    if args.resume:
+        if args.fuzz is not None:
+            raise SystemExit("--resume replays the checkpoint's "
+                             "(count, seed); drop --fuzz")
+        checkpoint = _load_resume(args, "faults-fuzz")
+        count = int(checkpoint.command["count"])
+        seed = int(checkpoint.command["seed"])
+        _say(f"resuming {len(checkpoint.completed)}/{checkpoint.total} "
+             f"completed tasks from {args.resume}")
+    else:
+        count, seed = args.fuzz, args.seed
+        if args.checkpoint:
+            checkpoint = CampaignCheckpoint(
+                args.checkpoint,
+                {"kind": "faults-fuzz", "count": count, "seed": seed})
+    try:
+        scenarios = generate_fuzz_scenarios(count, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    _say(f"fuzzing    : {count} faulted scenario(s), seed {seed} "
+         "(auditor armed)")
+    hub = _hub_for(args)
+    outcomes, stats = run_sweep(
+        scenarios, jobs=args.jobs, cache=_cache_for(args), progress=_say,
+        supervise=_supervise_for(args), checkpoint=checkpoint,
+        audit=not args.no_audit, hub=hub)
+    code = _finish_campaign(stats, hub)
+    violations = violation_outcomes(outcomes)
+    if violations:
+        print(f"FUZZ: {len(violations)} invariant violation(s) found "
+              f"(seed {seed}):", file=sys.stderr)
+        for outcome in violations:
+            scenario = outcome.scenario
+            print(f"  [{outcome.index}] key={outcome.key[:16]} "
+                  f"seed={scenario.seed} mode={scenario.mode}: "
+                  f"{outcome.task.error}", file=sys.stderr)
+            replay = json.dumps(scenario.to_dict(), sort_keys=True)
+            print(f"    replay: {replay}", file=sys.stderr)
+        return 1
+    if code == 0:
+        print(f"fuzz clean: {count} scenario(s), zero invariant "
+              "violations")
+    return code
 
 
 def _run_sweep(args) -> int:

@@ -36,14 +36,16 @@ class ClusterWorkerError(RuntimeError):
 
 def host_worker(conn, spec_dict: dict, index: int, costs_dict: dict,
                 base_seed: int, audit: bool,
-                sim_mode: str = "exact") -> None:
+                sim_mode: str = "exact",
+                faults: Optional[List[dict]] = None) -> None:
     """Worker entrypoint (module-level so it imports under any start
     method).  Answers the parent's command tuples until ``close``."""
     from repro.core.host import Host
     try:
         host = Host(HostSpec.from_dict(spec_dict, index), index,
                     costs=CostModel(**costs_dict), base_seed=base_seed,
-                    audit=audit, telemetry=False, sim_mode=sim_mode)
+                    audit=audit, telemetry=False, sim_mode=sim_mode,
+                    faults=faults)
         conn.send(("ok", None))
     except BaseException as exc:  # construction failures must surface
         conn.send(("error", repr(exc)))
@@ -91,14 +93,16 @@ class ProcessHost:
 
     def __init__(self, spec: HostSpec, index: int, *,
                  costs: CostModel, base_seed: int, audit: bool,
-                 sim_mode: str = "exact"):
+                 sim_mode: str = "exact",
+                 faults: Optional[List[dict]] = None):
         self.name = spec.name
         ctx = mp.get_context()
         self._conn, child_conn = ctx.Pipe()
         self._process = ctx.Process(
             target=host_worker,
             args=(child_conn, spec.to_dict(), index,
-                  dataclasses.asdict(costs), base_seed, audit, sim_mode),
+                  dataclasses.asdict(costs), base_seed, audit, sim_mode,
+                  faults),
             name=f"repro-host-{spec.name}",
             daemon=True,
         )

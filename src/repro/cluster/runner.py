@@ -38,10 +38,10 @@ class InProcessHost:
     matches the worker-process runner's begin/finish step protocol."""
 
     def __init__(self, spec: HostSpec, index: int, *, costs, base_seed,
-                 audit, telemetry, sim_mode="exact"):
+                 audit, telemetry, sim_mode="exact", faults=None):
         self.host = Host(spec, index, costs=costs, base_seed=base_seed,
                          audit=audit, telemetry=telemetry,
-                         sim_mode=sim_mode)
+                         sim_mode=sim_mode, faults=faults)
         self._step = None
 
     def mac_table(self) -> Dict[int, int]:
@@ -113,13 +113,19 @@ class ClusterTelemetry:
 class ClusterCoordinator:
     """Drives N host runners through conservative lockstep windows."""
 
-    def __init__(self, runners, tor: ToRSwitch, lookahead: float):
+    def __init__(self, runners, tor: ToRSwitch, lookahead: float,
+                 crash_at: Optional[Dict[int, float]] = None):
         self.runners = runners
         self.tor = tor
         self.barrier = LockstepBarrier(lookahead)
         #: Routed fabric messages not yet injected into their hosts.
         self.pending: List[dict] = []
         self.peeks: List[Optional[float]] = [r.peek() for r in runners]
+        #: host index -> simulated time its engine freezes (host_crash
+        #: faults); plan data, identical in serial and process modes.
+        self.crash_at: Dict[int, float] = dict(crash_at or {})
+        #: Hosts whose engines have reached their crash time.
+        self.dead: set = set()
 
     def run(self, until: float) -> None:
         """Advance every host exactly to ``until`` (resumable: pending
@@ -135,12 +141,25 @@ class ClusterCoordinator:
             for message in due:
                 inbound.setdefault(message["dst_host"], []).append(message)
             # Fan out first, then gather: with process runners every
-            # host simulates its window concurrently.
+            # host simulates its window concurrently.  A crashed host's
+            # engine is capped at its crash time and then never stepped
+            # again; the ToR timeline already drains traffic to or from
+            # it, so a dead host can have no due deliveries.
             for index, runner in enumerate(self.runners):
-                runner.advance_begin(window, inbound.get(index, []))
+                if index in self.dead:
+                    continue
+                cap = self.crash_at.get(index)
+                end = window if cap is None else min(window, cap)
+                runner.advance_begin(end, inbound.get(index, []))
             outbound: List[dict] = []
             for index, runner in enumerate(self.runners):
+                if index in self.dead:
+                    continue
                 egress, peek = runner.advance_finish()
+                cap = self.crash_at.get(index)
+                if cap is not None and window >= cap:
+                    self.dead.add(index)
+                    peek = None
                 self.peeks[index] = peek
                 outbound.extend(egress)
             outbound.sort(key=lambda m: (m["t"], m["src_host"], m["seq"]))
@@ -180,16 +199,33 @@ def run_cluster(scenario, *, costs: Optional[CostModel] = None,
 
     costs = (costs or CostModel()).validate()
     sim_mode = getattr(scenario, "sim_mode", "exact")
+    faults = list(getattr(scenario, "faults", None) or ())
+    cluster_plan = None
+    if faults:
+        from repro.faults.cluster import split_plan
+        cluster_plan = split_plan(faults, host_specs)
+        # Faults force the exact datapath, same as single-host mode:
+        # the collapsed-window replay cannot express mid-window carrier
+        # or fabric perturbations.
+        sim_mode = "exact"
+
+    def host_faults(spec):
+        if cluster_plan is None:
+            return None
+        return cluster_plan.for_host(spec.name) or None
+
     if parallel_hosts:
         from repro.cluster.process import ProcessHost
         runners = [ProcessHost(spec, i, costs=costs,
                                base_seed=scenario.seed, audit=audit,
-                               sim_mode=sim_mode)
+                               sim_mode=sim_mode,
+                               faults=host_faults(spec))
                    for i, spec in enumerate(host_specs)]
     else:
         runners = [InProcessHost(spec, i, costs=costs,
                                  base_seed=scenario.seed, audit=audit,
-                                 telemetry=telemetry, sim_mode=sim_mode)
+                                 telemetry=telemetry, sim_mode=sim_mode,
+                                 faults=host_faults(spec))
                    for i, spec in enumerate(host_specs)]
     try:
         # Program the ToR from every host's VF table, then resolve the
@@ -214,7 +250,12 @@ def run_cluster(scenario, *, costs: Optional[CostModel] = None,
             flows_by_host.setdefault(src, []).append(resolved)
         for index, runner in enumerate(runners):
             runner.configure_flows(flows_by_host.get(index, []))
-        coordinator = ClusterCoordinator(runners, tor, fabric.latency_s)
+        if cluster_plan is not None:
+            tor.set_timeline(cluster_plan.timeline)
+        coordinator = ClusterCoordinator(
+            runners, tor, fabric.latency_s,
+            crash_at=(cluster_plan.timeline.crash_at
+                      if cluster_plan is not None else None))
         coordinator.run(scenario.warmup)
         tor.reset_counters()
         for runner in runners:
@@ -262,10 +303,19 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
         tor, sim_time=max(r["elapsed"] for r in host_results))
     fabric_counters = tor.counters()
     # Fabric tail-drops (and unroutable frames) were offered traffic
-    # that never reached a receiver's books.
+    # that never reached a receiver's books.  Under a fault plan the
+    # same goes for frames drained at silenced endpoints and frames
+    # the host uplink layer dropped or still holds for retransmit.
     fabric_lost = fabric_counters["dropped"] + fabric_counters["unknown_dst"]
-    offered += fabric_lost
-    dropped += fabric_lost
+    fabric_lost += fabric_counters.get("drained", 0)
+    fault_totals: Dict[str, int] = {}
+    for result in host_results:
+        for key, value in (result.get("faults") or {}).items():
+            fault_totals[key] = fault_totals.get(key, 0) + value
+    uplink_lost = (fault_totals.get("uplink_tx_dropped", 0)
+                   + fault_totals.get("uplink_retransmit_pending", 0))
+    offered += fabric_lost + uplink_lost
+    dropped += fabric_lost + uplink_lost
     telemetry_facade = None
     if telemetry_runners is not None:
         hosts = [runner.host for runner in telemetry_runners]
@@ -296,6 +346,27 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
             "rejections": rejections,
             "collapsed_by_host": collapsed_by_host,
         }
+    extras = {
+        "cluster": {
+            "hosts": {result["name"]: result for result in host_results},
+            "fabric": {**fabric_counters, **fabric.to_dict()},
+            "sync_windows": coordinator.barrier.windows,
+        },
+    }
+    if getattr(scenario, "faults", None):
+        # Namespaced cluster-wide fault summary: per-host injector and
+        # uplink-layer counters summed, plus the ToR's fault buckets.
+        # Present only on faulted scenarios, so fault-free extras stay
+        # byte-identical to every earlier release.
+        extras["faults"] = {
+            **fault_totals,
+            "fabric_drained": fabric_counters.get("drained", 0),
+            "fabric_dropped_partition":
+                fabric_counters.get("dropped_partition", 0),
+            "fabric_dropped_unreachable":
+                fabric_counters.get("dropped_unreachable", 0),
+            "hosts_crashed": len(coordinator.dead),
+        }
     return RunResult(
         vm_count=len(per_vm),
         duration=elapsed,
@@ -311,13 +382,7 @@ def _aggregate(scenario, host_results: List[dict], tor: ToRSwitch,
         exit_counts=exit_counts,
         latency_mean=latency_sum / latency_count if latency_count else 0.0,
         latency_p99=latency_p99,
-        extras={
-            "cluster": {
-                "hosts": {result["name"]: result for result in host_results},
-                "fabric": {**fabric_counters, **fabric.to_dict()},
-                "sync_windows": coordinator.barrier.windows,
-            },
-        },
+        extras=extras,
         telemetry=telemetry_facade,
         fluid=fluid,
     )

@@ -158,12 +158,23 @@ class Host:
                  base_seed: int = 42,
                  audit: bool = True,
                  telemetry: bool = False,
-                 sim_mode: str = "exact"):
+                 sim_mode: str = "exact",
+                 faults: Optional[List[dict]] = None):
         if index < 0 or index > 0xFE:
             raise ValueError("a fabric supports at most 255 hosts")
         self.spec = spec
         self.index = index
         self.sim_mode = sim_mode
+        # This host's slice of the cluster fault plan (host key already
+        # stripped by split_plan): in-host kinds go to the testbed's
+        # injector, uplink flaps to the bonding layer built below.
+        local_specs: List[dict] = []
+        uplink_specs: List[dict] = []
+        for fault in (faults or ()):
+            if fault["kind"] in ("uplink_down", "uplink_up"):
+                uplink_specs.append(fault)
+            else:
+                local_specs.append(fault)
         config = TestbedConfig(
             ports=spec.ports,
             vfs_per_port=spec.vfs_per_port,
@@ -176,6 +187,10 @@ class Host:
             mac_realm=index + 1,
             audit=audit,
             sim_mode=sim_mode,
+            faults=local_specs or None,
+            # Forked per host so two hosts running the same plan draw
+            # decorrelated coin-flip sequences.
+            fault_stream=f"faults/{spec.name}",
         )
         self.bed = Testbed(config)
         self.sim = self.bed.sim
@@ -215,6 +230,11 @@ class Host:
                           name=f"{spec.name}.{port.name}.uplink")
             uplink.connect(self._egress)
             port.attach_uplink(uplink)
+        self.fault_layer = None
+        if uplink_specs:
+            from repro.faults.cluster import HostUplinkFaults
+            self.fault_layer = HostUplinkFaults(
+                self.sim, spec.name, self.bed.ports, uplink_specs)
         self._interrupts_before: List[int] = []
         self.uplink_tx_frames = 0
 
@@ -484,4 +504,13 @@ class Host:
             data["events_collapsed"] = self.sim.collapsed_events
             data["fluid_flows"] = len(self.bed.fluid_flows)
             data["fluid_rejections"] = dict(self.bed.fluid_rejections)
+        # The faults key exists only on faulted hosts, so fault-free
+        # host dicts (and their aggregated extras) stay byte-identical.
+        fault_summary: Dict[str, int] = {}
+        if self.bed.injector is not None:
+            fault_summary.update(self.bed.injector.summary())
+        if self.fault_layer is not None:
+            fault_summary.update(self.fault_layer.summary())
+        if fault_summary:
+            data["faults"] = fault_summary
         return data

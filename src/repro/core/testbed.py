@@ -65,6 +65,11 @@ class TestbedConfig:
     #: dicts) armed against the testbed at build time.  None/empty
     #: builds the exact testbed it always did.
     faults: Optional[Sequence[Mapping]] = None
+    #: Name of the seeded stream the injector forks its random draws
+    #: from.  Cluster hosts pass ``faults/<host-name>`` so two hosts
+    #: running the same plan draw decorrelated coin-flip sequences; the
+    #: single-host default keeps the historical stream.
+    fault_stream: str = "faults"
     #: Install the runtime invariant auditor
     #: (:class:`repro.audit.InvariantAuditor`).  Opt-out: the default
     #: end-of-run audit is observation-only, so results stay
@@ -178,7 +183,7 @@ class Testbed:
             from repro.faults import FaultInjector, FaultPlan
             self.injector = FaultInjector(
                 FaultPlan.from_specs(self.config.faults),
-                self.streams.fork("faults"))
+                self.streams.fork(self.config.fault_stream))
             self.injector.install(self)
         self.auditor = None
         if self.config.audit:

@@ -3,25 +3,42 @@
 The robustness counterpart of the paper's §4.4 failover story: a
 :class:`FaultPlan` of declarative specs (link flap, mailbox message
 loss, DMA/descriptor corruption, interrupt delay, migration-link
-degradation) that a :class:`FaultInjector` schedules onto a testbed's
-simulator.  See :mod:`repro.faults.plan` for the spec vocabulary and
-``docs/faults.md`` for the guarantees.
+degradation — plus the cluster-scope host crash/pause, uplink flap,
+fabric partition and uplink degrade kinds) that a
+:class:`FaultInjector` schedules onto a testbed's simulator or
+:mod:`repro.faults.cluster` splits across a cluster run.  See
+:mod:`repro.faults.plan` for the spec vocabulary and ``docs/faults.md``
+for the guarantees.
 """
 
+from repro.faults.cluster import (
+    ClusterFaultPlan,
+    ClusterFaultTimeline,
+    HostUplinkFaults,
+    split_plan,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    CLUSTER_FAULT_KINDS,
     FAULT_FIELDS,
     FAULT_KINDS,
+    HOST_LOCAL_FAULT_KINDS,
     FaultPlan,
     FaultSpecError,
     validate_spec,
 )
 
 __all__ = [
+    "CLUSTER_FAULT_KINDS",
     "FAULT_FIELDS",
     "FAULT_KINDS",
+    "HOST_LOCAL_FAULT_KINDS",
+    "ClusterFaultPlan",
+    "ClusterFaultTimeline",
     "FaultInjector",
     "FaultPlan",
     "FaultSpecError",
+    "HostUplinkFaults",
+    "split_plan",
     "validate_spec",
 ]

@@ -1,0 +1,456 @@
+"""Cluster-scope fault injection: the fabric and host-engine faults.
+
+Single-host faults perturb one testbed's internals; cluster faults
+perturb what connects testbeds.  Three pieces cooperate:
+
+``split_plan``
+    Validates a scenario's fault list against the declared hosts and
+    splits it: host-local kinds (``link_flap`` & co.) and the uplink
+    flaps go to each :class:`~repro.core.host.Host` (by name, ``host``
+    key stripped so the testbed-facing spec is the single-host shape);
+    fabric-facing kinds become a :class:`ClusterFaultTimeline`.
+
+``ClusterFaultTimeline``
+    The static schedule, as pure time-interval predicates over host
+    indexes.  Every fault time is plan data known before the run
+    starts, so the ToR's routing stays deterministic arithmetic: the
+    same (message, timestamp) pair gets the same verdict whether hosts
+    run serially or process-per-host, in any call order.
+
+``HostUplinkFaults``
+    The in-host graceful-degradation layer for uplink flaps: each NIC
+    port's fabric cable becomes a slave of an active-backup
+    :class:`~repro.drivers.bonding.BondingDriver` (primary = the port's
+    own cable, standbys = the host's other cables — the PR 3 MII-monitor
+    path at cluster scope).  When a cable is pulled the bond fails
+    egress over to a standby; frames caught with no carrier anywhere
+    queue for retransmit when TCP (flushed when a slave returns) and
+    drop-and-count when UDP.  Everything is scheduled on the host's own
+    engine at plan times, so the per-host replay is deterministic by
+    construction.
+
+Conservation: every frame a guest offers ends in exactly one bucket —
+delivered, a local drop, a host uplink drop (``uplink_tx_dropped`` /
+still-queued ``uplink_retransmit_pending``), or one of the ToR's
+``forwarded`` / ``dropped`` / ``unknown_dst`` / ``drained`` counters —
+which is what lets :func:`repro.audit.check_fabric_conservation` hold
+under every fault.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.drivers.bonding import BondingDriver, SlaveDevice
+from repro.faults.plan import (
+    CLUSTER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpecError,
+)
+from repro.net.packet import Packet, Protocol
+
+INF = float("inf")
+
+#: MII-monitor interval for the uplink bonds: 1 ms, not Linux's default
+#: 100 ms — a ToR-scale failover detection budget (fast miimon), and
+#: short enough that a flap inside a measurement window is observed.
+UPLINK_MIIMON_INTERVAL = 1e-3
+
+#: Bound on frames parked for retransmit while no cable has carrier
+#: (a socket buffer's worth); beyond it TCP frames drop and count too.
+RETRANSMIT_QUEUE_FRAMES = 1024
+
+
+def _intersect(a: List[Tuple[float, float]],
+               b: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Intersection of two sorted, disjoint interval lists."""
+    out: List[Tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if start < end:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _down_intervals(events: List[Tuple[float, bool]]) -> List[Tuple[float, float]]:
+    """Carrier-down intervals from a (time, down?) event list.
+
+    A redundant event (down while down, up while up) is a no-op, same
+    as a real PHY.  A final down with no matching up stays open to INF.
+    """
+    events.sort(key=lambda e: (e[0], not e[1]))
+    intervals: List[Tuple[float, float]] = []
+    down_since: Optional[float] = None
+    for time, down in events:
+        if down and down_since is None:
+            down_since = time
+        elif not down and down_since is not None:
+            if time > down_since:
+                intervals.append((down_since, time))
+            down_since = None
+    if down_since is not None:
+        intervals.append((down_since, INF))
+    return intervals
+
+
+class ClusterFaultTimeline:
+    """Static time-interval predicates the ToR consults while routing.
+
+    All methods take host *indexes* (what fabric messages carry) and a
+    timestamp; intervals are half-open ``[start, end)``.
+    """
+
+    def __init__(self, host_count: int):
+        self.host_count = host_count
+        #: Per host: intervals during which the host is silent (paused
+        #: or crashed) — its fabric egress and ingress drain at the ToR.
+        self._silence: Dict[int, List[Tuple[float, float]]] = {}
+        #: Host index -> crash time (the coordinator caps the engine).
+        self.crash_at: Dict[int, float] = {}
+        #: (start, end, {host index -> group id}) per partition.
+        self._partitions: List[Tuple[float, float, Dict[int, int]]] = []
+        #: Per host: (start, end, rate factor, latency factor).
+        self._degrades: Dict[int, List[Tuple[float, float, float, float]]] = {}
+        #: Per host: intervals during which *every* cable is down, so
+        #: the ToR's egress toward it black-holes.
+        self._unreachable: Dict[int, List[Tuple[float, float]]] = {}
+
+    # -- construction (split_plan) -------------------------------------
+    def add_silence(self, host: int, start: float, end: float) -> None:
+        self._silence.setdefault(host, []).append((start, end))
+
+    def add_partition(self, start: float, end: float,
+                      groups: Dict[int, int]) -> None:
+        self._partitions.append((start, end, groups))
+
+    def add_degrade(self, host: int, start: float, end: float,
+                    rate_factor: float, latency_factor: float) -> None:
+        self._degrades.setdefault(host, []).append(
+            (start, end, rate_factor, latency_factor))
+
+    def set_unreachable(self, host: int,
+                        intervals: List[Tuple[float, float]]) -> None:
+        if intervals:
+            self._unreachable[host] = intervals
+
+    # -- predicates the ToR calls --------------------------------------
+    def silenced(self, host: Optional[int], t: float) -> bool:
+        if host is None:
+            return False
+        for start, end in self._silence.get(host, ()):
+            if start <= t < end:
+                return True
+        return False
+
+    def partitioned(self, src: Optional[int], dst: int, t: float) -> bool:
+        if src is None or src == dst:
+            return False
+        for start, end, groups in self._partitions:
+            if start <= t < end:
+                src_group = groups.get(src)
+                dst_group = groups.get(dst)
+                if (src_group is not None and dst_group is not None
+                        and src_group != dst_group):
+                    return True
+        return False
+
+    def unreachable(self, host: int, t: float) -> bool:
+        for start, end in self._unreachable.get(host, ()):
+            if start <= t < end:
+                return True
+        return False
+
+    def _host_factors(self, host: Optional[int],
+                      t: float) -> Tuple[float, float]:
+        rate = latency = 1.0
+        if host is None:
+            return rate, latency
+        for start, end, rate_f, latency_f in self._degrades.get(host, ()):
+            if start <= t < end:
+                rate *= rate_f
+                latency *= latency_f
+        return rate, latency
+
+    def rate_factor(self, src: Optional[int], dst: int, t: float) -> float:
+        return max(self._host_factors(src, t)[0],
+                   self._host_factors(dst, t)[0])
+
+    def latency_factor(self, src: Optional[int], dst: int,
+                       t: float) -> float:
+        return max(self._host_factors(src, t)[1],
+                   self._host_factors(dst, t)[1])
+
+    def __bool__(self) -> bool:
+        return bool(self._silence or self._partitions or self._degrades
+                    or self._unreachable)
+
+
+class ClusterFaultPlan:
+    """A scenario fault list split by scope: per-host spec lists for
+    the Host constructors, plus the fabric timeline for the ToR."""
+
+    def __init__(self, timeline: ClusterFaultTimeline,
+                 by_host: Dict[str, List[Dict[str, object]]]):
+        self.timeline = timeline
+        self._by_host = by_host
+
+    def for_host(self, name: str) -> List[Dict[str, object]]:
+        """The host-scoped specs for ``name`` (``host`` key stripped —
+        the single-host shape the testbed injector and the uplink layer
+        consume).  Empty list when the host is fault-free."""
+        return self._by_host.get(name, [])
+
+
+def split_plan(faults: Sequence[Mapping],
+               host_specs: Sequence) -> ClusterFaultPlan:
+    """Validate and split a cluster scenario's fault list.
+
+    ``host_specs`` is the scenario's built
+    :class:`~repro.core.host.HostSpec` list, in host-index order; every
+    ``host=`` reference must name one of them.
+    """
+    names = {spec.name: index for index, spec in enumerate(host_specs)}
+    ports_by_host = {spec.name: spec.ports for spec in host_specs}
+    timeline = ClusterFaultTimeline(len(host_specs))
+    by_host: Dict[str, List[Dict[str, object]]] = {}
+    uplink_events: Dict[Tuple[str, int], List[Tuple[float, bool]]] = {}
+    for spec in FaultPlan.from_specs(faults):
+        kind = spec["kind"]
+        if kind == "migration_degrade":
+            raise FaultSpecError(
+                "migration_degrade targets the single-host migration "
+                "harness; cluster scenarios have no migration link")
+        if kind == "fabric_partition":
+            groups: Dict[int, int] = {}
+            for group_id, group in enumerate(spec["groups"]):
+                for name in group:
+                    if name not in names:
+                        raise FaultSpecError(
+                            f"fabric_partition groups name host {name!r} "
+                            f"but the scenario declares "
+                            f"{sorted(names)}")
+                    groups[names[name]] = group_id
+            at = float(spec["at"])
+            timeline.add_partition(at, at + float(spec["duration"]), groups)
+            continue
+        host = spec.get("host")
+        if host is None:
+            raise FaultSpecError(
+                f"cluster-mode fault {kind!r} needs host=<name> "
+                f"(one of {sorted(names)})")
+        if host not in names:
+            raise FaultSpecError(
+                f"fault {kind!r} targets host {host!r} but the "
+                f"scenario declares {sorted(names)}")
+        index = names[host]
+        at = float(spec["at"])
+        if kind == "host_crash":
+            timeline.add_silence(index, at, INF)
+            crash = timeline.crash_at.get(index)
+            if crash is None or at < crash:
+                timeline.crash_at[index] = at
+        elif kind == "host_pause":
+            timeline.add_silence(index, at, at + float(spec["duration"]))
+        elif kind == "uplink_degrade":
+            timeline.add_degrade(index, at, at + float(spec["duration"]),
+                                 float(spec["rate_factor"]),
+                                 float(spec["latency_factor"]))
+        elif kind in ("uplink_down", "uplink_up"):
+            port = int(spec["port"])
+            if port >= ports_by_host[host]:
+                raise FaultSpecError(
+                    f"{kind} targets port {port} but host {host!r} has "
+                    f"{ports_by_host[host]} port(s)")
+            events = uplink_events.setdefault((host, port), [])
+            if kind == "uplink_down":
+                events.append((at, True))
+                if spec["duration"] is not None:
+                    events.append((at + float(spec["duration"]), False))
+            else:
+                events.append((at, False))
+            stripped = dict(spec)
+            stripped.pop("host", None)
+            by_host.setdefault(host, []).append(stripped)
+            continue
+        else:
+            # Host-local kind riding a cluster plan: the host's own
+            # testbed injector arms it, exactly as single-host mode.
+            stripped = dict(spec)
+            stripped.pop("host", None)
+            by_host.setdefault(host, []).append(stripped)
+            continue
+    # A host is fabric-unreachable only while every one of its cables
+    # is down at once — the intersection across its ports.
+    for name, index in names.items():
+        port_intervals = []
+        for port in range(ports_by_host[name]):
+            events = uplink_events.get((name, port))
+            port_intervals.append(_down_intervals(list(events))
+                                  if events else [])
+        unreachable = port_intervals[0]
+        for intervals in port_intervals[1:]:
+            unreachable = _intersect(unreachable, intervals)
+        timeline.set_unreachable(index, unreachable)
+    return ClusterFaultPlan(timeline, by_host)
+
+
+class UplinkSlave(SlaveDevice):
+    """One fabric cable as a bond slave."""
+
+    def __init__(self, name: str, link):
+        self._name = name
+        self.link = link
+
+    @property
+    def slave_name(self) -> str:
+        return self._name
+
+    @property
+    def carrier(self) -> bool:
+        return self.link.up
+
+    def transmit(self, burst: List[Packet]) -> int:
+        sent = 0
+        for packet in burst:
+            if self.link.transmit(packet):
+                sent += 1
+        return sent
+
+
+class BondedUplink:
+    """What a faulted host's NIC port sees as its uplink: transmit goes
+    through the port's bond; everything else proxies the real cable (so
+    counters and rate reads keep working)."""
+
+    def __init__(self, layer: "HostUplinkFaults", port_index: int,
+                 bond: BondingDriver, link):
+        self._layer = layer
+        self._port_index = port_index
+        self._bond = bond
+        self._link = link
+
+    def transmit(self, packet: Packet) -> bool:
+        if self._bond.transmit([packet]) == 1:
+            return True
+        return self._layer._tx_failed(self._port_index, packet)
+
+    def __getattr__(self, name):
+        return getattr(self._link, name)
+
+
+class HostUplinkFaults:
+    """The graceful-degradation layer for uplink flaps on one host.
+
+    Built only when the host's plan contains uplink faults, so
+    fault-free hosts keep the direct ``port -> Link`` path (and their
+    byte-identical results) untouched.
+    """
+
+    def __init__(self, sim, host_name: str, ports,
+                 specs: Sequence[Mapping]):
+        self.sim = sim
+        self.host_name = host_name
+        self.links = [port.uplink for port in ports]
+        self.bonds: List[BondingDriver] = []
+        self.uplink_events = 0
+        self.uplink_tx_dropped = 0
+        self.uplink_retransmits = 0
+        self._retransmit: Deque[Tuple[int, Packet]] = deque()
+        self._flush_pending = False
+        for index, port in enumerate(ports):
+            bond = BondingDriver(sim, name=f"{host_name}.uplink-bond{index}")
+            # The port's own cable first: it auto-activates on enslave,
+            # so the bond starts exactly where the unfaulted path was.
+            bond.enslave(UplinkSlave(f"uplink{index}", self.links[index]))
+            for other, link in enumerate(self.links):
+                if other != index:
+                    bond.enslave(UplinkSlave(f"uplink{other}", link))
+            bond.primary = f"uplink{index}"
+            bond.start_miimon(UPLINK_MIIMON_INTERVAL)
+            self.bonds.append(bond)
+            port.attach_uplink(
+                BondedUplink(self, index, bond, self.links[index]))
+        for spec in specs:
+            at = float(spec["at"])
+            port_index = int(spec["port"])
+            if port_index >= len(self.links):
+                raise ValueError(
+                    f"{spec['kind']} targets port {port_index} but host "
+                    f"{host_name!r} has {len(self.links)} port(s)")
+            if spec["kind"] == "uplink_down":
+                sim.schedule_at(at, self._set_carrier, port_index, False)
+                if spec["duration"] is not None:
+                    sim.schedule_at(at + float(spec["duration"]),
+                                    self._set_carrier, port_index, True)
+            else:  # uplink_up
+                sim.schedule_at(at, self._set_carrier, port_index, True)
+
+    # -- the cable events ----------------------------------------------
+    def _set_carrier(self, port_index: int, up: bool) -> None:
+        self.uplink_events += 1
+        self.links[port_index].set_carrier(up)
+        # Carrier transitions are *detected* by each bond's MII monitor
+        # (or inline on the next transmit) — the realistic detection
+        # latency is the degradation window the retransmit queue rides.
+        if up:
+            self._kick_flush()
+
+    # -- graceful degradation ------------------------------------------
+    def _tx_failed(self, port_index: int, packet: Packet) -> bool:
+        """No slave of this port's bond accepted the frame."""
+        if (packet.protocol is Protocol.TCP
+                and len(self._retransmit) < RETRANSMIT_QUEUE_FRAMES):
+            self._retransmit.append((port_index, packet))
+            self._kick_flush()
+            return True
+        self.uplink_tx_dropped += 1
+        return False
+
+    def _kick_flush(self) -> None:
+        if self._retransmit and not self._flush_pending:
+            self._flush_pending = True
+            self.sim.schedule(UPLINK_MIIMON_INTERVAL, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_pending = False
+        while self._retransmit:
+            port_index, packet = self._retransmit[0]
+            if self.bonds[port_index].transmit([packet]) == 1:
+                self._retransmit.popleft()
+                self.uplink_retransmits += 1
+            else:
+                break
+        self._kick_flush()
+
+    # -- observability --------------------------------------------------
+    def failover_count(self) -> int:
+        """Activation changes after the initial enslave."""
+        return sum(1 for bond in self.bonds for record in bond.failovers
+                   if record.from_slave is not None)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "uplink_events": self.uplink_events,
+            "uplink_failovers": self.failover_count(),
+            "uplink_tx_dropped": self.uplink_tx_dropped,
+            "uplink_retransmits": self.uplink_retransmits,
+            "uplink_retransmit_pending": len(self._retransmit),
+        }
+
+
+__all__ = [
+    "CLUSTER_FAULT_KINDS",
+    "ClusterFaultPlan",
+    "ClusterFaultTimeline",
+    "HostUplinkFaults",
+    "RETRANSMIT_QUEUE_FRAMES",
+    "UPLINK_MIIMON_INTERVAL",
+    "split_plan",
+]

@@ -1,0 +1,149 @@
+"""Seeded fault-fuzzing: random plans as a conservation-violation hunter.
+
+``repro faults --fuzz N --seed S`` generates N random scenarios — a mix
+of single-host and cluster topologies, each carrying a random (but
+always *valid*) fault plan — and runs them through the supervised
+campaign engine with the invariant auditor armed.  The auditor's
+conservation laws (packet pool, NIC flow, descriptor rings, and the
+fabric identity ``offered == forwarded + dropped + unknown_dst +
+drained``) are the property under test: any violation surfaces as a
+deterministic, never-retried task failure carrying the scenario dict
+and seed needed to replay it.
+
+Generation is a pure function of ``(count, seed)`` — same arguments,
+same scenarios, byte for byte — so a violation found by an overnight
+fuzz run reproduces from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.api import Scenario
+
+#: Kept short: the fuzzer's value is plan diversity, not long windows.
+FUZZ_WARMUP = 0.04
+FUZZ_DURATION = 0.08
+
+
+def _single_host_faults(rng: random.Random, ports: int,
+                        vfs_per_port: int) -> List[dict]:
+    horizon = FUZZ_WARMUP + FUZZ_DURATION
+    faults = []
+    for _ in range(rng.randint(1, 3)):
+        at = round(rng.uniform(0.0, horizon), 4)
+        duration = round(rng.uniform(0.005, 0.06), 4)
+        kind = rng.choice(["link_flap", "mailbox_loss", "dma_corruption",
+                           "interrupt_delay"])
+        if kind == "link_flap":
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "port": rng.randrange(ports)})
+        elif kind == "mailbox_loss":
+            vf = (None if rng.random() < 0.5
+                  else rng.randrange(vfs_per_port))
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "port": rng.randrange(ports), "vf": vf,
+                           "probability": round(rng.uniform(0.2, 1.0), 3)})
+        elif kind == "dma_corruption":
+            faults.append({"kind": kind, "at": at,
+                           "count": rng.randint(1, 32),
+                           "port": rng.randrange(ports)})
+        else:
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "delay": round(rng.uniform(20e-6, 500e-6), 7)})
+    return faults
+
+
+def _cluster_faults(rng: random.Random, hosts: List[dict]) -> List[dict]:
+    horizon = FUZZ_WARMUP + FUZZ_DURATION
+    names = [h["name"] for h in hosts]
+    ports = {h["name"]: h["ports"] for h in hosts}
+    faults = []
+    crashed = False
+    for _ in range(rng.randint(1, 3)):
+        at = round(rng.uniform(0.0, horizon), 4)
+        duration = round(rng.uniform(0.005, 0.05), 4)
+        host = rng.choice(names)
+        kind = rng.choice(["host_pause", "uplink_down", "uplink_degrade",
+                           "fabric_partition", "host_crash", "link_flap"])
+        if kind == "host_crash":
+            if crashed:
+                continue  # one engine freeze per plan is plenty
+            crashed = True
+            faults.append({"kind": kind, "at": at, "host": host})
+        elif kind == "host_pause":
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "host": host})
+        elif kind == "uplink_down":
+            faults.append({"kind": kind, "at": at,
+                           "duration": (None if rng.random() < 0.25
+                                        else duration),
+                           "host": host,
+                           "port": rng.randrange(ports[host])})
+        elif kind == "uplink_degrade":
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "host": host,
+                           "rate_factor": round(rng.uniform(1.5, 40.0), 2),
+                           "latency_factor": round(rng.uniform(1.0, 20.0),
+                                                   2)})
+        elif kind == "fabric_partition":
+            cut = rng.randint(1, len(names) - 1)
+            shuffled = list(names)
+            rng.shuffle(shuffled)
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "groups": [shuffled[:cut], shuffled[cut:]]})
+        else:  # link_flap riding the cluster plan (host-local kind)
+            faults.append({"kind": kind, "at": at, "duration": duration,
+                           "host": host,
+                           "port": rng.randrange(ports[host])})
+    return faults
+
+
+def generate_fuzz_scenarios(count: int, seed: int) -> List[Scenario]:
+    """``count`` random faulted scenarios, deterministic in ``seed``."""
+    if count < 1:
+        raise ValueError("fuzz count must be >= 1")
+    rng = random.Random(seed)
+    scenarios: List[Scenario] = []
+    while len(scenarios) < count:
+        run_seed = rng.randrange(1 << 16)
+        if rng.random() < 0.4:
+            ports = rng.randint(1, 2)
+            vfs = 7
+            vm_count = rng.randint(1, 2 * ports)
+            scenarios.append(Scenario(
+                mode="sriov", vm_count=vm_count, ports=ports,
+                vfs_per_port=vfs, protocol=rng.choice(["udp", "tcp"]),
+                warmup=FUZZ_WARMUP, duration=FUZZ_DURATION, seed=run_seed,
+                faults=_single_host_faults(rng, ports, vfs)))
+        else:
+            host_count = rng.randint(2, 3)
+            hosts = [{"name": f"h{i}", "vm_count": rng.randint(1, 2),
+                      "ports": rng.randint(1, 2)}
+                     for i in range(host_count)]
+            flows = []
+            for i, host in enumerate(hosts):
+                dst = hosts[(i + 1) % host_count]
+                flows.append({"src_host": host["name"],
+                              "dst_host": dst["name"],
+                              "protocol": rng.choice(["udp", "tcp"]),
+                              "offered_bps": rng.choice([200e6, 400e6,
+                                                         800e6])})
+            scenarios.append(Scenario(
+                mode="cluster", hosts=hosts, flows=flows,
+                warmup=FUZZ_WARMUP, duration=FUZZ_DURATION, seed=run_seed,
+                faults=_cluster_faults(rng, hosts)))
+    return scenarios
+
+
+def violation_outcomes(outcomes) -> List:
+    """The outcomes whose task failed on an invariant violation (the
+    fuzzer's actual findings, as opposed to infrastructure failures)."""
+    found = []
+    for outcome in outcomes:
+        task = outcome.task
+        if task is not None and task.error \
+                and "InvariantViolation" in task.error:
+            found.append(outcome)
+    return found

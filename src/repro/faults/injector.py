@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CLUSTER_FAULT_KINDS, FaultPlan
 from repro.sim.rand import RandomStreams
 
 
@@ -55,6 +55,11 @@ class FaultInjector:
                 self._arm_dma_corruption(sim, bed, spec)
             elif kind == "interrupt_delay":
                 self._arm_interrupt_delay(sim, bed, spec)
+            elif kind in CLUSTER_FAULT_KINDS:
+                raise ValueError(
+                    f"{kind!r} is a cluster-scope fault: it needs "
+                    f"run_cluster (Scenario hosts=...), not a single "
+                    f"testbed")
             else:  # pragma: no cover - plan validation forbids this
                 raise AssertionError(f"unhandled fault kind {kind!r}")
         self._register_gauges(bed)

@@ -98,13 +98,25 @@ class ToRSwitch:
         self._queue_bound_s = (spec.queue_frames *
                                wire_bytes(DEFAULT_MTU) * 8 / spec.rate_bps)
         #: Frames handed to :meth:`route` since the last counter reset.
-        #: Conservation: ``offered == forwarded + dropped + unknown_dst``
-        #: (asserted by :func:`repro.audit.check_fabric_conservation`).
+        #: Conservation: ``offered == forwarded + dropped + unknown_dst
+        #: + drained`` (asserted by
+        #: :func:`repro.audit.check_fabric_conservation`).
         self.offered = 0
         self.forwarded = 0
         self.forwarded_bytes = 0
         self.dropped = 0
         self.unknown_dst = 0
+        #: Frames from/to a silenced (crashed or paused) host — they
+        #: left the wire but the endpoint was gone, so they are neither
+        #: forwarded nor queue drops.
+        self.drained = 0
+        #: Sub-buckets of ``dropped`` (cluster fault attribution).
+        self.dropped_partition = 0
+        self.dropped_unreachable = 0
+        #: Cluster fault timeline (:mod:`repro.faults.cluster`); None
+        #: on fault-free fabrics, which keeps :meth:`route` the exact
+        #: arithmetic it always was.
+        self._timeline = None
 
     # ------------------------------------------------------------------
     # MAC learning (static: programmed from each host's VF table)
@@ -116,6 +128,25 @@ class ToRSwitch:
 
     def host_for(self, mac_value: int) -> Optional[int]:
         return self._mac_to_host.get(mac_value)
+
+    # ------------------------------------------------------------------
+    # cluster fault timeline
+    # ------------------------------------------------------------------
+    def set_timeline(self, timeline) -> None:
+        """Attach a :class:`~repro.faults.cluster.ClusterFaultTimeline`.
+
+        Timeline checks are pure time-interval filters on the message
+        timestamps, so routing stays deterministic arithmetic — the
+        fault schedule is static plan data, never runtime state.
+        """
+        self._timeline = timeline
+
+    def drain(self, count: int = 1) -> None:
+        """Account frames that left a wire but met a silenced endpoint
+        (used by the coordinator for frames already in flight when a
+        host crashes)."""
+        self.offered += count
+        self.drained += count
 
     # ------------------------------------------------------------------
     # forwarding
@@ -133,30 +164,64 @@ class ToRSwitch:
         """
         count = message.get("count", 1)
         self.offered += count
+        timeline = self._timeline
+        t = message["t"]
+        if timeline is not None and timeline.silenced(
+                message.get("src_host"), t):
+            # A paused/crashed host's frames never made it off the NIC
+            # onto the fabric — but the guest stack already booked them
+            # as offered, so account them as drained, not forwarded.
+            self.drained += count
+            return None
         dst_host = self._mac_to_host.get(message["dst"])
         if dst_host is None:
             self.unknown_dst += count
             return None
-        ready = message["t"] + self.spec.latency_s
+        if timeline is None:
+            ready = t + self.spec.latency_s
+            rate_factor = 1.0
+        else:
+            if timeline.partitioned(message.get("src_host"), dst_host, t):
+                self.dropped += count
+                self.dropped_partition += count
+                return None
+            ready = t + (self.spec.latency_s *
+                         timeline.latency_factor(
+                             message.get("src_host"), dst_host, t))
+            if timeline.unreachable(dst_host, ready):
+                # Every cable of the destination host is unplugged: the
+                # ToR's egress port has no carrier, frames black-hole.
+                self.dropped += count
+                self.dropped_unreachable += count
+                return None
+            rate_factor = timeline.rate_factor(
+                message.get("src_host"), dst_host, t)
         start = max(ready, self._free_at[dst_host])
         queued = start - ready
         if queued > self._queue_bound_s:
             self.dropped += count
             return None
         frame_bytes = wire_bytes(message["size"], message["vlan"])
-        serialize_s = frame_bytes * 8 / self.spec.rate_bps
+        serialize_s = frame_bytes * 8 * rate_factor / self.spec.rate_bps
         fit = count
         if count > 1 and serialize_s > 0.0:
             fit = min(count,
                       int((self._queue_bound_s - queued) / serialize_s) + 1)
-        self._free_at[dst_host] = start + fit * serialize_s
+        arrival = start + fit * serialize_s
+        if timeline is not None and timeline.silenced(dst_host, arrival):
+            # The destination pauses/crashes before the frames clear the
+            # egress port: they drain at the ToR.  No _free_at booking —
+            # nothing was actually clocked onto the dead port.
+            self.drained += count
+            return None
+        self._free_at[dst_host] = arrival
         self.forwarded += fit
         self.forwarded_bytes += fit * frame_bytes
         if fit < count:
             self.dropped += count - fit
             message["count"] = fit
         message["dst_host"] = dst_host
-        message["arrival"] = self._free_at[dst_host]
+        message["arrival"] = arrival
         return message
 
     def reset_counters(self) -> None:
@@ -167,10 +232,20 @@ class ToRSwitch:
         self.forwarded_bytes = 0
         self.dropped = 0
         self.unknown_dst = 0
+        self.drained = 0
+        self.dropped_partition = 0
+        self.dropped_unreachable = 0
 
     def counters(self) -> Dict[str, int]:
-        return {"offered": self.offered,
-                "forwarded": self.forwarded,
-                "forwarded_bytes": self.forwarded_bytes,
-                "dropped": self.dropped,
-                "unknown_dst": self.unknown_dst}
+        counters = {"offered": self.offered,
+                    "forwarded": self.forwarded,
+                    "forwarded_bytes": self.forwarded_bytes,
+                    "dropped": self.dropped,
+                    "unknown_dst": self.unknown_dst}
+        # The fault buckets appear only on faulted fabrics so fault-free
+        # cluster extras stay byte-identical to every earlier release.
+        if self._timeline is not None:
+            counters["drained"] = self.drained
+            counters["dropped_partition"] = self.dropped_partition
+            counters["dropped_unreachable"] = self.dropped_unreachable
+        return counters

@@ -39,6 +39,9 @@ class Link:
         self.queue_frames = queue_frames
         self.name = name
         self._sink: Optional[Callable[[Packet], None]] = None
+        #: Carrier state (the cable itself).  Frames offered while the
+        #: carrier is down drop — a real NIC's TX DMA into a dead line.
+        self._up: bool = True
         #: Simulated time at which the transmitter becomes idle.
         self._tx_free_at: float = 0.0
         self._queued: int = 0
@@ -53,6 +56,14 @@ class Link:
     def serialization_delay(self, packet: Packet) -> float:
         """Time to clock the frame (with Ethernet overhead) onto the wire."""
         return wire_bytes(packet.size_bytes, packet.vlan) * 8 / self.rate_bps
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_carrier(self, up: bool) -> None:
+        """Raise or cut the line's carrier (fabric-side cable pull)."""
+        self._up = bool(up)
 
     @property
     def busy(self) -> bool:
@@ -71,6 +82,9 @@ class Link:
         """
         if self._sink is None:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        if not self._up:
+            self.dropped.add()
+            return False
         start = max(self.sim.now, self._tx_free_at)
         backlog_delay = start - self.sim.now
         # Frames ahead of us in the queue are already accounted inside

@@ -268,6 +268,39 @@ def _fig21f_scenarios(quick: bool) -> LabeledScenarios:
                                   faults=[flap]))]
 
 
+def _fig21c_flows() -> List[dict]:
+    flows = []
+    for vm in range(2):
+        for src, dst in (("h0", "h1"), ("h1", "h0")):
+            flows.append({"src_host": src, "dst_host": dst,
+                          "src_vm": vm, "dst_vm": vm, "protocol": "tcp",
+                          "offered_bps": 400e6})
+    return flows
+
+
+def _fig21c_scenarios(quick: bool) -> LabeledScenarios:
+    # Graceful degradation, measured: the fig22 rig under cluster-scope
+    # faults.  TCP flows, so a flapped uplink is ridden out by bond
+    # failover plus the retransmit queue rather than counted straight
+    # as loss, while a fabric partition can only surface as drops.
+    warmup = 0.05 if quick else 0.1
+    duration = 0.08 if quick else 0.2
+    at = warmup + duration * 0.25
+    outage = duration * 0.25
+    hosts = [{"name": name, "vm_count": 2, "ports": 2}
+             for name in ("h0", "h1")]
+    base = Scenario(mode="cluster", hosts=hosts, flows=_fig21c_flows(),
+                    fabric={"uplink_gbps": 10.0, "latency_s": 2e-5},
+                    warmup=warmup, duration=duration)
+    flap = {"kind": "uplink_down", "at": at, "duration": outage,
+            "host": "h0", "port": 0}
+    cut = {"kind": "fabric_partition", "at": at, "duration": outage,
+           "groups": [["h0"], ["h1"]]}
+    return [("baseline", base),
+            ("uplink-flap", base.with_(faults=[flap])),
+            ("partition", base.with_(faults=[cut]))]
+
+
 # ----------------------------------------------------------------------
 # row builders (results -> the table the paper's plot reads)
 # ----------------------------------------------------------------------
@@ -379,6 +412,19 @@ def _fig22_rows(results: Dict[str, RunResult]) -> Rows:
              "fabric drops"], rows)
 
 
+def _fig21c_rows(results: Dict[str, RunResult]) -> Rows:
+    rows = []
+    for label, r in results.items():
+        fabric = r.extras["cluster"]["fabric"]
+        faults = r.extras.get("faults", {})
+        rows.append([label, r.throughput_gbps, r.loss_rate * 100,
+                     fabric["dropped"] + fabric["unknown_dst"],
+                     faults.get("fabric_drained", 0),
+                     faults.get("uplink_failovers", 0)])
+    return (["fault", "Gbps", "loss%", "fabric drops", "drained",
+             "failovers"], rows)
+
+
 def _migration_rows(results: Dict[str, RunResult]) -> Rows:
     timeline = results.get("timeline")
     return (["t (s)", "Mbps", "dom0%"],
@@ -424,6 +470,9 @@ FIGURES: Dict[str, Figure] = {
         Figure("fig21f", "DNIS migration timeline under an injected "
                          "VF link flap",
                _fig21f_scenarios, _migration_rows),
+        Figure("fig21c", "two-host cluster throughput under injected "
+                         "uplink flap and fabric partition",
+               _fig21c_scenarios, _fig21c_rows),
         Figure("fig22", "cross-host SR-IOV scaling over a 10 GbE ToR "
                         "(extension beyond the paper)",
                _fig22_scenarios, _fig22_rows),

@@ -95,10 +95,47 @@ class TestScenarioSchemaV2:
         with pytest.raises(ValueError, match="cluster-mode field"):
             Scenario(mode="sriov", hosts=[{"name": "h0"}])
 
-    def test_cluster_mode_rejects_faults(self):
-        with pytest.raises(ValueError, match="single-host"):
+    def test_cluster_mode_accepts_host_scoped_faults(self):
+        scenario = Scenario(
+            mode="cluster",
+            hosts=[{"name": "h0"}, {"name": "h1"}],
+            faults=[{"kind": "uplink_down", "at": 1.0, "host": "h0"},
+                    {"kind": "fabric_partition", "at": 2.0,
+                     "groups": [["h0"], ["h1"]]}])
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
+    def test_cluster_fault_host_must_be_declared(self):
+        with pytest.raises(ValueError, match="h9"):
             Scenario(mode="cluster", hosts=[{"name": "h0"}],
+                     faults=[{"kind": "host_crash", "at": 1.0,
+                              "host": "h9"}])
+
+    def test_cluster_fault_host_typo_gets_a_hint(self):
+        with pytest.raises(ValueError, match="did you mean 'left'"):
+            Scenario(mode="cluster",
+                     hosts=[{"name": "left"}, {"name": "right"}],
+                     faults=[{"kind": "fabric_partition", "at": 1.0,
+                              "groups": [["lefft"], ["right"]]}])
+
+    def test_cluster_fault_needs_host_field(self):
+        with pytest.raises(ValueError, match="needs host="):
+            Scenario(mode="cluster",
+                     hosts=[{"name": "h0"}, {"name": "h1"}],
                      faults=[{"kind": "link_flap", "at": 1.0}])
+
+    def test_cluster_fault_port_validated_against_host(self):
+        with pytest.raises(ValueError, match="port"):
+            Scenario(mode="cluster",
+                     hosts=[{"name": "h0", "ports": 1}, {"name": "h1"}],
+                     faults=[{"kind": "uplink_down", "at": 1.0,
+                              "host": "h0", "port": 3}])
+
+    def test_single_host_modes_reject_cluster_scope_faults(self):
+        with pytest.raises(ValueError, match="cluster-scope"):
+            Scenario(mode="sriov",
+                     faults=[{"kind": "host_pause", "at": 1.0,
+                              "host": "h0"}])
 
 
 class TestSeedCacheKeys:
@@ -122,6 +159,9 @@ class TestSeedCacheKeys:
         "faulted":
             "905e30b07709b224259e922ce04bd5745d98de4872493e5b4c336bc48"
             "304a3a5",
+        "cluster":
+            "f92606817cb1f33b7aafb03b5b712364c9d9b4d45bdc9484b0f0211ee"
+            "99cde6f",
     }
 
     def _scenarios(self):
@@ -137,6 +177,13 @@ class TestSeedCacheKeys:
                                    kind="pvm", message_bytes=4000),
             "faulted": Scenario(faults=[{"kind": "link_flap",
                                          "at": 2.0}]),
+            "cluster": Scenario(
+                mode="cluster",
+                hosts=[{"name": "h0", "vm_count": 2, "ports": 2},
+                       {"name": "h1", "vm_count": 2, "ports": 2}],
+                flows=[{"src_host": "h0", "dst_host": "h1"},
+                       {"src_host": "h1", "dst_host": "h0"}],
+                warmup=0.05, duration=0.05),
         }
 
     def test_seed_scenario_keys_are_unchanged(self):
@@ -145,3 +192,20 @@ class TestSeedCacheKeys:
             assert key == self.PINNED[label], (
                 f"cache key for {label!r} drifted: every warm cache "
                 f"would be invalidated (got {key})")
+
+    def test_fault_free_dicts_never_mention_faults(self):
+        # The cluster fault layer must not leak into fault-free
+        # canonical dicts (the cache key above pins the hash; this
+        # pins the reason it holds).
+        for label, scenario in self._scenarios().items():
+            if label == "faulted":
+                continue
+            assert "faults" not in json.dumps(scenario.to_dict())
+
+    def test_host_scoping_does_not_perturb_single_host_plans(self):
+        # host=None normalizes away, so plans written before host
+        # scoping existed keep their exact canonical JSON.
+        a = Scenario(faults=[{"kind": "link_flap", "at": 2.0}])
+        b = Scenario(faults=[{"kind": "link_flap", "at": 2.0,
+                              "host": None}])
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,231 @@
+"""Cluster-scale fault injection: byte-identity, graceful degradation,
+per-host stream forks, and plan splitting.
+
+The load-bearing contract is the same one the fault-free cluster tests
+pin: serial in-process and process-per-host execution share one cache
+key, so a faulted scenario must produce the byte-identical RunResult
+dict in both modes — fault effects included.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Scenario, run
+from repro.core.host import HostSpec
+from repro.faults import FaultSpecError, split_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sim.rand import RandomStreams
+
+
+def _scenario(faults, *, protocol="tcp", **overrides):
+    fields = dict(
+        mode="cluster",
+        hosts=[{"name": "h0", "vm_count": 2, "ports": 2},
+               {"name": "h1", "vm_count": 2, "ports": 2}],
+        flows=[{"src_host": "h0", "dst_host": "h1",
+                "src_vm": 0, "dst_vm": 0, "protocol": protocol},
+               {"src_host": "h1", "dst_host": "h0",
+                "src_vm": 1, "dst_vm": 1, "protocol": protocol}],
+        fabric={"latency_s": 2e-5},
+        warmup=0.05, duration=0.05, faults=faults)
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+FAULT_PLANS = {
+    "uplink_flap": [{"kind": "uplink_down", "at": 0.06, "duration": 0.02,
+                     "host": "h0", "port": 0}],
+    "host_crash": [{"kind": "host_crash", "at": 0.07, "host": "h1"}],
+    "host_pause": [{"kind": "host_pause", "at": 0.06, "duration": 0.02,
+                    "host": "h0"}],
+    "partition": [{"kind": "fabric_partition", "at": 0.06,
+                   "duration": 0.02, "groups": [["h0"], ["h1"]]}],
+    "degrade": [{"kind": "uplink_degrade", "at": 0.06, "duration": 0.03,
+                 "host": "h1", "rate_factor": 40.0,
+                 "latency_factor": 4.0}],
+    "mailbox_on_host": [{"kind": "mailbox_loss", "at": 0.01,
+                         "duration": 0.05, "host": "h0",
+                         "probability": 1.0}],
+}
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", sorted(FAULT_PLANS))
+    def test_serial_and_process_modes_agree_under_faults(self, name):
+        scenario = _scenario(FAULT_PLANS[name])
+        serial = run(scenario)
+        parallel = run(scenario, parallel_hosts=True)
+        assert (json.dumps(serial.to_dict(), sort_keys=True)
+                == json.dumps(parallel.to_dict(), sort_keys=True))
+        assert "faults" in serial.extras
+
+
+class TestGracefulDegradation:
+    def test_tcp_flows_survive_a_transient_uplink_flap(self):
+        # Port 0's cable drops for 20 ms mid-measurement.  The bond
+        # fails over to the standby and back; TCP retransmits cover the
+        # miimon detection gap, so the flap costs failovers, not loss.
+        result = run(_scenario(FAULT_PLANS["uplink_flap"]))
+        faults = result.extras["faults"]
+        assert faults["uplink_failovers"] >= 2  # down -> standby -> back
+        assert result.loss_rate < 0.02
+        assert result.throughput_bps > 700e6
+
+    def test_udp_on_a_single_port_host_pays_for_the_flap_in_drops(self):
+        # With one port there is no standby to fail over to: outbound
+        # UDP drops at the bond, inbound drops at the ToR as
+        # unreachable — both counted, neither raised.
+        result = run(_scenario(
+            FAULT_PLANS["uplink_flap"], protocol="udp",
+            hosts=[{"name": "h0", "vm_count": 2, "ports": 1},
+                   {"name": "h1", "vm_count": 2, "ports": 1}]))
+        faults = result.extras["faults"]
+        assert faults["uplink_tx_dropped"] > 0
+        assert faults["fabric_dropped_unreachable"] > 0
+        assert result.loss_rate > 0.0
+
+    def test_host_crash_drains_traffic_instead_of_raising(self):
+        result = run(_scenario(FAULT_PLANS["host_crash"]))
+        faults = result.extras["faults"]
+        assert faults["hosts_crashed"] == 1
+        assert faults["fabric_drained"] > 0
+        # Half the rig died a third of the way through measurement;
+        # the run still completes and accounts for the silence as loss.
+        assert 0.1 < result.loss_rate < 0.6
+
+    def test_host_pause_is_a_crash_that_ends(self):
+        result = run(_scenario(FAULT_PLANS["host_pause"]))
+        faults = result.extras["faults"]
+        assert faults["hosts_crashed"] == 0
+        assert faults["fabric_drained"] > 0
+
+    def test_partition_surfaces_as_counters_not_exceptions(self):
+        result = run(_scenario(FAULT_PLANS["partition"]))
+        faults = result.extras["faults"]
+        assert faults["fabric_dropped_partition"] > 0
+        fabric = result.extras["cluster"]["fabric"]
+        assert fabric["dropped"] >= faults["fabric_dropped_partition"]
+        assert result.loss_rate > 0.0
+
+    def test_degrade_slows_without_silencing(self):
+        baseline = run(_scenario(None, protocol="udp"))
+        degraded = run(_scenario(FAULT_PLANS["degrade"], protocol="udp"))
+        assert degraded.extras["faults"]["fabric_drained"] == 0
+        assert degraded.throughput_bps < baseline.throughput_bps
+        assert degraded.latency_p99 > baseline.latency_p99
+
+    def test_fault_free_cluster_has_no_faults_extras(self):
+        result = run(_scenario(None))
+        assert "faults" not in result.extras
+        fabric = result.extras["cluster"]["fabric"]
+        # The fault counters stay out of the fabric dict too, so the
+        # result document is byte-identical to the pre-fault-layer one.
+        assert "drained" not in fabric
+
+
+class TestPerHostStreamFork:
+    def test_host_fault_stream_is_namespaced_by_host_name(self):
+        # Pinned: the injector's stream fork is faults/<host-name>, so
+        # two hosts running the same plan draw independent sequences.
+        from repro.cluster.runner import InProcessHost
+        from repro.core.costs import CostModel
+        spec = HostSpec.from_dict({"name": "h7", "vm_count": 1,
+                                   "ports": 1}, 0)
+        host = InProcessHost(spec, 0, costs=CostModel(), base_seed=1,
+                             audit=False, telemetry=False,
+                             faults=[{"kind": "mailbox_loss", "at": 0.01,
+                                      "duration": 0.05,
+                                      "probability": 0.5}])
+        assert host.host.bed.config.fault_stream == "faults/h7"
+
+    def test_sibling_host_forks_draw_distinct_sequences(self):
+        root = RandomStreams(seed=42)
+        h0 = root.fork("faults/h0").get("faults")
+        h1 = root.fork("faults/h1").get("faults")
+        assert [h0.random() for _ in range(8)] \
+            != [h1.random() for _ in range(8)]
+
+    def test_same_fork_replays_identically(self):
+        a = RandomStreams(seed=42).fork("faults/h0").get("faults")
+        b = RandomStreams(seed=42).fork("faults/h0").get("faults")
+        assert [a.random() for _ in range(8)] \
+            == [b.random() for _ in range(8)]
+
+
+class TestScopeBoundaries:
+    def test_injector_rejects_cluster_scope_kinds(self):
+        import types
+        plan = FaultPlan.from_specs([{"kind": "host_crash", "at": 1.0,
+                                      "host": "h0"}])
+        injector = FaultInjector(plan, RandomStreams(0))
+        with pytest.raises(ValueError, match="cluster-scope"):
+            injector.install(types.SimpleNamespace(sim=None))
+
+    def test_single_host_run_rejects_cluster_kinds(self):
+        with pytest.raises(ValueError, match="cluster"):
+            Scenario(mode="sriov", faults=[
+                {"kind": "host_crash", "at": 1.0, "host": "h0"}])
+
+    def test_single_host_run_rejects_host_scoping(self):
+        with pytest.raises(ValueError, match="host"):
+            Scenario(mode="sriov", faults=[
+                {"kind": "link_flap", "at": 1.0, "host": "h0"}])
+
+
+class TestSplitPlan:
+    HOSTS = [HostSpec.from_dict({"name": "h0", "vm_count": 1,
+                                 "ports": 2}, 0),
+             HostSpec.from_dict({"name": "h1", "vm_count": 1,
+                                 "ports": 1}, 1)]
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(FaultSpecError, match="declares"):
+            split_plan([{"kind": "host_crash", "at": 1.0,
+                         "host": "h9"}], self.HOSTS)
+
+    def test_missing_host_rejected(self):
+        # Cluster-scope kinds require host= at the plan level already;
+        # a host-local kind riding a cluster plan is caught at split.
+        with pytest.raises(FaultSpecError, match="requires 'host'"):
+            split_plan([{"kind": "host_pause", "at": 1.0}], self.HOSTS)
+        with pytest.raises(FaultSpecError, match="needs host="):
+            split_plan([{"kind": "link_flap", "at": 1.0}], self.HOSTS)
+
+    def test_out_of_range_port_rejected(self):
+        with pytest.raises(FaultSpecError, match="port"):
+            split_plan([{"kind": "uplink_down", "at": 1.0, "host": "h1",
+                         "port": 1}], self.HOSTS)
+
+    def test_migration_degrade_rejected(self):
+        with pytest.raises(FaultSpecError, match="migration"):
+            split_plan([{"kind": "migration_degrade"}], self.HOSTS)
+
+    def test_partition_member_must_be_declared(self):
+        with pytest.raises(FaultSpecError, match="h9"):
+            split_plan([{"kind": "fabric_partition", "at": 1.0,
+                         "groups": [["h0"], ["h9"]]}], self.HOSTS)
+
+    def test_host_key_is_stripped_from_per_host_specs(self):
+        plan = split_plan([{"kind": "link_flap", "at": 1.0,
+                            "host": "h0"}], self.HOSTS)
+        specs = plan.for_host("h0")
+        assert len(specs) == 1 and "host" not in specs[0]
+        assert plan.for_host("h1") == []
+
+    def test_unreachable_needs_every_cable_down(self):
+        # h0 has two ports; dropping only port 0 never makes it
+        # fabric-unreachable, dropping both does for the overlap.
+        plan = split_plan([{"kind": "uplink_down", "at": 1.0,
+                            "duration": 1.0, "host": "h0", "port": 0}],
+                          self.HOSTS)
+        assert not plan.timeline.unreachable(0, 1.5)
+        plan = split_plan(
+            [{"kind": "uplink_down", "at": 1.0, "duration": 1.0,
+              "host": "h0", "port": 0},
+             {"kind": "uplink_down", "at": 1.5, "duration": 1.0,
+              "host": "h0", "port": 1}], self.HOSTS)
+        assert plan.timeline.unreachable(0, 1.75)
+        assert not plan.timeline.unreachable(0, 1.25)
+        assert not plan.timeline.unreachable(0, 2.25)

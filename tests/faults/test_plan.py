@@ -80,6 +80,95 @@ class TestValidateSpec:
     def test_every_kind_has_a_field_table(self):
         assert set(FAULT_KINDS) == set(FAULT_FIELDS)
 
+    def test_kind_scopes_partition_the_vocabulary(self):
+        from repro.faults import (CLUSTER_FAULT_KINDS,
+                                  HOST_LOCAL_FAULT_KINDS)
+        assert CLUSTER_FAULT_KINDS & HOST_LOCAL_FAULT_KINDS == set()
+        assert (CLUSTER_FAULT_KINDS | HOST_LOCAL_FAULT_KINDS
+                | {"migration_degrade"}) == set(FAULT_KINDS)
+
+
+class TestSpellingHints:
+    def test_unknown_kind_suggests_closest_match(self):
+        with pytest.raises(FaultSpecError,
+                           match=r"did you mean 'uplink_down'\?"):
+            validate_spec({"kind": "uplink_donw", "at": 1.0})
+
+    def test_unknown_field_suggests_closest_match(self):
+        with pytest.raises(FaultSpecError,
+                           match=r"did you mean 'duration'\?"):
+            validate_spec({"kind": "link_flap", "at": 1.0,
+                           "duratoin": 0.5})
+
+    def test_hopeless_typo_gets_no_hint(self):
+        with pytest.raises(FaultSpecError) as exc:
+            validate_spec({"kind": "zzzzqqq", "at": 1.0})
+        assert "did you mean" not in str(exc.value)
+
+
+class TestClusterKinds:
+    def test_host_crash_requires_host(self):
+        with pytest.raises(FaultSpecError, match="requires 'host'"):
+            validate_spec({"kind": "host_crash", "at": 1.0})
+        spec = validate_spec({"kind": "host_crash", "at": 1.0,
+                              "host": "h0"})
+        assert spec == {"kind": "host_crash", "at": 1.0, "host": "h0"}
+
+    def test_host_pause_defaults(self):
+        spec = validate_spec({"kind": "host_pause", "at": 1.0,
+                              "host": "h1"})
+        assert spec["duration"] == 0.5 and spec["host"] == "h1"
+
+    def test_uplink_down_duration_none_means_forever(self):
+        spec = validate_spec({"kind": "uplink_down", "at": 1.0,
+                              "host": "h0"})
+        assert spec["duration"] is None and spec["port"] == 0
+        with pytest.raises(FaultSpecError, match="> 0"):
+            validate_spec({"kind": "uplink_down", "at": 1.0,
+                           "host": "h0", "duration": -1.0})
+
+    def test_partition_groups_validated(self):
+        spec = validate_spec({"kind": "fabric_partition", "at": 1.0,
+                              "groups": [["h1", "h0"], ["h2"]]})
+        # groups and members are sorted so equivalent plans normalize
+        # to the same canonical JSON (and thus the same cache key).
+        assert spec["groups"] == [["h0", "h1"], ["h2"]]
+        with pytest.raises(FaultSpecError, match="two"):
+            validate_spec({"kind": "fabric_partition", "at": 1.0,
+                           "groups": [["h0", "h1"]]})
+        with pytest.raises(FaultSpecError, match="more than one group"):
+            validate_spec({"kind": "fabric_partition", "at": 1.0,
+                           "groups": [["h0"], ["h0", "h1"]]})
+
+    def test_degrade_factors_bounded(self):
+        spec = validate_spec({"kind": "uplink_degrade", "at": 1.0,
+                              "host": "h0"})
+        assert spec["rate_factor"] == 2.0
+        assert spec["latency_factor"] == 1.0
+        with pytest.raises(FaultSpecError, match="factor"):
+            validate_spec({"kind": "uplink_degrade", "at": 1.0,
+                           "host": "h0", "rate_factor": 0.5})
+
+    def test_host_none_is_omitted_from_canonical_form(self):
+        # The cache-key guarantee: a single-host plan written before the
+        # cluster fault layer existed must normalize byte-identically.
+        spec = validate_spec({"kind": "link_flap", "at": 2.0,
+                              "host": None})
+        assert "host" not in spec
+        assert spec == {"kind": "link_flap", "at": 2.0, "duration": 0.5,
+                        "port": 0}
+
+    def test_host_scoping_accepted_on_local_kinds(self):
+        spec = validate_spec({"kind": "mailbox_loss", "at": 1.0,
+                              "host": "h2"})
+        assert spec["host"] == "h2"
+        with pytest.raises(FaultSpecError, match="host"):
+            validate_spec({"kind": "link_flap", "at": 1.0, "host": ""})
+
+    def test_migration_degrade_takes_no_host(self):
+        with pytest.raises(FaultSpecError, match="host"):
+            validate_spec({"kind": "migration_degrade", "host": "h0"})
+
 
 class TestFaultPlan:
     def test_plan_normalizes_each_spec(self):
